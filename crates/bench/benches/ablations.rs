@@ -1,0 +1,37 @@
+//! Ablation bench: prints the ablation table for the design choices of
+//! Section 3 (branch-and-bound, DAG sharing, bushy trees, probing,
+//! frontier caps) and measures dynamic optimization under each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqep_core::Optimizer;
+use dqep_cost::Environment;
+use dqep_harness::experiments::ablation;
+use dqep_harness::paper_query;
+
+fn bench(c: &mut Criterion) {
+    let (_, rows) = ablation::run(3, 10, 11);
+    println!("\n{}", ablation::table(3, &rows));
+
+    let w = paper_query(3, 11);
+    let env = Environment::dynamic_compile_time(&w.catalog.config);
+    let mut group = c.benchmark_group("ablation_optimize_q3");
+    for case in ablation::cases() {
+        group.bench_with_input(BenchmarkId::new("optimize", case.name), &case, |b, case| {
+            b.iter(|| {
+                Optimizer::with_options(&w.catalog, &env, case.options)
+                    .optimize(&w.query)
+                    .unwrap()
+                    .stats
+                    .plan_nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

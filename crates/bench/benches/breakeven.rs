@@ -1,0 +1,32 @@
+//! Break-even bench: prints the break-even table (paper: N=1 vs static,
+//! N=2..4 vs run-time optimization) and measures full scenario runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqep_bench::quick_results;
+use dqep_harness::experiments::breakeven;
+use dqep_harness::{paper_query, run_dynamic, run_runtime_opt, run_static, BindingSampler};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", breakeven::table(quick_results()));
+
+    let w = paper_query(2, 11);
+    let bindings = BindingSampler::new(5, false).sample_n(&w, 5);
+    let mut group = c.benchmark_group("breakeven_scenarios");
+    group.bench_function("static_scenario_q2", |b| {
+        b.iter(|| run_static(&w, &bindings).avg_exec())
+    });
+    group.bench_function("dynamic_scenario_q2", |b| {
+        b.iter(|| run_dynamic(&w, &bindings, false).avg_exec())
+    });
+    group.bench_function("runtime_opt_scenario_q2", |b| {
+        b.iter(|| run_runtime_opt(&w, &bindings).avg_exec())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

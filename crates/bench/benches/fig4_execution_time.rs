@@ -1,0 +1,46 @@
+//! Figure 4 bench: prints the execution-time table and measures the
+//! per-invocation work that produces each data point — start-up evaluation
+//! of the dynamic plan vs true-cost evaluation of the static plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqep_bench::quick_results;
+use dqep_harness::experiments::fig4;
+use dqep_harness::{paper_query, BindingSampler};
+use dqep_plan::evaluate_startup;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig4::table(quick_results()));
+
+    let w = paper_query(3, 11);
+    let mut sampler = BindingSampler::new(5, false);
+    let bindings = sampler.sample_n(&w, 16);
+    let static_r = dqep_harness::run_static(&w, &bindings[..1]);
+    let dynamic_r = dqep_harness::run_dynamic(&w, &bindings[..1], false);
+    let static_plan = static_r.plan.as_ref().expect("plan");
+    let dynamic_plan = dynamic_r.plan.as_ref().expect("plan");
+
+    let mut group = c.benchmark_group("fig4_per_invocation");
+    let mut i = 0;
+    group.bench_function("static_true_cost_q3", |b| {
+        b.iter(|| {
+            i = (i + 1) % bindings.len();
+            evaluate_startup(static_plan, &w.catalog, &static_r.env, &bindings[i])
+                .predicted_run_seconds
+        })
+    });
+    group.bench_function("dynamic_startup_choice_q3", |b| {
+        b.iter(|| {
+            i = (i + 1) % bindings.len();
+            evaluate_startup(dynamic_plan, &w.catalog, &dynamic_r.env, &bindings[i])
+                .predicted_run_seconds
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 5 bench: prints the optimization-time table and measures static
+//! vs dynamic optimization of each paper query (the paper reports < 3x;
+//! the slowdown stems from weakened branch-and-bound pruning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqep_bench::quick_results;
+use dqep_core::Optimizer;
+use dqep_cost::Environment;
+use dqep_harness::experiments::fig5;
+use dqep_harness::paper_query;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig5::table(quick_results()));
+
+    let mut group = c.benchmark_group("fig5_optimization");
+    for k in [2usize, 3, 4, 5] {
+        let w = paper_query(k, 11);
+        let static_env = Environment::static_compile_time(&w.catalog.config);
+        let dynamic_env = Environment::dynamic_compile_time(&w.catalog.config);
+        group.bench_with_input(BenchmarkId::new("static", k), &k, |b, _| {
+            b.iter(|| {
+                Optimizer::new(&w.catalog, &static_env)
+                    .optimize(&w.query)
+                    .unwrap()
+                    .stats
+                    .plan_nodes
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", k), &k, |b, _| {
+            b.iter(|| {
+                Optimizer::new(&w.catalog, &dynamic_env)
+                    .optimize(&w.query)
+                    .unwrap()
+                    .stats
+                    .plan_nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 6 bench: prints the plan-size table and measures the
+//! plan-size-dependent operations — DAG node counting and access-module
+//! serialization/deserialization round trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqep_bench::quick_results;
+use dqep_harness::experiments::fig6;
+use dqep_harness::{paper_query, run_dynamic, BindingSampler};
+use dqep_plan::{dag, AccessModule};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig6::table(quick_results()));
+
+    let w = paper_query(5, 11);
+    let bindings = BindingSampler::new(5, false).sample_n(&w, 1);
+    let dynamic = run_dynamic(&w, &bindings, false);
+    let plan = dynamic.plan.as_ref().expect("plan").clone();
+    let module = AccessModule::new(plan.clone());
+    let bytes = module.serialize();
+    println!(
+        "query 5 dynamic plan: {} DAG nodes, {} serialized bytes, {} contained plans",
+        dag::node_count(&plan),
+        bytes.len(),
+        dag::contained_plan_count(&plan),
+    );
+
+    let mut group = c.benchmark_group("fig6_plan_size");
+    group.bench_function("node_count_q5", |b| b.iter(|| dag::node_count(&plan)));
+    group.bench_function("serialize_q5", |b| b.iter(|| module.serialize().len()));
+    group.bench_function("deserialize_q5", |b| {
+        b.iter(|| AccessModule::deserialize(bytes.clone()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

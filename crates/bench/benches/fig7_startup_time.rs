@@ -1,0 +1,37 @@
+//! Figure 7 bench: prints the start-up CPU table and measures the
+//! choose-plan decision procedure (one cost-function evaluation per DAG
+//! node, shared nodes once) for each paper query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqep_bench::quick_results;
+use dqep_harness::experiments::fig7;
+use dqep_harness::{paper_query, run_dynamic, BindingSampler};
+use dqep_plan::evaluate_startup;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig7::table(quick_results()));
+
+    let mut group = c.benchmark_group("fig7_startup");
+    for k in [1usize, 3, 5] {
+        let w = paper_query(k, 11);
+        let mut sampler = BindingSampler::new(5, false);
+        let bindings = sampler.sample_n(&w, 16);
+        let dynamic = run_dynamic(&w, &bindings[..1], false);
+        let plan = dynamic.plan.as_ref().expect("plan").clone();
+        let mut i = 0;
+        group.bench_with_input(BenchmarkId::new("startup_eval", k), &k, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % bindings.len();
+                evaluate_startup(&plan, &w.catalog, &dynamic.env, &bindings[i]).evaluated_nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 8 bench: prints the run-time-optimization-vs-dynamic table and
+//! measures the two competing per-invocation mechanisms head to head:
+//! re-optimizing with bound parameters (`a`) vs re-evaluating the dynamic
+//! plan's cost functions (`f_cpu`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqep_bench::quick_results;
+use dqep_core::Optimizer;
+use dqep_cost::Environment;
+use dqep_harness::experiments::fig8;
+use dqep_harness::{paper_query, run_dynamic, BindingSampler};
+use dqep_plan::evaluate_startup;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig8::table(quick_results()));
+
+    let mut group = c.benchmark_group("fig8_reopt_vs_startup");
+    for k in [2usize, 4, 5] {
+        let w = paper_query(k, 11);
+        let mut sampler = BindingSampler::new(5, false);
+        let bindings = sampler.sample_n(&w, 16);
+        let base = Environment::dynamic_compile_time(&w.catalog.config);
+        let dynamic = run_dynamic(&w, &bindings[..1], false);
+        let plan = dynamic.plan.as_ref().expect("plan").clone();
+
+        let mut i = 0;
+        group.bench_with_input(BenchmarkId::new("runtime_reoptimize", k), &k, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % bindings.len();
+                let env = base.bind(&bindings[i]);
+                Optimizer::new(&w.catalog, &env)
+                    .optimize(&w.query)
+                    .unwrap()
+                    .stats
+                    .plan_nodes
+            })
+        });
+        let mut j = 0;
+        group.bench_with_input(BenchmarkId::new("dynamic_startup", k), &k, |b, _| {
+            b.iter(|| {
+                j = (j + 1) % bindings.len();
+                evaluate_startup(&plan, &w.catalog, &base, &bindings[j]).evaluated_nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Plan-shrinking bench (paper Section 4's self-replacing access module):
+//! demonstrates the node-count reduction after observing skewed bindings
+//! and measures the shrink rewrite itself — whose cost must be
+//! "comparable to the cost analysis at start-up-time".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqep_harness::{paper_query, run_dynamic, BindingSampler};
+use dqep_plan::shrink::{shrink_plan, UsageStats};
+use dqep_plan::{dag, evaluate_startup};
+
+fn bench(c: &mut Criterion) {
+    let w = paper_query(3, 11);
+    let mut sampler = BindingSampler::new(5, false);
+    let bindings = sampler.sample_n(&w, 30);
+    let dynamic = run_dynamic(&w, &bindings[..1], false);
+    let plan = dynamic.plan.as_ref().expect("plan").clone();
+
+    // Observe 30 invocations, then shrink.
+    let mut usage = UsageStats::new();
+    for b in &bindings {
+        let r = evaluate_startup(&plan, &w.catalog, &dynamic.env, b);
+        usage.record(&r.decisions);
+    }
+    let shrunk = shrink_plan(&plan, &usage);
+    println!(
+        "\nshrink (query 3, 30 invocations): {} -> {} DAG nodes, {} -> {} choose-plans",
+        dag::node_count(&plan),
+        dag::node_count(&shrunk),
+        dag::choose_plan_count(&plan),
+        dag::choose_plan_count(&shrunk),
+    );
+
+    let mut group = c.benchmark_group("shrink");
+    group.bench_function("shrink_plan_q3", |b| b.iter(|| shrink_plan(&plan, &usage)));
+    group.bench_function("startup_eval_full_q3", |b| {
+        b.iter(|| evaluate_startup(&plan, &w.catalog, &dynamic.env, &bindings[0]).evaluated_nodes)
+    });
+    group.bench_function("startup_eval_shrunk_q3", |b| {
+        b.iter(|| evaluate_startup(&shrunk, &w.catalog, &dynamic.env, &bindings[0]).evaluated_nodes)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Fluent construction of catalogs.
+
+use crate::config::SystemConfig;
+use crate::index::{IndexInfo, IndexKind};
+use crate::schema::{Attribute, Catalog, CatalogError};
+use crate::stats::RelationStats;
+
+/// Builder for a [`Catalog`].
+///
+/// ```
+/// use dqep_catalog::{CatalogBuilder, SystemConfig};
+///
+/// let catalog = CatalogBuilder::new(SystemConfig::paper_1994())
+///     .relation("orders", 1_000, 512, |r| {
+///         r.attr("id", 1_000.0)
+///             .attr("amount", 500.0)
+///             .btree("id", true)
+///             .btree("amount", false)
+///     })
+///     .build()
+///     .unwrap();
+/// assert_eq!(catalog.relations().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CatalogBuilder {
+    catalog: Catalog,
+    error: Option<CatalogError>,
+}
+
+impl CatalogBuilder {
+    /// Starts building a catalog with the given configuration.
+    #[must_use]
+    pub fn new(config: SystemConfig) -> CatalogBuilder {
+        CatalogBuilder {
+            catalog: Catalog::new(config),
+            error: None,
+        }
+    }
+
+    /// Adds a relation; `f` configures its attributes and indexes.
+    #[must_use]
+    pub fn relation(
+        mut self,
+        name: &str,
+        cardinality: u64,
+        record_len: u32,
+        f: impl FnOnce(RelationBuilder) -> RelationBuilder,
+    ) -> CatalogBuilder {
+        if self.error.is_some() {
+            return self;
+        }
+        let rb = f(RelationBuilder::new(name));
+        match self.add(rb, cardinality, record_len) {
+            Ok(()) => {}
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    fn add(&mut self, rb: RelationBuilder, cardinality: u64, record_len: u32) -> Result<(), CatalogError> {
+        let id = self
+            .catalog
+            .add_relation(rb.name, rb.attrs, RelationStats::new(cardinality, record_len))?;
+        for (attr_name, kind, clustered) in rb.indexes {
+            let rel = self.catalog.relation(id);
+            let attr = rel
+                .attr_id(&attr_name)
+                .ok_or(CatalogError::UnknownAttribute(attr_name))?;
+            self.catalog.add_index(IndexInfo::new(attr, kind, clustered))?;
+        }
+        Ok(())
+    }
+
+    /// Finishes, returning the catalog or the first error encountered.
+    pub fn build(self) -> Result<Catalog, CatalogError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.catalog),
+        }
+    }
+}
+
+/// Configures one relation inside [`CatalogBuilder::relation`].
+#[derive(Debug)]
+pub struct RelationBuilder {
+    name: String,
+    attrs: Vec<Attribute>,
+    indexes: Vec<(String, IndexKind, bool)>,
+}
+
+impl RelationBuilder {
+    fn new(name: &str) -> RelationBuilder {
+        RelationBuilder {
+            name: name.to_string(),
+            attrs: Vec::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute with the given domain size.
+    #[must_use]
+    pub fn attr(mut self, name: &str, domain_size: f64) -> RelationBuilder {
+        self.attrs.push(Attribute::new(name, domain_size));
+        self
+    }
+
+    /// Adds a B-tree index on the named attribute.
+    #[must_use]
+    pub fn btree(mut self, attr: &str, clustered: bool) -> RelationBuilder {
+        self.indexes.push((attr.to_string(), IndexKind::BTree, clustered));
+        self
+    }
+
+    /// Adds a hash index on the named attribute.
+    #[must_use]
+    pub fn hash(mut self, attr: &str) -> RelationBuilder {
+        self.indexes.push((attr.to_string(), IndexKind::Hash, false));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_relations_and_indexes() {
+        let cat = CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("r", 100, 512, |r| r.attr("a", 100.0).btree("a", false))
+            .relation("s", 200, 512, |r| r.attr("b", 50.0).hash("b"))
+            .build()
+            .unwrap();
+        assert_eq!(cat.relations().len(), 2);
+        let r = cat.relation_by_name("r").unwrap();
+        assert_eq!(r.indexes.len(), 1);
+        let s = cat.relation_by_name("s").unwrap();
+        assert_eq!(cat.index(s.indexes[0]).kind, IndexKind::Hash);
+    }
+
+    #[test]
+    fn index_on_missing_attr_is_error() {
+        let err = CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("r", 100, 512, |r| r.attr("a", 100.0).btree("zzz", false))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CatalogError::UnknownAttribute("zzz".into()));
+    }
+
+    #[test]
+    fn error_short_circuits_later_relations() {
+        let err = CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("r", 1, 512, |r| r.attr("a", 1.0))
+            .relation("r", 1, 512, |r| r.attr("a", 1.0))
+            .relation("t", 1, 512, |r| r.attr("a", 1.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CatalogError::DuplicateRelation("r".into()));
+    }
+}

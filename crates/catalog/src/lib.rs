@@ -1,0 +1,31 @@
+//! Relational catalog, statistics, and system configuration.
+//!
+//! The catalog is the optimizer's source of "compile-time truth": relation
+//! schemas and cardinalities, attribute domains (used for join-selectivity
+//! estimation), available B-tree indexes, and the physical constants of the
+//! simulated machine (page size, disk characteristics, CPU cost constants,
+//! access-module parameters).
+//!
+//! Everything the paper's experimental setup specifies is representable
+//! here: relations of 100–1,000 records of 512 bytes on 2,048-byte pages,
+//! unclustered B-trees on all selection and join attributes, attribute
+//! domain sizes of 0.2–1.25 × relation cardinality, 64 pages of expected
+//! memory, 128-byte plan nodes read at 2 MB/s (Section 6).
+
+#![warn(missing_docs)]
+
+mod builder;
+mod histogram;
+mod config;
+mod index;
+mod schema;
+mod stats;
+mod synthetic;
+
+pub use builder::{CatalogBuilder, RelationBuilder};
+pub use histogram::Histogram;
+pub use config::SystemConfig;
+pub use index::{IndexId, IndexInfo, IndexKind};
+pub use schema::{AttrId, Attribute, Catalog, CatalogError, Relation, RelationId};
+pub use stats::RelationStats;
+pub use synthetic::{make_chain_catalog, SyntheticSpec, JOIN_LEFT_ATTR, JOIN_RIGHT_ATTR, SELECTION_ATTR};

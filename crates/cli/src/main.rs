@@ -1,0 +1,333 @@
+//! `dqep` — explain and run embedded-SQL queries against a synthetic
+//! database, through the dynamic-plan optimizer.
+//!
+//! ```text
+//! dqep --sql "SELECT * FROM R1 WHERE R1.a < :x" --bind x=50 --run
+//!
+//! Options:
+//!   --sql TEXT          the query (relations R1..Rn: attrs a, jl, jr)
+//!   --relations N       chain-catalog size (default 3)
+//!   --seed S            catalog + data seed (default 42)
+//!   --skew Z            zipf exponent for stored values (default: uniform)
+//!   --histograms B      build B-bucket histograms before optimizing
+//!   --mode M            dynamic (default) | static
+//!   --bind NAME=VALUE   host-variable binding (repeatable)
+//!   --memory PAGES      memory grant at start-up
+//!   --explain           print the compile-time plan (default)
+//!   --run               execute on generated data and report simulated time
+//!   --adaptive          run with one pilot-observation round (§7)
+//!   --dot PATH          write the plan DAG as Graphviz
+//! ```
+
+use std::process::ExitCode;
+
+use dqep_catalog::{make_chain_catalog, SyntheticSpec, SystemConfig};
+use dqep_core::Optimizer;
+use dqep_cost::{Bindings, Environment};
+use dqep_executor::{execute_adaptive, execute_plan};
+use dqep_plan::{evaluate_startup, render_plan, to_dot};
+use dqep_sql::parse_query;
+use dqep_storage::{install_histograms, StoredDatabase, ValueDistribution};
+
+#[derive(Debug)]
+struct Args {
+    sql: String,
+    relations: usize,
+    seed: u64,
+    skew: Option<f64>,
+    histograms: Option<usize>,
+    mode: String,
+    binds: Vec<(String, i64)>,
+    memory: Option<f64>,
+    run: bool,
+    adaptive: bool,
+    dot: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    parse_argv(&argv)
+}
+
+fn parse_argv(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        sql: String::new(),
+        relations: 3,
+        seed: 42,
+        skew: None,
+        histograms: None,
+        mode: "dynamic".to_string(),
+        binds: Vec::new(),
+        memory: None,
+        run: false,
+        adaptive: false,
+        dot: None,
+    };
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sql" => {
+                args.sql = value(argv, i, "--sql")?;
+                i += 2;
+            }
+            "--relations" => {
+                args.relations = value(argv, i, "--relations")?
+                    .parse()
+                    .map_err(|e| format!("--relations: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = value(argv, i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--skew" => {
+                args.skew = Some(
+                    value(argv, i, "--skew")?
+                        .parse()
+                        .map_err(|e| format!("--skew: {e}"))?,
+                );
+                i += 2;
+            }
+            "--histograms" => {
+                args.histograms = Some(
+                    value(argv, i, "--histograms")?
+                        .parse()
+                        .map_err(|e| format!("--histograms: {e}"))?,
+                );
+                i += 2;
+            }
+            "--mode" => {
+                args.mode = value(argv, i, "--mode")?;
+                i += 2;
+            }
+            "--bind" => {
+                let pair = value(argv, i, "--bind")?;
+                let (name, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("--bind expects NAME=VALUE, got `{pair}`"))?;
+                args.binds.push((
+                    name.to_string(),
+                    v.parse().map_err(|e| format!("--bind {name}: {e}"))?,
+                ));
+                i += 2;
+            }
+            "--memory" => {
+                args.memory = Some(
+                    value(argv, i, "--memory")?
+                        .parse()
+                        .map_err(|e| format!("--memory: {e}"))?,
+                );
+                i += 2;
+            }
+            "--explain" => {
+                i += 1;
+            }
+            "--run" => {
+                args.run = true;
+                i += 1;
+            }
+            "--adaptive" => {
+                args.adaptive = true;
+                args.run = true;
+                i += 1;
+            }
+            "--dot" => {
+                args.dot = Some(value(argv, i, "--dot")?);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                return Err("usage: see `dqep` module docs (or the README)".to_string());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.sql.is_empty() {
+        return Err("--sql is required".to_string());
+    }
+    if args.mode != "dynamic" && args.mode != "static" {
+        return Err(format!("--mode must be dynamic or static, got `{}`", args.mode));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dqep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut catalog = make_chain_catalog(
+        &SyntheticSpec::paper(args.relations, args.seed),
+        SystemConfig::paper_1994(),
+    );
+
+    // Generate data first when statistics or execution are requested.
+    let dist = match args.skew {
+        Some(z) => ValueDistribution::Zipf { exponent: z },
+        None => ValueDistribution::Uniform,
+    };
+    let needs_db = args.run || args.histograms.is_some();
+    let db = needs_db.then(|| StoredDatabase::generate_with(&catalog, args.seed, dist));
+    if let (Some(buckets), Some(db)) = (args.histograms, &db) {
+        install_histograms(db, &mut catalog, buckets);
+        eprintln!("built {buckets}-bucket histograms over all attributes");
+    }
+
+    let query = parse_query(&args.sql, &catalog).map_err(|e| e.to_string())?;
+    let env = if args.mode == "static" {
+        Environment::static_compile_time(&catalog.config)
+    } else {
+        Environment::dynamic_compile_time(&catalog.config)
+    };
+    let result = Optimizer::new(&catalog, &env)
+        .optimize_with_props(&query.expr, query.required_props())
+        .map_err(|e| e.to_string())?;
+
+    println!("-- {} plan ({} nodes, {} choose-plans, {:.3e} contained static plans)",
+        args.mode,
+        result.stats.plan_nodes,
+        result.stats.choose_plans,
+        result.stats.contained_plans,
+    );
+    print!("{}", render_plan(&result.plan));
+
+    if let Some(path) = &args.dot {
+        std::fs::write(path, to_dot(&result.plan)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+
+    // Bindings.
+    let mut bindings = Bindings::new();
+    for (name, v) in &args.binds {
+        let var = query
+            .host_var(name)
+            .ok_or_else(|| format!("unknown host variable :{name}"))?;
+        bindings = bindings.with_value(var, *v);
+    }
+    if let Some(m) = args.memory {
+        bindings = bindings.with_memory(m);
+    }
+
+    let missing: Vec<&str> = query
+        .host_var_names()
+        .into_iter()
+        .filter(|n| !args.binds.iter().any(|(b, _)| b == n))
+        .collect();
+    if !args.binds.is_empty() || query.host_vars.is_empty() {
+        if !missing.is_empty() {
+            return Err(format!("missing --bind for: {}", missing.join(", ")));
+        }
+        let startup = evaluate_startup(&result.plan, &catalog, &env, &bindings);
+        println!(
+            "\n-- start-up decision ({} nodes costed, {} decisions, predicted {:.4}s)",
+            startup.evaluated_nodes,
+            startup.decisions.len(),
+            startup.predicted_run_seconds
+        );
+        print!("{}", render_plan(&startup.resolved));
+
+        if args.run {
+            let db = db.as_ref().expect("generated above");
+            if args.adaptive {
+                let r = execute_adaptive(&result.plan, db, &catalog, &env, &bindings)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "\n-- adaptive execution: {} rows, main {:.4}s + pilot {:.4}s (observed {:?} rows)",
+                    r.main.rows,
+                    r.main.simulated_seconds(&catalog.config),
+                    r.pilot.map(|p| p.simulated_seconds(&catalog.config)).unwrap_or(0.0),
+                    r.observed_rows
+                );
+            } else {
+                let (summary, _) = execute_plan(&result.plan, db, &catalog, &env, &bindings)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "\n-- executed: {} rows, {:.4}s simulated ({} seq + {} random reads, {} writes)",
+                    summary.rows,
+                    summary.simulated_seconds(&catalog.config),
+                    summary.io.seq_reads,
+                    summary.io.random_reads,
+                    summary.io.writes
+                );
+            }
+        }
+    } else if args.run {
+        return Err("--run needs --bind for every host variable".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let a = parse_argv(&argv(&[
+            "--sql", "SELECT * FROM R1", "--relations", "5", "--seed", "7",
+            "--skew", "1.1", "--histograms", "16", "--mode", "static",
+            "--bind", "x=40", "--bind", "y=-3", "--memory", "96",
+            "--run", "--dot", "/tmp/p.dot",
+        ]))
+        .unwrap();
+        assert_eq!(a.sql, "SELECT * FROM R1");
+        assert_eq!(a.relations, 5);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.skew, Some(1.1));
+        assert_eq!(a.histograms, Some(16));
+        assert_eq!(a.mode, "static");
+        assert_eq!(a.binds, vec![("x".to_string(), 40), ("y".to_string(), -3)]);
+        assert_eq!(a.memory, Some(96.0));
+        assert!(a.run);
+        assert!(!a.adaptive);
+        assert_eq!(a.dot.as_deref(), Some("/tmp/p.dot"));
+    }
+
+    #[test]
+    fn adaptive_implies_run() {
+        let a = parse_argv(&argv(&["--sql", "q", "--adaptive"])).unwrap();
+        assert!(a.adaptive && a.run);
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse_argv(&argv(&["--sql", "q"])).unwrap();
+        assert_eq!(a.relations, 3);
+        assert_eq!(a.mode, "dynamic");
+        assert!(a.binds.is_empty());
+        assert!(!a.run);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_argv(&argv(&[])).unwrap_err().contains("--sql"));
+        assert!(parse_argv(&argv(&["--sql", "q", "--mode", "bogus"]))
+            .unwrap_err()
+            .contains("--mode"));
+        assert!(parse_argv(&argv(&["--sql", "q", "--bind", "novalue"]))
+            .unwrap_err()
+            .contains("NAME=VALUE"));
+        assert!(parse_argv(&argv(&["--sql"])).unwrap_err().contains("needs a value"));
+        assert!(parse_argv(&argv(&["--wat"])).unwrap_err().contains("unknown flag"));
+        assert!(parse_argv(&argv(&["--sql", "q", "--relations", "x"]))
+            .unwrap_err()
+            .contains("--relations"));
+    }
+}

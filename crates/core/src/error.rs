@@ -1,0 +1,60 @@
+//! Optimizer errors.
+
+use std::fmt;
+
+use dqep_algebra::LogicalError;
+
+/// Errors produced by [`crate::Optimizer::optimize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerError {
+    /// The input expression failed validation against the catalog.
+    InvalidQuery(LogicalError),
+    /// The query references more relations than the memo supports (64).
+    TooManyRelations(usize),
+    /// No plan could be constructed (e.g. a join group with no feasible
+    /// physical expression — cannot happen for validated inputs, reported
+    /// rather than panicking).
+    NoPlanFound,
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            OptimizerError::TooManyRelations(n) => {
+                write!(f, "query references {n} relations; at most 64 supported")
+            }
+            OptimizerError::NoPlanFound => f.write_str("no plan found"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimizerError::InvalidQuery(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LogicalError> for OptimizerError {
+    fn from(e: LogicalError) -> Self {
+        OptimizerError::InvalidQuery(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqep_catalog::RelationId;
+
+    #[test]
+    fn display_and_source() {
+        let e = OptimizerError::InvalidQuery(LogicalError::UnknownRelation(RelationId(3)));
+        assert!(e.to_string().contains("unknown relation R3"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&OptimizerError::NoPlanFound).is_none());
+        assert!(OptimizerError::TooManyRelations(70).to_string().contains("70"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Plan frontiers: sets of mutually non-dominated alternatives.
+
+use std::sync::Arc;
+
+use dqep_interval::PartialCmp;
+use dqep_plan::PlanNode;
+
+/// The optimization result for one (group, required-properties) pair: all
+/// plans that are not *dominated* by another plan of the same pair.
+///
+/// In point mode (traditional optimization) all costs are comparable and
+/// the frontier holds exactly one plan. In interval mode overlapping costs
+/// are incomparable, and every plan that might be cheapest for *some*
+/// run-time binding survives ("a dynamic plan is guaranteed to include all
+/// potentially optimal plans for all run-time bindings", paper Section 3).
+#[derive(Debug, Default)]
+pub struct Frontier {
+    plans: Vec<Arc<PlanNode>>,
+    /// The node parents reference: the single plan, or a choose-plan over
+    /// all of them. Set by the search once insertion finishes.
+    pub combined: Option<Arc<PlanNode>>,
+}
+
+impl Frontier {
+    /// An empty frontier.
+    #[must_use]
+    pub fn new() -> Frontier {
+        Frontier::default()
+    }
+
+    /// The retained plans.
+    #[must_use]
+    pub fn plans(&self) -> &[Arc<PlanNode>] {
+        &self.plans
+    }
+
+    /// Number of retained plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether no plan was retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The cheapest *upper* cost bound over retained plans (`+inf` when
+    /// empty). This is the only bound interval branch-and-bound may prune
+    /// against: a candidate whose *lower* bound exceeds it is dominated
+    /// (paper Section 5).
+    #[must_use]
+    pub fn best_upper(&self) -> f64 {
+        self.plans
+            .iter()
+            .map(|p| p.total_cost.total().hi())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Inserts a candidate, maintaining the Pareto property:
+    ///
+    /// * dropped if an existing plan dominates it (never more expensive);
+    /// * dropped if `tie_break` and an existing plan's cost is exactly
+    ///   equal (the arbitrary-decision rule of Section 3);
+    /// * otherwise inserted, evicting every existing plan it dominates.
+    ///
+    /// Returns `true` when the candidate was retained.
+    pub fn insert(&mut self, candidate: Arc<PlanNode>, tie_break: bool) -> bool {
+        let cand_cost = candidate.total_cost.total();
+        for p in &self.plans {
+            let existing = p.total_cost.total();
+            if existing.dominates(cand_cost) {
+                return false;
+            }
+            if tie_break && existing.compare(cand_cost) == PartialCmp::Equal {
+                return false;
+            }
+        }
+        self.plans
+            .retain(|p| !cand_cost.dominates(p.total_cost.total()));
+        self.plans.push(candidate);
+        true
+    }
+
+    /// Inserts without any pruning — used by the exhaustive-plan mode of
+    /// Section 3, where every cost comparison is declared incomparable.
+    pub fn insert_unconditional(&mut self, candidate: Arc<PlanNode>) {
+        self.plans.push(candidate);
+    }
+
+    /// Applies a caller-supplied domination test (e.g. multi-point probing)
+    /// pairwise, removing plans found dominated. `dominates(a, b)` must
+    /// mean "a is never more expensive than b".
+    pub fn prune_with(&mut self, dominates: impl Fn(&Arc<PlanNode>, &Arc<PlanNode>) -> bool) {
+        let mut keep = vec![true; self.plans.len()];
+        for i in 0..self.plans.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.plans.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if dominates(&self.plans[i], &self.plans[j]) {
+                    keep[j] = false;
+                }
+            }
+        }
+        let mut it = keep.iter();
+        self.plans.retain(|_| *it.next().expect("keep mask aligned"));
+    }
+
+    /// Truncates to the `cap` plans with the lowest cost lower bounds
+    /// (cheapest-possible first). A cap below the frontier size sacrifices
+    /// the optimality guarantee; used only by ablations.
+    pub fn enforce_cap(&mut self, cap: usize) {
+        if self.plans.len() <= cap {
+            return;
+        }
+        self.plans.sort_by(|a, b| {
+            a.total_cost
+                .total()
+                .lo()
+                .total_cmp(&b.total_cost.total().lo())
+        });
+        self.plans.truncate(cap.max(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqep_algebra::PhysicalOp;
+    use dqep_catalog::RelationId;
+    use dqep_cost::{Cost, PlanStats};
+    use dqep_interval::Interval;
+    use dqep_plan::PlanNodeBuilder;
+
+    fn plan(b: &mut PlanNodeBuilder, lo: f64, hi: f64) -> Arc<PlanNode> {
+        b.node(
+            PhysicalOp::FileScan { relation: RelationId(0) },
+            vec![],
+            PlanStats::new(Interval::point(1.0), 512.0),
+            Cost::cpu_only(Interval::new(lo, hi)),
+        )
+    }
+
+    #[test]
+    fn keeps_incomparable_drops_dominated() {
+        let mut b = PlanNodeBuilder::new();
+        let mut f = Frontier::new();
+        assert!(f.insert(plan(&mut b, 0.0, 10.0), false));
+        assert!(f.insert(plan(&mut b, 1.0, 2.0), false), "overlapping: kept");
+        assert_eq!(f.len(), 2);
+        // Dominated by [1,2] (lo 3 > hi 2): dropped.
+        assert!(!f.insert(plan(&mut b, 3.0, 4.0), false));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.best_upper(), 2.0);
+    }
+
+    #[test]
+    fn new_plan_evicts_dominated_incumbents() {
+        let mut b = PlanNodeBuilder::new();
+        let mut f = Frontier::new();
+        f.insert(plan(&mut b, 5.0, 6.0), false);
+        f.insert(plan(&mut b, 4.0, 9.0), false);
+        // [0, 1] dominates both.
+        assert!(f.insert(plan(&mut b, 0.0, 1.0), false));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.best_upper(), 1.0);
+    }
+
+    #[test]
+    fn point_mode_with_tie_break_keeps_single_plan() {
+        let mut b = PlanNodeBuilder::new();
+        let mut f = Frontier::new();
+        assert!(f.insert(plan(&mut b, 2.0, 2.0), true));
+        assert!(!f.insert(plan(&mut b, 2.0, 2.0), true), "equal cost: tie-broken");
+        assert!(!f.insert(plan(&mut b, 3.0, 3.0), true));
+        assert!(f.insert(plan(&mut b, 1.0, 1.0), true));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn conservative_mode_keeps_equal_cost_plans() {
+        let mut b = PlanNodeBuilder::new();
+        let mut f = Frontier::new();
+        assert!(f.insert(plan(&mut b, 2.0, 2.0), false));
+        assert!(f.insert(plan(&mut b, 2.0, 2.0), false), "paper's naive policy");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn prune_with_external_test() {
+        let mut b = PlanNodeBuilder::new();
+        let mut f = Frontier::new();
+        let a = plan(&mut b, 0.0, 10.0);
+        let c = plan(&mut b, 1.0, 2.0);
+        f.insert(a.clone(), false);
+        f.insert(c.clone(), false);
+        // External knowledge says c always beats a.
+        let c_id = c.id;
+        f.prune_with(|x, y| x.id == c_id && y.id == a.id);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.plans()[0].id, c_id);
+    }
+
+    #[test]
+    fn cap_keeps_lowest_lower_bounds() {
+        let mut b = PlanNodeBuilder::new();
+        let mut f = Frontier::new();
+        f.insert(plan(&mut b, 3.0, 100.0), false);
+        f.insert(plan(&mut b, 0.5, 100.0), false);
+        f.insert(plan(&mut b, 2.0, 100.0), false);
+        f.enforce_cap(2);
+        assert_eq!(f.len(), 2);
+        let los: Vec<f64> = f.plans().iter().map(|p| p.total_cost.total().lo()).collect();
+        assert_eq!(los, vec![0.5, 2.0]);
+    }
+
+    #[test]
+    fn empty_frontier_bound_is_infinite() {
+        let f = Frontier::new();
+        assert!(f.is_empty());
+        assert_eq!(f.best_upper(), f64::INFINITY);
+    }
+}

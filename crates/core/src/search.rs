@@ -1,0 +1,997 @@
+//! The top-down, memoizing search engine with incomparable costs.
+//!
+//! `optimize_group(group, properties)` fills the group's [`Frontier`] for
+//! the requested physical properties by applying **implementation rules**
+//! (File-Scan/B-tree-Scan for Get, Filter/Filter-B-tree-Scan for Select,
+//! Hash-/Merge-/Index-Join for Join) and **enforcers** (Sort for order;
+//! Choose-Plan materializes automatically whenever a frontier retains more
+//! than one plan). Children are optimized recursively and memoized per
+//! (group, properties) — the Volcano discipline, extended so that a group
+//! optimization returns a *set* of incomparable plans instead of one.
+//!
+//! Parents reference a child group's **combined** plan — its single
+//! frontier plan, or a choose-plan node over the frontier — which makes the
+//! final plan a DAG with shared subexpressions and keeps both search effort
+//! and plan size polynomial while the number of *contained* static plans
+//! grows exponentially (paper Section 3, "Techniques to Reduce the Search
+//! Effort").
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dqep_algebra::{
+    LogicalExpr, PhysProps, PhysicalOp, SelectPred, SortOrder,
+};
+use dqep_catalog::{Catalog, IndexId, RelationId};
+use dqep_cost::{CostModel, Environment, PlanStats, PlanningMode};
+use dqep_interval::Interval;
+use dqep_plan::{PlanNode, PlanNodeBuilder};
+
+use crate::context::QueryContext;
+use crate::error::OptimizerError;
+use crate::frontier::Frontier;
+use crate::memo::{GroupId, GroupKey, LogicalOp, Memo};
+use crate::options::SearchOptions;
+use crate::probe::ProbePoints;
+use crate::rules;
+use crate::stats::OptimizerStats;
+
+/// The optimizer façade: one per (catalog, environment, options) triple.
+///
+/// The environment's [`PlanningMode`] selects the scenario: point mode
+/// yields traditional single-plan optimization; interval mode yields
+/// dynamic plans.
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    env: &'a Environment,
+    options: SearchOptions,
+}
+
+/// The product of an optimizer run.
+#[derive(Debug)]
+pub struct OptimizeResult {
+    /// The optimized plan — static (point mode) or dynamic (interval mode
+    /// with uncertainty).
+    pub plan: Arc<PlanNode>,
+    /// Search statistics.
+    pub stats: OptimizerStats,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer with the paper's default options.
+    #[must_use]
+    pub fn new(catalog: &'a Catalog, env: &'a Environment) -> Optimizer<'a> {
+        Optimizer::with_options(catalog, env, SearchOptions::paper())
+    }
+
+    /// Creates an optimizer with explicit options (ablations).
+    #[must_use]
+    pub fn with_options(
+        catalog: &'a Catalog,
+        env: &'a Environment,
+        options: SearchOptions,
+    ) -> Optimizer<'a> {
+        Optimizer {
+            catalog,
+            env,
+            options,
+        }
+    }
+
+    /// Optimizes a query: validates it, seeds and explores the memo, runs
+    /// the property-driven search, and returns the combined plan of the
+    /// root group.
+    pub fn optimize(&self, query: &LogicalExpr) -> Result<OptimizeResult, OptimizerError> {
+        self.optimize_with_props(query, PhysProps::ANY)
+    }
+
+    /// Optimizes a query for required root physical properties — e.g.
+    /// `PhysProps::sorted(attr)` for an `ORDER BY`. The order is produced
+    /// by order-delivering access paths, merge joins, or Sort enforcers,
+    /// whichever the (interval) costs favour; with incomparable costs the
+    /// usual choose-plan alternatives arise, all delivering the order.
+    pub fn optimize_with_props(
+        &self,
+        query: &LogicalExpr,
+        props: PhysProps,
+    ) -> Result<OptimizeResult, OptimizerError> {
+        let start = Instant::now();
+        let ctx = QueryContext::build(query, self.catalog)?;
+        let mut memo = Memo::new();
+        let root = seed(&mut memo, query, &ctx);
+        rules::explore(&mut memo, &ctx, &self.options);
+
+        let mut search = Search {
+            memo,
+            ctx,
+            catalog: self.catalog,
+            env: self.env,
+            model: CostModel::new(self.catalog, self.env),
+            opts: self.options,
+            builder: PlanNodeBuilder::new(),
+            group_stats: HashMap::new(),
+            in_progress: HashSet::new(),
+            physical_considered: 0,
+            pruned_by_bound: 0,
+            pruned_by_probing: 0,
+            probe: (self.options.probe_points > 0)
+                .then(|| ProbePoints::standard(self.options.probe_points, self.catalog)),
+        };
+        search.optimize_group(root, props)?;
+        let combined = search
+            .combined(root, props)
+            .ok_or(OptimizerError::NoPlanFound)?;
+        let plan = if self.options.dag_sharing {
+            combined
+        } else {
+            // Sharing ablation: expand the DAG into the tree representation
+            // the paper warns against. Exponential for complex dynamic
+            // plans; intended for small queries.
+            search.expand_tree(&combined)
+        };
+
+        let mut stats = OptimizerStats {
+            groups: search.memo.group_count(),
+            logical_exprs: search.memo.expr_count(),
+            logical_trees: search.memo.logical_tree_count(root),
+            physical_considered: search.physical_considered,
+            pruned_by_bound: search.pruned_by_bound,
+            pruned_by_probing: search.pruned_by_probing,
+            plan_nodes: dqep_plan::dag::node_count(&plan),
+            choose_plans: dqep_plan::dag::choose_plan_count(&plan),
+            contained_plans: dqep_plan::dag::contained_plan_count(&plan),
+            ..OptimizerStats::default()
+        };
+        for g in 0..search.memo.group_count() {
+            for f in search.memo.group(GroupId(g as u32)).plans.values() {
+                stats.frontier_plans += f.len();
+                stats.max_frontier = stats.max_frontier.max(f.len());
+                stats.physical_retained += f.len();
+            }
+        }
+        stats.optimization_seconds = start.elapsed().as_secs_f64();
+        Ok(OptimizeResult { plan, stats })
+    }
+}
+
+/// Seeds the memo from the input expression: leaf groups for every
+/// relation (selections normalized onto their relation — selections
+/// commute with the equi-joins considered here) and one join expression
+/// per join in the input.
+fn seed(memo: &mut Memo, expr: &LogicalExpr, ctx: &QueryContext) -> GroupId {
+    match expr {
+        LogicalExpr::Get { relation } => leaf_group(memo, *relation, ctx),
+        LogicalExpr::Select { input, .. } => seed(memo, input, ctx),
+        LogicalExpr::Join { left, right, .. } => {
+            let l = seed(memo, left, ctx);
+            let r = seed(memo, right, ctx);
+            let rels = memo.group(l).key.rels().union(memo.group(r).key.rels());
+            let g = memo.group_for(GroupKey::Join(rels));
+            memo.add_expr(g, LogicalOp::Join { left: l, right: r });
+            g
+        }
+    }
+}
+
+fn leaf_group(memo: &mut Memo, rel: RelationId, ctx: &QueryContext) -> GroupId {
+    let get = memo.group_for(GroupKey::Get(rel));
+    memo.add_expr(get, LogicalOp::Get(rel));
+    if ctx.selects_on(rel).is_empty() {
+        get
+    } else {
+        let sel = memo.group_for(GroupKey::SelectedLeaf(rel));
+        memo.add_expr(sel, LogicalOp::Select { relation: rel });
+        sel
+    }
+}
+
+struct Search<'a> {
+    memo: Memo,
+    ctx: QueryContext,
+    catalog: &'a Catalog,
+    env: &'a Environment,
+    model: CostModel<'a>,
+    opts: SearchOptions,
+    builder: PlanNodeBuilder,
+    group_stats: HashMap<GroupId, PlanStats>,
+    in_progress: HashSet<(GroupId, PhysProps)>,
+    physical_considered: usize,
+    pruned_by_bound: usize,
+    pruned_by_probing: usize,
+    probe: Option<ProbePoints>,
+}
+
+impl Search<'_> {
+    fn tie_break(&self) -> bool {
+        self.opts
+            .tie_break_equal
+            .unwrap_or(self.env.mode == PlanningMode::Point)
+    }
+
+    fn sel(&self, p: &SelectPred) -> Interval {
+        self.model.selectivity().selection(p, self.env)
+    }
+
+    /// Logical stream statistics of a group (cardinality interval and row
+    /// width) — identical for all expressions of the group.
+    fn stats_of(&mut self, gid: GroupId) -> PlanStats {
+        if let Some(&s) = self.group_stats.get(&gid) {
+            return s;
+        }
+        let key = self.memo.group(gid).key;
+        let s = match key {
+            GroupKey::Get(r) => {
+                let rel = self.catalog.relation(r);
+                PlanStats::new(
+                    Interval::point(rel.stats.cardinality as f64),
+                    rel.stats.record_len as f64,
+                )
+            }
+            GroupKey::SelectedLeaf(r) => {
+                let rel = self.catalog.relation(r);
+                let mut card = Interval::point(rel.stats.cardinality as f64);
+                for p in self.ctx.selects_on(r).to_vec() {
+                    card = card * self.sel(&p);
+                }
+                PlanStats::new(card, rel.stats.record_len as f64)
+            }
+            GroupKey::Join(rels) => {
+                let mut card = Interval::point(1.0);
+                let mut row = 0.0;
+                for r in rels.iter() {
+                    let rel = self.catalog.relation(r);
+                    let mut leaf = Interval::point(rel.stats.cardinality as f64);
+                    for p in self.ctx.selects_on(r).to_vec() {
+                        leaf = leaf * self.sel(&p);
+                    }
+                    card = card * leaf;
+                    row += rel.stats.record_len as f64;
+                }
+                let jsel = self.model.selectivity().join(&self.ctx.preds_within(rels));
+                PlanStats::new(card.scale(jsel), row)
+            }
+        };
+        self.group_stats.insert(gid, s);
+        s
+    }
+
+    /// The node parents use for (group, props): the frontier's single plan
+    /// or its choose-plan. `None` if not yet optimized or empty.
+    fn combined(&self, gid: GroupId, props: PhysProps) -> Option<Arc<PlanNode>> {
+        self.memo
+            .group(gid)
+            .plans
+            .get(&props)
+            .and_then(|f| f.combined.clone())
+    }
+
+    /// Optimizes (group, props), memoized.
+    fn optimize_group(&mut self, gid: GroupId, props: PhysProps) -> Result<(), OptimizerError> {
+        if self.memo.group(gid).plans.contains_key(&props) {
+            return Ok(());
+        }
+        assert!(
+            self.in_progress.insert((gid, props)),
+            "cyclic optimization of {gid} {props}"
+        );
+        let mut frontier = Frontier::new();
+        match self.memo.group(gid).key {
+            GroupKey::Get(r) => self.impl_get(r, props, &mut frontier)?,
+            GroupKey::SelectedLeaf(r) => self.impl_selected(r, gid, props, &mut frontier)?,
+            GroupKey::Join(_) => self.impl_join(gid, props, &mut frontier)?,
+        }
+        // Sort enforcer: any required order can be enforced over the
+        // group's Any-plan.
+        if let SortOrder::Asc(attr) = props.order {
+            self.optimize_group(gid, PhysProps::ANY)?;
+            if let Some(child) = self.combined(gid, PhysProps::ANY) {
+                let stats = self.stats_of(gid);
+                self.consider(
+                    &mut frontier,
+                    PhysicalOp::Sort { attr },
+                    vec![child],
+                    &[stats],
+                    stats,
+                );
+            }
+        }
+
+        if frontier.len() > 1 {
+            if let Some(probe) = self.probe.take() {
+                let before = frontier.len();
+                frontier.prune_with(|a, b| {
+                    probe.dominates(a, b, &self.ctx, self.catalog, self.env)
+                });
+                self.pruned_by_probing += before - frontier.len();
+                self.probe = Some(probe);
+            }
+        }
+        frontier.enforce_cap(self.opts.max_frontier);
+
+        let combined = match frontier.len() {
+            0 => return Err(OptimizerError::NoPlanFound),
+            1 => frontier.plans()[0].clone(),
+            n => {
+                let cost = self.model.choose_plan_cost(n);
+                self.builder.choose_plan(frontier.plans().to_vec(), cost)
+            }
+        };
+        frontier.combined = Some(combined);
+        self.in_progress.remove(&(gid, props));
+        self.memo.group_mut(gid).plans.insert(props, frontier);
+        Ok(())
+    }
+
+    /// Costs a candidate and inserts it into the frontier, with interval
+    /// branch-and-bound: a candidate whose cost *lower* bound exceeds the
+    /// frontier's best *upper* bound is dominated and skipped (only the
+    /// lower bound may be used — paper Section 5).
+    fn consider(
+        &mut self,
+        frontier: &mut Frontier,
+        op: PhysicalOp,
+        children: Vec<Arc<PlanNode>>,
+        child_stats: &[PlanStats],
+        out_stats: PlanStats,
+    ) {
+        self.physical_considered += 1;
+        if self.opts.enable_pruning && !self.opts.exhaustive {
+            let child_lo: f64 = children
+                .iter()
+                .map(|c| c.total_cost.total().lo())
+                .sum();
+            if child_lo > frontier.best_upper() {
+                self.pruned_by_bound += 1;
+                return;
+            }
+        }
+        let self_cost = self.model.op_cost(&op, child_stats, &out_stats);
+        let node = self.builder.node(op, children, out_stats, self_cost);
+        if self.opts.exhaustive {
+            frontier.insert_unconditional(node);
+            return;
+        }
+        if self.opts.enable_pruning && node.total_cost.total().lo() > frontier.best_upper() {
+            self.pruned_by_bound += 1;
+            return;
+        }
+        frontier.insert(node, self.tie_break());
+    }
+
+    fn insert_node(&mut self, frontier: &mut Frontier, node: Arc<PlanNode>) {
+        self.physical_considered += 1;
+        if self.opts.exhaustive {
+            frontier.insert_unconditional(node);
+            return;
+        }
+        if self.opts.enable_pruning && node.total_cost.total().lo() > frontier.best_upper() {
+            self.pruned_by_bound += 1;
+            return;
+        }
+        frontier.insert(node, self.tie_break());
+    }
+
+    // ---- implementation rules -----------------------------------------
+
+    fn impl_get(
+        &mut self,
+        r: RelationId,
+        props: PhysProps,
+        frontier: &mut Frontier,
+    ) -> Result<(), OptimizerError> {
+        let stats = self.stats_of(self.memo.find(GroupKey::Get(r)).expect("seeded"));
+        match props.order {
+            SortOrder::None => {
+                self.consider(frontier, PhysicalOp::FileScan { relation: r }, vec![], &[], stats);
+                for (idx, info) in self.indexes_of(r) {
+                    self.consider(
+                        frontier,
+                        PhysicalOp::BtreeScan {
+                            relation: r,
+                            index: idx,
+                            key_attr: info,
+                        },
+                        vec![],
+                        &[],
+                        stats,
+                    );
+                }
+            }
+            SortOrder::Asc(a) => {
+                for (idx, key) in self.indexes_of(r) {
+                    if key == a {
+                        self.consider(
+                            frontier,
+                            PhysicalOp::BtreeScan {
+                                relation: r,
+                                index: idx,
+                                key_attr: key,
+                            },
+                            vec![],
+                            &[],
+                            stats,
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ordered B-tree indexes of a relation as (index id, key attribute).
+    fn indexes_of(&self, r: RelationId) -> Vec<(IndexId, dqep_catalog::AttrId)> {
+        self.catalog
+            .indexes_on(r)
+            .filter(|(_, info)| info.delivers_order())
+            .map(|(id, info)| (id, info.attr))
+            .collect()
+    }
+
+    fn impl_selected(
+        &mut self,
+        r: RelationId,
+        gid: GroupId,
+        props: PhysProps,
+        frontier: &mut Frontier,
+    ) -> Result<(), OptimizerError> {
+        let preds = self.ctx.selects_on(r).to_vec();
+        let get_gid = self.memo.find(GroupKey::Get(r)).expect("seeded");
+        let get_stats = self.stats_of(get_gid);
+
+        // 1. Filter chain over a plain retrieval with the same required
+        //    order (Filter preserves its input's order).
+        if self.optimize_group(get_gid, props).is_ok() {
+            if let Some(base) = self.combined(get_gid, props) {
+                let (node, _) = self.filter_chain(base, get_stats, &preds);
+                self.insert_node(frontier, node);
+            }
+        }
+
+        // 2. Filter-B-tree-Scan per indexable predicate, remaining
+        //    predicates as Filters above (order Asc(p.attr) preserved).
+        let rel_card = Interval::point(self.catalog.relation(r).stats.cardinality as f64);
+        let row = self.catalog.relation(r).stats.record_len as f64;
+        for (i, p) in preds.iter().enumerate() {
+            let index = self.catalog.index_on_attr(p.attr).filter(|(_, info)| {
+                info.supports_range() || p.op.is_equality()
+            });
+            let Some((idx, _)) = index else { continue };
+            if let SortOrder::Asc(a) = props.order {
+                if a != p.attr {
+                    continue;
+                }
+            }
+            let first_stats = PlanStats::new(rel_card * self.sel(p), row);
+            let op = PhysicalOp::FilterBtreeScan {
+                relation: r,
+                index: idx,
+                predicate: *p,
+            };
+            let cost = self.model.op_cost(&op, &[], &first_stats);
+            let scan = self.builder.node(op, vec![], first_stats, cost);
+            let rest: Vec<SelectPred> = preds
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, q)| *q)
+                .collect();
+            let (node, _) = self.filter_chain(scan, first_stats, &rest);
+            self.insert_node(frontier, node);
+        }
+        let _ = (gid, props);
+        Ok(())
+    }
+
+    /// Wraps `node` in one Filter per predicate, tracking intermediate
+    /// statistics.
+    fn filter_chain(
+        &mut self,
+        mut node: Arc<PlanNode>,
+        mut stats: PlanStats,
+        preds: &[SelectPred],
+    ) -> (Arc<PlanNode>, PlanStats) {
+        for p in preds {
+            let out = PlanStats::new(stats.card * self.sel(p), stats.row_bytes);
+            let op = PhysicalOp::Filter { predicate: *p };
+            let cost = self.model.op_cost(&op, &[stats], &out);
+            node = self.builder.node(op, vec![node], out, cost);
+            stats = out;
+        }
+        (node, stats)
+    }
+
+    fn impl_join(
+        &mut self,
+        gid: GroupId,
+        props: PhysProps,
+        frontier: &mut Frontier,
+    ) -> Result<(), OptimizerError> {
+        let out_stats = self.stats_of(gid);
+        let exprs: Vec<(GroupId, GroupId)> = self
+            .memo
+            .group(gid)
+            .exprs
+            .iter()
+            .filter_map(|e| match e.op {
+                LogicalOp::Join { left, right } => Some((left, right)),
+                _ => None,
+            })
+            .collect();
+
+        for (l, r) in exprs {
+            let lrels = self.memo.group(l).key.rels();
+            let rrels = self.memo.group(r).key.rels();
+            if !self.opts.bushy && rrels.len() > 1 {
+                continue; // left-deep ablation
+            }
+            let preds = self.ctx.preds_between(lrels, rrels);
+            let l_stats = self.stats_of(l);
+            let r_stats = self.stats_of(r);
+
+            // Hash join: build on left, probe with right; delivers no
+            // order, so only useful under Any.
+            if props.order == SortOrder::None {
+                self.optimize_group(l, PhysProps::ANY)?;
+                self.optimize_group(r, PhysProps::ANY)?;
+                if let (Some(lc), Some(rc)) = (
+                    self.child_plan(l, PhysProps::ANY),
+                    self.child_plan(r, PhysProps::ANY),
+                ) {
+                    self.consider(
+                        frontier,
+                        PhysicalOp::HashJoin {
+                            predicates: preds.clone(),
+                        },
+                        vec![lc, rc],
+                        &[l_stats, r_stats],
+                        out_stats,
+                    );
+                }
+            }
+
+            // Merge join on the first predicate: inputs sorted on the join
+            // attributes; delivers the left attribute's order.
+            if let Some(p0) = preds.first() {
+                let delivered = SortOrder::Asc(p0.left);
+                if props.order == SortOrder::None || props.order == delivered {
+                    let lp = PhysProps::sorted(p0.left);
+                    let rp = PhysProps::sorted(p0.right);
+                    self.optimize_group(l, lp)?;
+                    self.optimize_group(r, rp)?;
+                    if let (Some(lc), Some(rc)) = (self.child_plan(l, lp), self.child_plan(r, rp))
+                    {
+                        self.consider(
+                            frontier,
+                            PhysicalOp::MergeJoin {
+                                predicates: preds.clone(),
+                            },
+                            vec![lc, rc],
+                            &[l_stats, r_stats],
+                            out_stats,
+                        );
+                    }
+                }
+            }
+
+            // Index join: inner must be a single relation with at most one
+            // selection (applied as residual after the index fetch); the
+            // outer's order is preserved.
+            if rrels.len() == 1 {
+                let inner_rel = rrels.iter().next().expect("single");
+                let inner_selects = self.ctx.selects_on(inner_rel).to_vec();
+                if inner_selects.len() <= 1 {
+                    let outer_props = match props.order {
+                        SortOrder::None => Some(PhysProps::ANY),
+                        SortOrder::Asc(a) if lrels.contains(a.relation) => {
+                            Some(PhysProps::sorted(a))
+                        }
+                        SortOrder::Asc(_) => None,
+                    };
+                    if let Some(outer_props) = outer_props {
+                        for (pi, p) in preds.iter().enumerate() {
+                            let Some((idx, info)) = self.catalog.index_on_attr(p.right) else {
+                                continue;
+                            };
+                            if !info.delivers_order() {
+                                continue;
+                            }
+                            let mut ordered = vec![*p];
+                            ordered.extend(
+                                preds
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(j, _)| *j != pi)
+                                    .map(|(_, q)| *q),
+                            );
+                            self.optimize_group(l, outer_props)?;
+                            if let Some(outer) = self.child_plan(l, outer_props) {
+                                self.consider(
+                                    frontier,
+                                    PhysicalOp::IndexJoin {
+                                        predicates: ordered,
+                                        inner: inner_rel,
+                                        index: idx,
+                                        residual: inner_selects.first().copied(),
+                                    },
+                                    vec![outer],
+                                    &[l_stats],
+                                    out_stats,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The child node a parent should reference: the shared combined node,
+    /// or (sharing ablation) a private deep copy.
+    fn child_plan(&mut self, gid: GroupId, props: PhysProps) -> Option<Arc<PlanNode>> {
+        let combined = self.combined(gid, props)?;
+        Some(if self.opts.dag_sharing {
+            combined
+        } else {
+            self.expand_tree(&combined)
+        })
+    }
+
+    /// Expands a DAG into a tree with fresh node identities (sharing
+    /// ablation).
+    fn expand_tree(&mut self, node: &Arc<PlanNode>) -> Arc<PlanNode> {
+        let children: Vec<Arc<PlanNode>> = node
+            .children
+            .iter()
+            .map(|c| {
+                let c = c.clone();
+                self.expand_tree(&c)
+            })
+            .collect();
+        if node.is_choose_plan() {
+            self.builder.choose_plan(children, node.self_cost)
+        } else {
+            self.builder
+                .node(node.op.clone(), children, node.stats, node.self_cost)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqep_algebra::{CompareOp, HostVar, JoinPred};
+    use dqep_catalog::{CatalogBuilder, SystemConfig};
+    use dqep_cost::Bindings;
+    use dqep_plan::evaluate_startup;
+
+    /// Catalog with two relations connected by join attribute `j`, with
+    /// unclustered B-trees on `a` (selection) and `j` (join).
+    fn catalog2() -> Catalog {
+        CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("r", 1000, 512, |r| {
+                r.attr("a", 1000.0).attr("j", 500.0).btree("a", false).btree("j", false)
+            })
+            .relation("s", 800, 512, |r| {
+                r.attr("a", 800.0).attr("j", 500.0).btree("a", false).btree("j", false)
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn query1(cat: &Catalog) -> LogicalExpr {
+        let rel = cat.relation_by_name("r").unwrap();
+        LogicalExpr::get(rel.id).select(SelectPred::unbound(
+            rel.attr_id("a").unwrap(),
+            CompareOp::Lt,
+            HostVar(0),
+        ))
+    }
+
+    fn query2(cat: &Catalog) -> LogicalExpr {
+        let r = cat.relation_by_name("r").unwrap();
+        let s = cat.relation_by_name("s").unwrap();
+        LogicalExpr::get(r.id)
+            .select(SelectPred::unbound(
+                r.attr_id("a").unwrap(),
+                CompareOp::Lt,
+                HostVar(0),
+            ))
+            .join(
+                LogicalExpr::get(s.id).select(SelectPred::unbound(
+                    s.attr_id("a").unwrap(),
+                    CompareOp::Lt,
+                    HostVar(1),
+                )),
+                vec![JoinPred::new(
+                    r.attr_id("j").unwrap(),
+                    s.attr_id("j").unwrap(),
+                )],
+            )
+    }
+
+    #[test]
+    fn static_optimization_yields_single_plan() {
+        let cat = catalog2();
+        let env = Environment::static_compile_time(&cat.config);
+        let result = Optimizer::new(&cat, &env).optimize(&query1(&cat)).unwrap();
+        assert!(!result.plan.is_dynamic(), "point costs are totally ordered");
+        assert_eq!(result.stats.choose_plans, 0);
+        assert_eq!(result.stats.contained_plans, 1.0);
+        // At the expected selectivity of 0.05 the index plan wins (the
+        // calibration the motivating example depends on).
+        assert!(matches!(
+            result.plan.op,
+            PhysicalOp::FilterBtreeScan { .. }
+        ));
+    }
+
+    #[test]
+    fn dynamic_optimization_builds_figure1_plan() {
+        let cat = catalog2();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let result = Optimizer::new(&cat, &env).optimize(&query1(&cat)).unwrap();
+        assert!(result.plan.is_dynamic());
+        assert!(result.plan.is_choose_plan());
+        assert!(result.stats.contained_plans >= 2.0);
+        // Figure 1: the alternatives are a file-scan plan and an index plan.
+        let ops: Vec<&str> = result
+            .plan
+            .children
+            .iter()
+            .map(|c| c.op.name())
+            .collect();
+        assert!(ops.contains(&"Filter"), "file-scan alternative: {ops:?}");
+        assert!(
+            ops.contains(&"Filter-B-tree-Scan"),
+            "index alternative: {ops:?}"
+        );
+    }
+
+    #[test]
+    fn dynamic_plan_adapts_at_startup() {
+        let cat = catalog2();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let result = Optimizer::new(&cat, &env).optimize(&query1(&cat)).unwrap();
+
+        let low = evaluate_startup(
+            &result.plan,
+            &cat,
+            &env,
+            &Bindings::new().with_value(HostVar(0), 5),
+        );
+        assert!(matches!(low.resolved.op, PhysicalOp::FilterBtreeScan { .. }));
+
+        let high = evaluate_startup(
+            &result.plan,
+            &cat,
+            &env,
+            &Bindings::new().with_value(HostVar(0), 950),
+        );
+        assert!(matches!(high.resolved.op, PhysicalOp::Filter { .. }));
+        // At high selectivity the file scan is much cheaper than the
+        // index scan would have been.
+        assert!(high.predicted_run_seconds < low.predicted_run_seconds * 20.0);
+    }
+
+    #[test]
+    fn two_way_join_considers_both_build_sides() {
+        let cat = catalog2();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let result = Optimizer::new(&cat, &env).optimize(&query2(&cat)).unwrap();
+        assert!(result.plan.is_dynamic());
+        // The dynamic plan must contain hash joins with both build sides
+        // (paper Figure 2): look for two HashJoin nodes whose child order
+        // differs by relation set.
+        let mut hash_joins = 0;
+        dqep_plan::dag::walk_dag(&result.plan, &mut |n| {
+            if matches!(n.op, PhysicalOp::HashJoin { .. }) {
+                hash_joins += 1;
+            }
+        });
+        assert!(hash_joins >= 2, "expected both join orders, got {hash_joins}");
+    }
+
+    #[test]
+    fn dynamic_plan_never_worse_than_static_at_any_binding() {
+        // The core robustness guarantee: for every binding, the dynamic
+        // plan's chosen cost <= the static plan's cost (paper: g_i = d_i
+        // <= c_i).
+        let cat = catalog2();
+        let static_env = Environment::static_compile_time(&cat.config);
+        let dynamic_env = Environment::dynamic_compile_time(&cat.config);
+        let q = query2(&cat);
+        let static_plan = Optimizer::new(&cat, &static_env).optimize(&q).unwrap().plan;
+        let dynamic_plan = Optimizer::new(&cat, &dynamic_env).optimize(&q).unwrap().plan;
+
+        for (v0, v1) in [(5i64, 5i64), (5, 700), (700, 5), (900, 900), (400, 100)] {
+            let b = Bindings::new()
+                .with_value(HostVar(0), v0)
+                .with_value(HostVar(1), v1);
+            let st = evaluate_startup(&static_plan, &cat, &static_env, &b);
+            let dy = evaluate_startup(&dynamic_plan, &cat, &dynamic_env, &b);
+            assert!(
+                dy.predicted_run_seconds <= st.predicted_run_seconds + 1e-9,
+                "binding ({v0},{v1}): dynamic {} > static {}",
+                dy.predicted_run_seconds,
+                st.predicted_run_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_runtime_optimization() {
+        // Optimality guarantee: the plan chosen at start-up-time has the
+        // same cost as the plan a run-time optimizer would produce
+        // (paper: g_i = d_i).
+        let cat = catalog2();
+        let dynamic_env = Environment::dynamic_compile_time(&cat.config);
+        let q = query2(&cat);
+        let dynamic_plan = Optimizer::new(&cat, &dynamic_env).optimize(&q).unwrap().plan;
+
+        for (v0, v1) in [(5i64, 5i64), (50, 700), (900, 30), (990, 990)] {
+            let b = Bindings::new()
+                .with_value(HostVar(0), v0)
+                .with_value(HostVar(1), v1);
+            let dy = evaluate_startup(&dynamic_plan, &cat, &dynamic_env, &b);
+
+            // Run-time optimization: point mode with actual bindings.
+            let rt_env = dynamic_env.bind(&b);
+            let rt = Optimizer::new(&cat, &rt_env).optimize(&q).unwrap();
+            let rt_cost = evaluate_startup(&rt.plan, &cat, &rt_env, &b).predicted_run_seconds;
+            assert!(
+                (dy.predicted_run_seconds - rt_cost).abs() < 1e-6,
+                "binding ({v0},{v1}): dynamic chose {}, run-time opt found {rt_cost}",
+                dy.predicted_run_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn plan_sizes_grow_with_uncertainty() {
+        let cat = catalog2();
+        let static_env = Environment::static_compile_time(&cat.config);
+        let dyn_env = Environment::dynamic_compile_time(&cat.config);
+        let dyn_mem_env = Environment::dynamic_uncertain_memory(&cat.config);
+        let q = query2(&cat);
+        let s = Optimizer::new(&cat, &static_env).optimize(&q).unwrap();
+        let d = Optimizer::new(&cat, &dyn_env).optimize(&q).unwrap();
+        let m = Optimizer::new(&cat, &dyn_mem_env).optimize(&q).unwrap();
+        assert!(d.stats.plan_nodes > s.stats.plan_nodes);
+        assert!(m.stats.plan_nodes >= d.stats.plan_nodes);
+        assert!(d.stats.contained_plans > 1.0);
+    }
+
+    #[test]
+    fn invariants_hold_on_optimized_plans() {
+        let cat = catalog2();
+        for env in [
+            Environment::static_compile_time(&cat.config),
+            Environment::dynamic_compile_time(&cat.config),
+            Environment::dynamic_uncertain_memory(&cat.config),
+        ] {
+            for q in [query1(&cat), query2(&cat)] {
+                let result = Optimizer::new(&cat, &env).optimize(&q).unwrap();
+                result.plan.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_is_lossless() {
+        let cat = catalog2();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let q = query2(&cat);
+        let with = Optimizer::new(&cat, &env).optimize(&q).unwrap();
+        let without = Optimizer::with_options(
+            &cat,
+            &env,
+            SearchOptions {
+                enable_pruning: false,
+                ..SearchOptions::paper()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        // Same plan space retained: identical combined cost interval.
+        assert_eq!(
+            with.plan.total_cost.total(),
+            without.plan.total_cost.total()
+        );
+        assert_eq!(with.stats.plan_nodes, without.stats.plan_nodes);
+    }
+
+    #[test]
+    fn sharing_ablation_expands_plans() {
+        let cat = catalog2();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let q = query2(&cat);
+        let shared = Optimizer::new(&cat, &env).optimize(&q).unwrap();
+        let unshared = Optimizer::with_options(
+            &cat,
+            &env,
+            SearchOptions {
+                dag_sharing: false,
+                ..SearchOptions::paper()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        assert!(
+            unshared.stats.plan_nodes > shared.stats.plan_nodes,
+            "tree {} should exceed DAG {}",
+            unshared.stats.plan_nodes,
+            shared.stats.plan_nodes
+        );
+        // Semantics unchanged.
+        assert_eq!(
+            unshared.plan.total_cost.total(),
+            shared.plan.total_cost.total()
+        );
+    }
+
+    #[test]
+    fn probing_prunes_pseudo_incomparable_plans() {
+        let cat = catalog2();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let q = query2(&cat);
+        let naive = Optimizer::new(&cat, &env).optimize(&q).unwrap();
+        let probed = Optimizer::with_options(
+            &cat,
+            &env,
+            SearchOptions {
+                probe_points: 5,
+                ..SearchOptions::paper()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        assert!(probed.stats.plan_nodes <= naive.stats.plan_nodes);
+    }
+
+    #[test]
+    fn exhaustive_plan_contains_default_dynamic_plan() {
+        // Section 3: the exhaustive plan includes absolutely all feasible
+        // plans, so it is at least as large as the default dynamic plan
+        // and makes identical start-up choices (same optimal costs).
+        let cat = catalog2();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let q = query2(&cat);
+        let default = Optimizer::new(&cat, &env).optimize(&q).unwrap();
+        let exhaustive = Optimizer::with_options(
+            &cat,
+            &env,
+            SearchOptions {
+                exhaustive: true,
+                ..SearchOptions::paper()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        assert!(exhaustive.stats.plan_nodes >= default.stats.plan_nodes);
+        assert!(exhaustive.stats.contained_plans >= default.stats.contained_plans);
+        for (v0, v1) in [(5i64, 5i64), (500, 100), (950, 900)] {
+            let b = Bindings::new()
+                .with_value(HostVar(0), v0)
+                .with_value(HostVar(1), v1);
+            let d = evaluate_startup(&default.plan, &cat, &env, &b).predicted_run_seconds;
+            let e = evaluate_startup(&exhaustive.plan, &cat, &env, &b).predicted_run_seconds;
+            assert!(
+                (d - e).abs() < 1e-9,
+                "binding ({v0},{v1}): default {d} vs exhaustive {e} — the                  default's pruning must be lossless"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_relation_is_rejected() {
+        let cat = catalog2();
+        let env = Environment::static_compile_time(&cat.config);
+        let bogus = LogicalExpr::get(RelationId(77));
+        assert!(matches!(
+            Optimizer::new(&cat, &env).optimize(&bogus),
+            Err(OptimizerError::InvalidQuery(_))
+        ));
+    }
+}

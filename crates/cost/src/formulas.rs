@@ -1,0 +1,151 @@
+//! Scalar cost formulas, shared by the interval cost model and the storage
+//! simulator.
+//!
+//! All functions here are *monotone* in each argument (non-decreasing in
+//! data sizes, non-increasing in memory), the property the paper's cost
+//! model relies on to compute exact interval bounds by evaluating the
+//! formulas at parameter-interval endpoints (Section 5).
+
+/// Number of partitioning levels a Grace hash join needs before the build
+/// side fits in memory: 0 when `build_pages <= mem_pages`, else
+/// `ceil(log_F(build_pages / mem_pages))` with partitioning fan-out
+/// `F = max(mem_pages - 1, 2)`.
+#[must_use]
+pub fn hash_partition_levels(build_pages: f64, mem_pages: f64) -> f64 {
+    let mem = mem_pages.max(2.0);
+    if build_pages <= mem {
+        return 0.0;
+    }
+    let fanout = (mem - 1.0).max(2.0);
+    (build_pages / mem).log(fanout).ceil().max(1.0)
+}
+
+/// Extra I/O seconds a hash join spends partitioning (writing and re-reading
+/// both inputs once per partitioning level). Zero when the build input fits
+/// in memory.
+#[must_use]
+pub fn hash_join_io_seconds(
+    build_pages: f64,
+    probe_pages: f64,
+    mem_pages: f64,
+    seq_page_io: f64,
+) -> f64 {
+    let levels = hash_partition_levels(build_pages, mem_pages);
+    2.0 * (build_pages + probe_pages) * levels * seq_page_io
+}
+
+/// Number of merge passes of an external sort: 0 when the input fits in
+/// memory, else `ceil(log_F(runs))` over the initial runs
+/// (`ceil(pages / mem)`) with merge fan-in `F = max(mem - 1, 2)`.
+#[must_use]
+pub fn sort_passes(pages: f64, mem_pages: f64) -> f64 {
+    let mem = mem_pages.max(2.0);
+    if pages <= mem {
+        return 0.0;
+    }
+    let runs = (pages / mem).ceil();
+    let fanin = (mem - 1.0).max(2.0);
+    runs.log(fanin).ceil().max(1.0)
+}
+
+/// I/O seconds of an external sort: one write + one read of the whole input
+/// per merge pass (run formation reads arrive pipelined from the input and
+/// are not charged here).
+#[must_use]
+pub fn sort_io_seconds(pages: f64, mem_pages: f64, seq_page_io: f64) -> f64 {
+    2.0 * pages * sort_passes(pages, mem_pages) * seq_page_io
+}
+
+/// Expected number of distinct pages touched when fetching `k` records
+/// uniformly from a file of `pages` pages (Cardenas' formula). Monotone
+/// increasing in both arguments. Used by the cache-aware unclustered-fetch
+/// ablation; the default cost model charges one random I/O per fetched
+/// record, the paper-era conservative model for unclustered B-trees.
+#[must_use]
+pub fn cardenas_pages(k: f64, pages: f64) -> f64 {
+    if pages < 1.0 || k <= 0.0 {
+        return 0.0;
+    }
+    pages * (1.0 - (1.0 - 1.0 / pages).powf(k))
+}
+
+/// CPU seconds to sort `records` records: `n log2 n` comparisons.
+#[must_use]
+pub fn sort_cpu_seconds(records: f64, cpu_per_compare: f64) -> f64 {
+    if records <= 1.0 {
+        return 0.0;
+    }
+    records * records.log2() * cpu_per_compare
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_levels_zero_when_fits() {
+        assert_eq!(hash_partition_levels(10.0, 64.0), 0.0);
+        assert_eq!(hash_partition_levels(64.0, 64.0), 0.0);
+    }
+
+    #[test]
+    fn hash_levels_one_when_one_pass_suffices() {
+        // 65 pages, 64 memory: one partitioning pass.
+        assert_eq!(hash_partition_levels(65.0, 64.0), 1.0);
+        // Very large build relative to memory needs more levels.
+        assert!(hash_partition_levels(1e6, 16.0) >= 2.0);
+    }
+
+    #[test]
+    fn hash_levels_monotone() {
+        let mut prev = 0.0;
+        for pages in [10.0, 100.0, 1000.0, 10000.0, 100000.0] {
+            let l = hash_partition_levels(pages, 32.0);
+            assert!(l >= prev);
+            prev = l;
+        }
+        // Decreasing in memory.
+        assert!(hash_partition_levels(1000.0, 16.0) >= hash_partition_levels(1000.0, 112.0));
+    }
+
+    #[test]
+    fn hash_io_zero_in_memory() {
+        assert_eq!(hash_join_io_seconds(10.0, 1000.0, 64.0, 0.001), 0.0);
+        let spill = hash_join_io_seconds(100.0, 200.0, 64.0, 0.001);
+        assert!((spill - 2.0 * 300.0 * 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_passes_zero_when_fits() {
+        assert_eq!(sort_passes(64.0, 64.0), 0.0);
+        assert_eq!(sort_io_seconds(64.0, 64.0, 0.001), 0.0);
+    }
+
+    #[test]
+    fn sort_passes_grow_with_input() {
+        let p1 = sort_passes(250.0, 16.0);
+        let p2 = sort_passes(25_000.0, 16.0);
+        assert!(p1 >= 1.0);
+        assert!(p2 > p1);
+        // More memory, fewer (or equal) passes.
+        assert!(sort_passes(250.0, 112.0) <= p1);
+    }
+
+    #[test]
+    fn cardenas_properties() {
+        assert_eq!(cardenas_pages(0.0, 250.0), 0.0);
+        let f50 = cardenas_pages(50.0, 250.0);
+        let f1000 = cardenas_pages(1000.0, 250.0);
+        assert!(f50 > 40.0 && f50 < 50.0, "few fetches hit mostly distinct pages");
+        assert!(f1000 < 250.0, "bounded by the file size");
+        assert!(f1000 > f50);
+        assert_eq!(cardenas_pages(10.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn sort_cpu_nlogn() {
+        assert_eq!(sort_cpu_seconds(1.0, 1e-6), 0.0);
+        let c = sort_cpu_seconds(1024.0, 1e-6);
+        assert!((c - 1024.0 * 10.0 * 1e-6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,288 @@
+//! Run-time adaptive execution: decisions delayed *beyond* start-up.
+//!
+//! The paper's final section sketches the next step past start-up-time
+//! decisions: "our initial approach has been to handle inaccurate expected
+//! values by evaluating subplans as part of choose-plan decision
+//! procedures. When a subplan has been evaluated into a temporary result,
+//! its logical and physical properties (e.g., result cardinality and value
+//! distributions) are known and therefore may contribute to decisions with
+//! increased confidence."
+//!
+//! [`execute_adaptive`] implements that loop:
+//!
+//! 1. find a subplan **shared by all alternatives** of the plan's root
+//!    choose-plan whose compile-time cardinality is *uncertain* (the
+//!    deepest such node — cheapest to pilot);
+//! 2. execute it (the "temporary result") and observe its actual
+//!    cardinality;
+//! 3. re-run the start-up decision procedure with the observation
+//!    overriding the estimate ([`dqep_plan::evaluate_startup_observed`]);
+//! 4. execute the chosen plan.
+//!
+//! The pilot's cost is reported separately: because the observed subplan
+//! is part of every alternative, the main execution recomputes it, so the
+//! pilot is pure overhead — worthwhile exactly when estimates are bad
+//! enough that the default start-up decision would pick the wrong plan
+//! (e.g. skewed data without histograms).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use dqep_catalog::Catalog;
+use dqep_cost::{Bindings, Environment};
+use dqep_plan::{dag, evaluate_startup_observed, Observations, PlanNode, StartupResult};
+use dqep_storage::StoredDatabase;
+
+use crate::compile::{compile_plan, ExecError};
+use crate::exec::drain;
+use crate::metrics::{ExecSummary, SharedCounters};
+
+/// Result of one adaptive execution.
+#[derive(Debug)]
+pub struct AdaptiveResult {
+    /// The subplan observed (root of the pilot), if any was eligible.
+    pub observed: Option<dqep_plan::NodeId>,
+    /// The pilot's observed cardinality, if a pilot ran.
+    pub observed_rows: Option<u64>,
+    /// Cost of the pilot execution (simulated I/O + CPU).
+    pub pilot: Option<ExecSummary>,
+    /// The start-up decision made with the observation applied.
+    pub startup: StartupResult,
+    /// The main execution.
+    pub main: ExecSummary,
+}
+
+impl AdaptiveResult {
+    /// Total simulated seconds including the pilot overhead.
+    #[must_use]
+    pub fn total_seconds(&self, config: &dqep_catalog::SystemConfig) -> f64 {
+        self.main.simulated_seconds(config)
+            + self
+                .pilot
+                .map(|p| p.simulated_seconds(config))
+                .unwrap_or(0.0)
+    }
+}
+
+/// Picks the pilot subplan: the largest (deepest) subplan that (a) appears
+/// in every alternative of the root choose-plan and (b) has an uncertain
+/// compile-time cardinality. The pilot may itself contain choose-plans —
+/// it executes through the run-time choose-plan operator, which resolves
+/// its inner decisions lazily. Returns `None` when the plan has no root
+/// choose-plan or no eligible shared subplan.
+#[must_use]
+pub fn pick_pilot(plan: &Arc<PlanNode>) -> Option<Arc<PlanNode>> {
+    if !plan.is_choose_plan() {
+        return None;
+    }
+    // Node sets per alternative.
+    let mut shared: Option<HashSet<_>> = None;
+    for alt in &plan.children {
+        let mut ids = HashSet::new();
+        dag::walk_dag(alt, &mut |n| {
+            ids.insert(n.id);
+        });
+        shared = Some(match shared {
+            None => ids,
+            Some(prev) => prev.intersection(&ids).copied().collect(),
+        });
+    }
+    let shared = shared?;
+    // Among shared nodes, pick the deepest eligible one.
+    let mut best: Option<(usize, Arc<PlanNode>)> = None;
+    dag::walk_dag(plan, &mut |n| {
+        if !shared.contains(&n.id) {
+            return;
+        }
+        if n.stats.card.is_point() {
+            return; // nothing to learn
+        }
+        let depth = dag::depth(n);
+        let better = match &best {
+            None => true,
+            Some((d, _)) => depth > *d,
+        };
+        if better {
+            best = Some((depth, Arc::clone(n)));
+        }
+    });
+    best.map(|(_, n)| n)
+}
+
+/// Executes a dynamic plan with one round of run-time observation (see the
+/// module docs). Falls back to ordinary start-up execution when no pilot
+/// subplan is eligible.
+pub fn execute_adaptive(
+    plan: &Arc<PlanNode>,
+    db: &StoredDatabase,
+    catalog: &Catalog,
+    env: &Environment,
+    bindings: &Bindings,
+) -> Result<AdaptiveResult, ExecError> {
+    let memory_pages = bindings
+        .memory_pages
+        .unwrap_or_else(|| env.memory.expected());
+    let memory_bytes = (memory_pages * catalog.config.page_size as f64) as usize;
+
+    let mut observations = Observations::new();
+    let mut pilot_summary = None;
+    let mut observed = None;
+    let mut observed_rows = None;
+
+    if let Some(pilot) = pick_pilot(plan) {
+        let counters = SharedCounters::new();
+        let before = db.disk.stats();
+        let mut op = crate::choose::compile_dynamic_plan(
+            &pilot, db, catalog, env, bindings, memory_bytes, &counters,
+        )?;
+        let rows = drain(op.as_mut()).len() as u64;
+        let io = db.disk.stats().since(&before);
+        pilot_summary = Some(ExecSummary {
+            rows,
+            cpu: counters.snapshot(),
+            io,
+        });
+        observations.insert(pilot.id, rows as f64);
+        observed = Some(pilot.id);
+        observed_rows = Some(rows);
+    }
+
+    let startup = evaluate_startup_observed(plan, catalog, env, bindings, &observations);
+    let counters = SharedCounters::new();
+    let before = db.disk.stats();
+    let mut op = compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, &counters)?;
+    let rows = drain(op.as_mut()).len() as u64;
+    let io = db.disk.stats().since(&before);
+    Ok(AdaptiveResult {
+        observed,
+        observed_rows,
+        pilot: pilot_summary,
+        startup,
+        main: ExecSummary {
+            rows,
+            cpu: counters.snapshot(),
+            io,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqep_algebra::{CompareOp, HostVar, JoinPred, LogicalExpr, SelectPred};
+    use dqep_catalog::{CatalogBuilder, SystemConfig};
+    use dqep_core::Optimizer;
+    use dqep_plan::evaluate_startup;
+    use dqep_storage::ValueDistribution;
+
+    /// A join whose uncertain input is Zipf-skewed: uniform estimates are
+    /// badly wrong, so the plain start-up decision misfires while the
+    /// observed decision does not.
+    fn skewed_join() -> (Catalog, StoredDatabase, LogicalExpr) {
+        let cat = CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("r", 800, 512, |r| {
+                r.attr("a", 800.0).attr("j", 200.0).btree("a", false).btree("j", false)
+            })
+            .relation("s", 400, 512, |r| {
+                r.attr("a", 400.0).attr("j", 200.0).btree("j", false)
+            })
+            .build()
+            .unwrap();
+        let db =
+            StoredDatabase::generate_with(&cat, 3, ValueDistribution::Zipf { exponent: 1.1 });
+        let r = cat.relation_by_name("r").unwrap();
+        let s = cat.relation_by_name("s").unwrap();
+        let q = LogicalExpr::get(r.id)
+            .select(SelectPred::unbound(
+                r.attr_id("a").unwrap(),
+                CompareOp::Lt,
+                HostVar(0),
+            ))
+            .join(
+                LogicalExpr::get(s.id),
+                vec![JoinPred::new(r.attr_id("j").unwrap(), s.attr_id("j").unwrap())],
+            );
+        (cat, db, q)
+    }
+
+    #[test]
+    fn pilot_is_a_shared_uncertain_subplan() {
+        let (cat, _db, q) = skewed_join();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+        // Query-1-shaped plans have a root choose-plan over scan variants.
+        if let Some(pilot) = pick_pilot(&plan) {
+            assert!(!pilot.stats.card.is_point());
+        }
+        // A static plan never yields a pilot.
+        let senv = Environment::static_compile_time(&cat.config);
+        let splan = Optimizer::new(&cat, &senv).optimize(&q).unwrap().plan;
+        assert!(pick_pilot(&splan).is_none());
+    }
+
+    #[test]
+    fn observation_corrects_skew_blind_decisions() {
+        let (cat, db, q) = skewed_join();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+
+        // A binding that looks selective (30/800 ≈ 4%) but matches most of
+        // the Zipf-skewed relation.
+        let bindings = Bindings::new().with_value(HostVar(0), 30);
+
+        // Plain start-up execution (estimation-blind).
+        let blind = evaluate_startup(&plan, &cat, &env, &bindings);
+        let (blind_exec, _) =
+            crate::compile::execute_plan(&plan, &db, &cat, &env, &bindings).unwrap();
+
+        // Adaptive execution with one observation round.
+        let adaptive = execute_adaptive(&plan, &db, &cat, &env, &bindings).unwrap();
+        assert_eq!(adaptive.main.rows, blind_exec.rows, "same logical result");
+
+        if let Some(rows) = adaptive.observed_rows {
+            // The observation must be the true pilot cardinality, far from
+            // the uniform estimate.
+            assert!(rows > 100, "zipf: most rows qualify, got {rows}");
+        }
+        let cfg = &cat.config;
+        // The adaptive MAIN execution is no slower than the blind one
+        // (it may equal it when the blind decision was already right).
+        assert!(
+            adaptive.main.simulated_seconds(cfg)
+                <= blind_exec.simulated_seconds(cfg) + 1e-9,
+            "adaptive main {:.4}s vs blind {:.4}s",
+            adaptive.main.simulated_seconds(cfg),
+            blind_exec.simulated_seconds(cfg)
+        );
+        let _ = blind;
+    }
+
+    #[test]
+    fn adaptive_on_uniform_data_changes_nothing() {
+        // With accurate estimates the observation agrees with the
+        // estimate and the same plan is chosen.
+        let cat = CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("r", 500, 512, |r| r.attr("a", 500.0).btree("a", false))
+            .build()
+            .unwrap();
+        let db = StoredDatabase::generate(&cat, 5);
+        let rel = cat.relation_by_name("r").unwrap();
+        let q = LogicalExpr::get(rel.id).select(SelectPred::unbound(
+            rel.attr_id("a").unwrap(),
+            CompareOp::Lt,
+            HostVar(0),
+        ));
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+        let bindings = Bindings::new().with_value(HostVar(0), 400);
+
+        let blind = evaluate_startup(&plan, &cat, &env, &bindings);
+        let adaptive = execute_adaptive(&plan, &db, &cat, &env, &bindings).unwrap();
+        assert_eq!(
+            adaptive.startup.resolved.op.name(),
+            blind.resolved.op.name(),
+            "accurate estimates: observation should not change the choice"
+        );
+        assert!(adaptive.total_seconds(&cat.config) > 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The run-time choose-plan operator (Graefe & Ward, SIGMOD 1989).
+//!
+//! The 1989 paper defined choose-plan as an *operator in the query
+//! evaluation plan*: an iterator that, when opened, runs its decision
+//! procedure and from then on delegates `next` to the chosen input. This
+//! module provides exactly that — [`ChoosePlanExec`] — so dynamic plans
+//! can be compiled *as they are* and decide lazily inside the Volcano
+//! tree, instead of being resolved up front.
+//!
+//! [`compile_dynamic_plan`] compiles any plan, mapping choose-plan nodes
+//! to [`ChoosePlanExec`]; `open()` evaluates the node's subtree costs with
+//! the actual bindings (the Section 4 decision procedure of the 1994
+//! paper), compiles only the winning alternative, and opens it. Losing
+//! alternatives are never compiled — mirroring how an access module never
+//! instantiates the plans it does not run.
+
+use std::sync::Arc;
+
+use dqep_catalog::Catalog;
+use dqep_cost::{Bindings, Environment};
+use dqep_plan::{evaluate_startup, PlanNode};
+use dqep_storage::StoredDatabase;
+
+use crate::compile::{compile_plan, ExecError};
+use crate::metrics::SharedCounters;
+use crate::tuple::{Tuple, TupleLayout};
+use crate::Operator;
+
+/// The run-time choose-plan operator: decides at `open()`.
+pub struct ChoosePlanExec<'a> {
+    node: Arc<PlanNode>,
+    db: &'a StoredDatabase,
+    catalog: &'a Catalog,
+    env: Environment,
+    bindings: Bindings,
+    memory_bytes: usize,
+    counters: SharedCounters,
+    /// Filled at `open()`: the compiled winning alternative.
+    chosen: Option<Box<dyn Operator + 'a>>,
+    /// Index of the chosen alternative (for observability).
+    chosen_index: Option<usize>,
+    layout: TupleLayout,
+}
+
+impl<'a> ChoosePlanExec<'a> {
+    /// Creates the operator for a choose-plan `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a choose-plan.
+    #[must_use]
+    pub fn new(
+        node: Arc<PlanNode>,
+        db: &'a StoredDatabase,
+        catalog: &'a Catalog,
+        env: Environment,
+        bindings: Bindings,
+        memory_bytes: usize,
+        counters: SharedCounters,
+    ) -> Self {
+        assert!(node.is_choose_plan(), "ChoosePlanExec needs a choose-plan node");
+        // All alternatives share the logical result; take the first
+        // alternative's layout (identical relation sets).
+        let layout = layout_of(&node.children[0], catalog);
+        ChoosePlanExec {
+            node,
+            db,
+            catalog,
+            env,
+            bindings,
+            memory_bytes,
+            counters,
+            chosen: None,
+            chosen_index: None,
+            layout,
+        }
+    }
+
+    /// Which alternative the decision procedure picked (after `open`).
+    #[must_use]
+    pub fn chosen_index(&self) -> Option<usize> {
+        self.chosen_index
+    }
+}
+
+/// The tuple layout a plan subtree produces (base relations in DAG
+/// leaf-visit order, matching how join operators concatenate).
+fn layout_of(node: &Arc<PlanNode>, catalog: &Catalog) -> TupleLayout {
+    use dqep_algebra::PhysicalOp::*;
+    match &node.op {
+        FileScan { relation } | BtreeScan { relation, .. } | FilterBtreeScan { relation, .. } => {
+            TupleLayout::base(catalog, *relation)
+        }
+        Filter { .. } | Sort { .. } => layout_of(&node.children[0], catalog),
+        HashJoin { .. } | MergeJoin { .. } => layout_of(&node.children[0], catalog)
+            .concat(&layout_of(&node.children[1], catalog)),
+        IndexJoin { inner, .. } => {
+            layout_of(&node.children[0], catalog).concat(&TupleLayout::base(catalog, *inner))
+        }
+        ChoosePlan => layout_of(&node.children[0], catalog),
+    }
+}
+
+impl Operator for ChoosePlanExec<'_> {
+    fn open(&mut self) {
+        // Decision procedure: re-evaluate the alternatives' cost functions
+        // with the actual bindings, once per DAG node.
+        let startup = evaluate_startup(&self.node, self.catalog, &self.env, &self.bindings);
+        // The decision for THIS node is the last one recorded (post-order).
+        let idx = startup
+            .decisions
+            .iter()
+            .find(|d| d.choose_plan == self.node.id)
+            .map(|d| d.chosen_index)
+            .unwrap_or(0);
+        self.chosen_index = Some(idx);
+        let alt = &self.node.children[idx];
+        let mut op = compile_dynamic_plan(
+            alt,
+            self.db,
+            self.catalog,
+            &self.env,
+            &self.bindings,
+            self.memory_bytes,
+            &self.counters,
+        )
+        .expect("alternative compiled after successful decision");
+        op.open();
+        self.chosen = Some(op);
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        self.chosen.as_mut().expect("open() before next()").next()
+    }
+
+    fn close(&mut self) {
+        if let Some(mut op) = self.chosen.take() {
+            op.close();
+        }
+    }
+
+    fn layout(&self) -> &TupleLayout {
+        &self.layout
+    }
+}
+
+/// Compiles a plan that may contain choose-plan operators: choose-plan
+/// nodes become [`ChoosePlanExec`] (deciding at `open()`); everything else
+/// compiles as usual. Nested choose-plans inside a chosen alternative are
+/// compiled recursively by the same rule when that alternative is opened.
+pub fn compile_dynamic_plan<'a>(
+    node: &Arc<PlanNode>,
+    db: &'a StoredDatabase,
+    catalog: &'a Catalog,
+    env: &Environment,
+    bindings: &Bindings,
+    memory_bytes: usize,
+    counters: &SharedCounters,
+) -> Result<Box<dyn Operator + 'a>, ExecError> {
+    if node.is_choose_plan() {
+        return Ok(Box::new(ChoosePlanExec::new(
+            Arc::clone(node),
+            db,
+            catalog,
+            env.clone(),
+            bindings.clone(),
+            memory_bytes,
+            counters.clone(),
+        )));
+    }
+    if node.is_dynamic() {
+        // A non-choose node with dynamic descendants: compile children
+        // through this function. The simplest complete way is to rebuild
+        // via the per-op compiler only when the subtree is static; for
+        // dynamic interior nodes we resolve just this subtree's decisions
+        // lazily by wrapping it in a synthetic single-alternative
+        // evaluation: compile the children recursively.
+        // compile_plan cannot be reused directly (it rejects choose-plan),
+        // so recurse manually over this node's children.
+        return compile_interior(node, db, catalog, env, bindings, memory_bytes, counters);
+    }
+    compile_plan(node, db, catalog, bindings, memory_bytes, counters)
+}
+
+/// Compiles a non-choose operator whose children may be dynamic.
+fn compile_interior<'a>(
+    node: &Arc<PlanNode>,
+    db: &'a StoredDatabase,
+    catalog: &'a Catalog,
+    env: &Environment,
+    bindings: &Bindings,
+    memory_bytes: usize,
+    counters: &SharedCounters,
+) -> Result<Box<dyn Operator + 'a>, ExecError> {
+    use dqep_algebra::PhysicalOp::*;
+    // Strategy: rebuild a shallow copy of `node` whose dynamic children are
+    // replaced by ChoosePlanExec at compile time. We reuse compile_plan's
+    // per-operator logic by compiling children first and dispatching on
+    // the operator; to avoid duplicating that dispatch, handle the two
+    // cases that can carry dynamic children in the experiment plans
+    // (unary and binary operators) generically.
+    match &node.op {
+        Filter { .. } | Sort { .. } | IndexJoin { .. } | HashJoin { .. } | MergeJoin { .. } => {
+            // Fall back: resolve this subtree's choose-plans eagerly via
+            // the startup evaluator, then compile the static result. The
+            // root-level laziness (the common case: choose-plan at the
+            // root) is preserved by `compile_dynamic_plan`.
+            let startup = evaluate_startup(node, catalog, env, bindings);
+            compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, counters)
+        }
+        FileScan { .. } | BtreeScan { .. } | FilterBtreeScan { .. } => {
+            compile_plan(node, db, catalog, bindings, memory_bytes, counters)
+        }
+        ChoosePlan => unreachable!("handled by compile_dynamic_plan"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::drain;
+    use dqep_algebra::{CompareOp, HostVar, LogicalExpr, PhysicalOp, SelectPred};
+    use dqep_catalog::{CatalogBuilder, SystemConfig};
+    use dqep_core::Optimizer;
+
+    fn fixture() -> (Catalog, StoredDatabase, LogicalExpr) {
+        let cat = CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("r", 600, 512, |r| r.attr("a", 600.0).btree("a", false))
+            .build()
+            .unwrap();
+        let db = StoredDatabase::generate(&cat, 77);
+        let rel = cat.relation_by_name("r").unwrap();
+        let q = LogicalExpr::get(rel.id).select(SelectPred::unbound(
+            rel.attr_id("a").unwrap(),
+            CompareOp::Lt,
+            HostVar(0),
+        ));
+        (cat, db, q)
+    }
+
+    #[test]
+    fn runtime_operator_decides_at_open() {
+        let (cat, db, q) = fixture();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+        assert!(plan.is_choose_plan());
+
+        for (v, expect_index) in [(5i64, true), (550, false)] {
+            let bindings = Bindings::new().with_value(HostVar(0), v);
+            let counters = SharedCounters::new();
+            let mut op = ChoosePlanExec::new(
+                plan.clone(),
+                &db,
+                &cat,
+                env.clone(),
+                bindings.clone(),
+                64 * 2048,
+                counters,
+            );
+            assert!(op.chosen_index().is_none(), "no decision before open");
+            op.open();
+            let idx = op.chosen_index().expect("decided at open");
+            let is_index_plan = matches!(
+                plan.children[idx].op,
+                PhysicalOp::FilterBtreeScan { .. }
+            );
+            assert_eq!(is_index_plan, expect_index, "binding {v}");
+            let rows = {
+                let mut n = 0;
+                while op.next().is_some() {
+                    n += 1;
+                }
+                n
+            };
+            op.close();
+            // Ground truth.
+            let table = db.table(cat.relation_by_name("r").unwrap().id);
+            let expected = table
+                .heap
+                .scan()
+                .filter(|rec| table.decode(rec)[0] < v)
+                .count();
+            assert_eq!(rows, expected);
+        }
+    }
+
+    #[test]
+    fn dynamic_compile_matches_resolve_then_compile() {
+        let (cat, db, q) = fixture();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+        for v in [10i64, 200, 580] {
+            let bindings = Bindings::new().with_value(HostVar(0), v);
+            // Path 1: run-time operator.
+            let counters = SharedCounters::new();
+            let mut lazy = compile_dynamic_plan(
+                &plan, &db, &cat, &env, &bindings, 64 * 2048, &counters,
+            )
+            .unwrap();
+            let lazy_rows = drain(lazy.as_mut()).len();
+            // Path 2: resolve first.
+            let startup = evaluate_startup(&plan, &cat, &env, &bindings);
+            let counters = SharedCounters::new();
+            let mut eager = compile_plan(
+                &startup.resolved, &db, &cat, &bindings, 64 * 2048, &counters,
+            )
+            .unwrap();
+            let eager_rows = drain(eager.as_mut()).len();
+            assert_eq!(lazy_rows, eager_rows, "binding {v}");
+        }
+    }
+
+    #[test]
+    fn losing_alternatives_are_never_compiled() {
+        // Observable through I/O: opening the run-time operator with a
+        // selective binding must not scan the file (the file-scan
+        // alternative is never compiled or opened).
+        let (cat, db, q) = fixture();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+        let bindings = Bindings::new().with_value(HostVar(0), 3);
+        let before = db.disk.stats();
+        let counters = SharedCounters::new();
+        let mut op =
+            compile_dynamic_plan(&plan, &db, &cat, &env, &bindings, 64 * 2048, &counters)
+                .unwrap();
+        let rows = drain(op.as_mut()).len();
+        let io = db.disk.stats().since(&before);
+        // A full file scan would read ~150 pages; the index path touches
+        // only the B-tree descent plus a handful of fetches.
+        assert!(rows <= 10);
+        assert!(
+            io.total() < 20,
+            "expected index-path I/O only, saw {io:?}"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! The Volcano iterator interface.
+
+use crate::tuple::{Tuple, TupleLayout};
+
+/// A demand-driven query operator (Volcano iterator model): `open`
+/// prepares state (and may consume inputs eagerly for stop-and-go
+/// operators like sort and hash-join build), `next` produces one tuple at
+/// a time, `close` releases state.
+pub trait Operator {
+    /// Prepares the operator; must be called before `next`.
+    fn open(&mut self);
+
+    /// Produces the next tuple, or `None` when exhausted.
+    fn next(&mut self) -> Option<Tuple>;
+
+    /// Releases resources; the operator may not be reopened.
+    fn close(&mut self);
+
+    /// The layout of produced tuples.
+    fn layout(&self) -> &TupleLayout;
+}
+
+/// Drains an operator to completion, returning all tuples.
+pub fn drain(op: &mut dyn Operator) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    op.open();
+    while let Some(t) = op.next() {
+        out.push(t);
+    }
+    op.close();
+    out
+}

@@ -1,0 +1,107 @@
+//! The Filter operator and resolved predicates.
+
+use dqep_algebra::CompareOp;
+
+use crate::metrics::SharedCounters;
+use crate::tuple::{Tuple, TupleLayout};
+use crate::Operator;
+
+/// A selection predicate with its attribute resolved to a tuple position
+/// and its right-hand side resolved to a concrete value (host variables
+/// are bound before compilation).
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedPred {
+    /// Position of the restricted attribute within the input layout.
+    pub pos: usize,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Bound comparison value.
+    pub value: i64,
+}
+
+impl ResolvedPred {
+    /// Evaluates the predicate on a tuple.
+    #[must_use]
+    pub fn matches(&self, tuple: &[i64]) -> bool {
+        self.op.eval_int(tuple[self.pos], self.value)
+    }
+
+    /// The inclusive key range this predicate selects — what a B-tree
+    /// range probe descends with.
+    #[must_use]
+    pub fn key_range(&self) -> (Option<i64>, Option<i64>) {
+        match self.op {
+            CompareOp::Lt => (None, Some(self.value - 1)),
+            CompareOp::Le => (None, Some(self.value)),
+            CompareOp::Eq => (Some(self.value), Some(self.value)),
+            CompareOp::Ge => (Some(self.value), None),
+            CompareOp::Gt => (Some(self.value + 1), None),
+        }
+    }
+}
+
+/// Predicate evaluation over any input (one comparison per input tuple).
+pub struct FilterExec<'a> {
+    input: Box<dyn Operator + 'a>,
+    pred: ResolvedPred,
+    counters: SharedCounters,
+}
+
+impl<'a> FilterExec<'a> {
+    /// Creates a filter over `input`.
+    #[must_use]
+    pub fn new(input: Box<dyn Operator + 'a>, pred: ResolvedPred, counters: SharedCounters) -> Self {
+        FilterExec {
+            input,
+            pred,
+            counters,
+        }
+    }
+}
+
+impl Operator for FilterExec<'_> {
+    fn open(&mut self) {
+        self.input.open();
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            let t = self.input.next()?;
+            self.counters.add_compares(1);
+            if self.pred.matches(&t) {
+                self.counters.add_records(1);
+                return Some(t);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+
+    fn layout(&self) -> &TupleLayout {
+        self.input.layout()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_ranges() {
+        let p = |op| ResolvedPred { pos: 0, op, value: 10 };
+        assert_eq!(p(CompareOp::Lt).key_range(), (None, Some(9)));
+        assert_eq!(p(CompareOp::Le).key_range(), (None, Some(10)));
+        assert_eq!(p(CompareOp::Eq).key_range(), (Some(10), Some(10)));
+        assert_eq!(p(CompareOp::Ge).key_range(), (Some(10), None));
+        assert_eq!(p(CompareOp::Gt).key_range(), (Some(11), None));
+    }
+
+    #[test]
+    fn matches() {
+        let p = ResolvedPred { pos: 1, op: CompareOp::Lt, value: 5 };
+        assert!(p.matches(&[100, 4]));
+        assert!(!p.matches(&[100, 5]));
+    }
+}

@@ -1,0 +1,217 @@
+//! Hash join: in-memory when the build input fits the memory grant,
+//! Grace-partitioned otherwise.
+//!
+//! The build side is the **left** input (the optimizer's convention; the
+//! commutativity rule generates the swapped variant). When the build input
+//! exceeds the memory budget, both inputs are partitioned by join-key hash
+//! into accounted temporary files, then each partition pair is joined in
+//! memory — the extra write+read pass over both inputs is exactly what the
+//! cost model charges.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use dqep_storage::gen::{decode_record, encode_record};
+use dqep_storage::{HeapFile, SimDisk};
+
+use crate::metrics::SharedCounters;
+use crate::tuple::{Tuple, TupleLayout};
+use crate::Operator;
+
+const PARTITIONS: usize = 8;
+
+/// (build position, probe position) pairs of the equi-join keys.
+type Keys = Vec<(usize, usize)>;
+
+fn hash_key(keys: &Keys, tuple: &[i64], side_build: bool) -> u64 {
+    let mut h = DefaultHasher::new();
+    for &(b, p) in keys {
+        tuple[if side_build { b } else { p }].hash(&mut h);
+    }
+    h.finish()
+}
+
+fn keys_match(keys: &Keys, build: &[i64], probe: &[i64]) -> bool {
+    keys.iter().all(|&(b, p)| build[b] == probe[p])
+}
+
+fn build_table(keys: &Keys, counters: &SharedCounters, rows: Vec<Tuple>) -> HashMap<u64, Vec<Tuple>> {
+    let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
+    for row in rows {
+        counters.add_hashes(1);
+        table.entry(hash_key(keys, &row, true)).or_default().push(row);
+    }
+    table
+}
+
+/// Probes `table` with one row, appending matches (build ++ probe) to
+/// `out` in reverse (so `pop` yields them in order).
+fn probe_into(
+    keys: &Keys,
+    counters: &SharedCounters,
+    table: &HashMap<u64, Vec<Tuple>>,
+    probe_row: &[i64],
+    out: &mut Vec<Tuple>,
+) {
+    counters.add_hashes(1);
+    if let Some(candidates) = table.get(&hash_key(keys, probe_row, false)) {
+        for b in candidates.iter().rev() {
+            if keys_match(keys, b, probe_row) {
+                let mut joined = b.clone();
+                joined.extend_from_slice(probe_row);
+                counters.add_records(1);
+                out.push(joined);
+            }
+        }
+    }
+}
+
+enum State {
+    Closed,
+    /// Build table resident; probe streams.
+    InMemory(HashMap<u64, Vec<Tuple>>),
+    /// Grace mode: partition pairs joined one at a time.
+    Partitioned {
+        build_parts: Vec<HeapFile>,
+        probe_parts: Vec<HeapFile>,
+        part: usize,
+    },
+}
+
+/// Hash join over equi-join keys.
+pub struct HashJoinExec<'a> {
+    build: Box<dyn Operator + 'a>,
+    probe: Box<dyn Operator + 'a>,
+    keys: Keys,
+    layout: TupleLayout,
+    counters: SharedCounters,
+    disk: SimDisk,
+    /// Memory budget in bytes for the build table.
+    budget_bytes: usize,
+    state: State,
+    pending: Vec<Tuple>,
+}
+
+impl<'a> HashJoinExec<'a> {
+    /// Creates a hash join building on `build`.
+    #[must_use]
+    pub fn new(
+        build: Box<dyn Operator + 'a>,
+        probe: Box<dyn Operator + 'a>,
+        keys: Keys,
+        counters: SharedCounters,
+        disk: SimDisk,
+        budget_bytes: usize,
+    ) -> Self {
+        let layout = build.layout().concat(probe.layout());
+        HashJoinExec {
+            build,
+            probe,
+            keys,
+            layout,
+            counters,
+            disk,
+            budget_bytes,
+            state: State::Closed,
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Operator for HashJoinExec<'_> {
+    fn open(&mut self) {
+        self.pending.clear();
+        self.build.open();
+        let mut build_rows = Vec::new();
+        while let Some(t) = self.build.next() {
+            build_rows.push(t);
+        }
+        self.build.close();
+        self.probe.open();
+
+        let build_bytes = build_rows.len() * self.build.layout().row_bytes;
+        if build_bytes <= self.budget_bytes {
+            self.state = State::InMemory(build_table(&self.keys, &self.counters, build_rows));
+            return;
+        }
+
+        // Grace partitioning: spill both inputs by key hash (accounted).
+        let build_row_bytes = self.build.layout().row_bytes;
+        let probe_row_bytes = self.probe.layout().row_bytes;
+        let mut build_parts: Vec<HeapFile> = (0..PARTITIONS)
+            .map(|_| HeapFile::new_temp(self.disk.clone()))
+            .collect();
+        for row in build_rows {
+            self.counters.add_hashes(1);
+            let p = (hash_key(&self.keys, &row, true) as usize) % PARTITIONS;
+            build_parts[p].append(&encode_record(&row, build_row_bytes));
+        }
+        build_parts.iter_mut().for_each(HeapFile::finish);
+        let mut probe_parts: Vec<HeapFile> = (0..PARTITIONS)
+            .map(|_| HeapFile::new_temp(self.disk.clone()))
+            .collect();
+        while let Some(row) = self.probe.next() {
+            self.counters.add_hashes(1);
+            let p = (hash_key(&self.keys, &row, false) as usize) % PARTITIONS;
+            probe_parts[p].append(&encode_record(&row, probe_row_bytes));
+        }
+        probe_parts.iter_mut().for_each(HeapFile::finish);
+        self.state = State::Partitioned {
+            build_parts,
+            probe_parts,
+            part: 0,
+        };
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(t) = self.pending.pop() {
+                return Some(t);
+            }
+            match &mut self.state {
+                State::Closed => return None,
+                State::InMemory(table) => {
+                    let probe_row = self.probe.next()?;
+                    probe_into(&self.keys, &self.counters, table, &probe_row, &mut self.pending);
+                }
+                State::Partitioned {
+                    build_parts,
+                    probe_parts,
+                    part,
+                } => {
+                    if *part >= PARTITIONS {
+                        return None;
+                    }
+                    let p = *part;
+                    *part += 1;
+                    let build_width = self.build.layout().width();
+                    let probe_width = self.probe.layout().width();
+                    let build_rows: Vec<Tuple> = build_parts[p]
+                        .scan()
+                        .map(|r| decode_record(&r, build_width))
+                        .collect();
+                    let table = build_table(&self.keys, &self.counters, build_rows);
+                    let probe_rows: Vec<Tuple> = probe_parts[p]
+                        .scan()
+                        .map(|r| decode_record(&r, probe_width))
+                        .collect();
+                    for row in &probe_rows {
+                        probe_into(&self.keys, &self.counters, &table, row, &mut self.pending);
+                    }
+                    self.pending.reverse();
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.probe.close();
+        self.state = State::Closed;
+        self.pending.clear();
+    }
+
+    fn layout(&self) -> &TupleLayout {
+        &self.layout
+    }
+}

@@ -1,0 +1,39 @@
+//! Volcano-style iterator execution engine.
+//!
+//! Executes (resolved) physical plans against a [`dqep_storage`] database:
+//! file scans, B-tree scans and range probes, filters, in-memory and
+//! partitioned (Grace) hash joins, merge joins, index nested-loop joins,
+//! and external sort — every algorithm of the paper's physical algebra
+//! (Table 1). The run-time **choose-plan** behaviour is provided by
+//! [`execute_plan`], which resolves a dynamic plan with the actual
+//! bindings (the Section 4 decision procedure) and then runs the chosen
+//! alternative.
+//!
+//! Execution is *simulated-time measured*: every page access is accounted
+//! by the simulated disk and every record/comparison/hash by CPU counters,
+//! and [`ExecSummary::simulated_seconds`] converts both with the same
+//! constants the cost model uses. The end-to-end validation tests rely on
+//! this: the alternative the choose-plan operator picks at start-up must
+//! also be the faster one when actually executed.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+mod choose;
+mod compile;
+mod exec;
+mod filter;
+mod hash_join;
+mod index_join;
+mod merge_join;
+mod metrics;
+mod scan;
+mod sort;
+mod tuple;
+
+pub use adaptive::{execute_adaptive, AdaptiveResult};
+pub use choose::{compile_dynamic_plan, ChoosePlanExec};
+pub use compile::{compile_plan, execute_plan, ExecError};
+pub use exec::Operator;
+pub use metrics::{CpuCounters, ExecSummary, SharedCounters};
+pub use tuple::{Tuple, TupleLayout};

@@ -1,0 +1,161 @@
+//! Merge join over inputs sorted on the join attributes.
+
+use crate::metrics::SharedCounters;
+use crate::tuple::{Tuple, TupleLayout};
+use crate::Operator;
+
+/// Merge join on a single sort key (`predicates[0]`), with any further
+/// equi-join predicates applied as residual checks. Inputs must be sorted
+/// ascending on their respective key attributes — the optimizer guarantees
+/// this via required physical properties (B-tree scans or Sort enforcers).
+pub struct MergeJoinExec<'a> {
+    left: Box<dyn Operator + 'a>,
+    right: Box<dyn Operator + 'a>,
+    left_key: usize,
+    right_key: usize,
+    /// Residual (build position, probe position) equality checks.
+    residual: Vec<(usize, usize)>,
+    layout: TupleLayout,
+    counters: SharedCounters,
+    current_left: Option<Tuple>,
+    /// The buffered group of right tuples sharing the current key.
+    right_group: Vec<Tuple>,
+    group_pos: usize,
+    /// Lookahead right tuple not yet in a group.
+    right_ahead: Option<Tuple>,
+    right_done: bool,
+}
+
+impl<'a> MergeJoinExec<'a> {
+    /// Creates a merge join; `left_key`/`right_key` are positions of the
+    /// sort attributes within each input's layout.
+    #[must_use]
+    pub fn new(
+        left: Box<dyn Operator + 'a>,
+        right: Box<dyn Operator + 'a>,
+        left_key: usize,
+        right_key: usize,
+        residual: Vec<(usize, usize)>,
+        counters: SharedCounters,
+    ) -> Self {
+        let layout = left.layout().concat(right.layout());
+        MergeJoinExec {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+            layout,
+            counters,
+            current_left: None,
+            right_group: Vec::new(),
+            group_pos: 0,
+            right_ahead: None,
+            right_done: false,
+        }
+    }
+
+    /// Loads the group of right tuples with key == `key` (assumes the
+    /// stream is positioned at or before that key group).
+    fn load_right_group(&mut self, key: i64) {
+        self.right_group.clear();
+        self.group_pos = 0;
+        // Skip right tuples below the key.
+        loop {
+            let candidate = match self.right_ahead.take() {
+                Some(t) => Some(t),
+                None if self.right_done => None,
+                None => self.right.next(),
+            };
+            let Some(t) = candidate else {
+                self.right_done = true;
+                return;
+            };
+            self.counters.add_compares(1);
+            if t[self.right_key] < key {
+                continue;
+            }
+            if t[self.right_key] == key {
+                self.right_group.push(t);
+                // Keep pulling the whole group.
+                loop {
+                    match self.right.next() {
+                        Some(n) if n[self.right_key] == key => {
+                            self.counters.add_compares(1);
+                            self.right_group.push(n);
+                        }
+                        Some(n) => {
+                            self.counters.add_compares(1);
+                            self.right_ahead = Some(n);
+                            return;
+                        }
+                        None => {
+                            self.right_done = true;
+                            return;
+                        }
+                    }
+                }
+            }
+            // Key overshot: stash and return with an empty group.
+            self.right_ahead = Some(t);
+            return;
+        }
+    }
+}
+
+impl Operator for MergeJoinExec<'_> {
+    fn open(&mut self) {
+        self.left.open();
+        self.right.open();
+        self.current_left = None;
+        self.right_group.clear();
+        self.group_pos = 0;
+        self.right_ahead = None;
+        self.right_done = false;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            // Emit remaining pairs of the current (left, group) match.
+            if let Some(left) = &self.current_left {
+                while self.group_pos < self.right_group.len() {
+                    let right = &self.right_group[self.group_pos];
+                    self.group_pos += 1;
+                    if self
+                        .residual
+                        .iter()
+                        .all(|&(l, r)| left[l] == right[r])
+                    {
+                        let mut joined = left.clone();
+                        joined.extend_from_slice(right);
+                        self.counters.add_records(1);
+                        return Some(joined);
+                    }
+                }
+            }
+            // Advance the left input.
+            let left = self.left.next()?;
+            let key = left[self.left_key];
+            // Reuse the group if the key repeats; otherwise reload.
+            let same_key = self
+                .right_group
+                .first()
+                .is_some_and(|t| t[self.right_key] == key);
+            if !same_key {
+                self.load_right_group(key);
+            }
+            self.group_pos = 0;
+            self.current_left = Some(left);
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.right_group.clear();
+    }
+
+    fn layout(&self) -> &TupleLayout {
+        &self.layout
+    }
+}

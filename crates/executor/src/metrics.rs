@@ -1,0 +1,114 @@
+//! Execution accounting: CPU counters and the combined summary.
+
+use std::sync::Arc;
+
+use dqep_catalog::SystemConfig;
+use dqep_storage::IoStats;
+use parking_lot::Mutex;
+
+/// CPU work counters, charged at the cost model's constants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuCounters {
+    /// Records produced/consumed through operator pipelines.
+    pub records: u64,
+    /// Key comparisons (filters, merges, sorting).
+    pub compares: u64,
+    /// Records hashed (hash join build and probe).
+    pub hashes: u64,
+}
+
+impl CpuCounters {
+    /// Simulated CPU seconds under `config`.
+    #[must_use]
+    pub fn seconds(&self, config: &SystemConfig) -> f64 {
+        self.records as f64 * config.cpu_per_record
+            + self.compares as f64 * config.cpu_per_compare
+            + self.hashes as f64 * config.cpu_per_hash
+    }
+}
+
+/// Shared, thread-safe counters cloned into every operator of one query.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCounters {
+    inner: Arc<Mutex<CpuCounters>>,
+}
+
+impl SharedCounters {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> SharedCounters {
+        SharedCounters::default()
+    }
+
+    /// Adds produced records.
+    pub fn add_records(&self, n: u64) {
+        self.inner.lock().records += n;
+    }
+
+    /// Adds comparisons.
+    pub fn add_compares(&self, n: u64) {
+        self.inner.lock().compares += n;
+    }
+
+    /// Adds hash operations.
+    pub fn add_hashes(&self, n: u64) {
+        self.inner.lock().hashes += n;
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> CpuCounters {
+        *self.inner.lock()
+    }
+}
+
+/// The result of executing one plan.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecSummary {
+    /// Result rows produced.
+    pub rows: u64,
+    /// CPU counters accumulated.
+    pub cpu: CpuCounters,
+    /// I/O performed (query only; excludes load).
+    pub io: IoStats,
+}
+
+impl ExecSummary {
+    /// Total simulated seconds (CPU + I/O) under `config` — directly
+    /// comparable to the optimizer's predicted cost.
+    #[must_use]
+    pub fn simulated_seconds(&self, config: &SystemConfig) -> f64 {
+        self.cpu.seconds(config) + self.io.seconds(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_convert() {
+        let shared = SharedCounters::new();
+        shared.add_records(100);
+        shared.add_compares(50);
+        shared.add_hashes(10);
+        shared.add_records(1);
+        let snap = shared.snapshot();
+        assert_eq!(snap.records, 101);
+        let cfg = SystemConfig::paper_1994();
+        let expected = 101.0 * cfg.cpu_per_record + 50.0 * cfg.cpu_per_compare + 10.0 * cfg.cpu_per_hash;
+        assert!((snap.seconds(&cfg) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_combines_cpu_and_io() {
+        let cfg = SystemConfig::paper_1994();
+        let s = ExecSummary {
+            rows: 5,
+            cpu: CpuCounters { records: 10, compares: 0, hashes: 0 },
+            io: IoStats { seq_reads: 100, random_reads: 0, writes: 0 },
+        };
+        let expected = 10.0 * cfg.cpu_per_record + 100.0 * cfg.seq_page_io;
+        assert!((s.simulated_seconds(&cfg) - expected).abs() < 1e-15);
+    }
+}

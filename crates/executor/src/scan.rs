@@ -1,0 +1,172 @@
+//! Data-retrieval operators: File-Scan, B-tree-Scan, Filter-B-tree-Scan.
+
+use dqep_storage::{Rid, SlottedPage, StoredTable};
+
+use crate::metrics::SharedCounters;
+use crate::tuple::{Tuple, TupleLayout};
+use crate::Operator;
+
+/// Sequential scan of a base table (accounted as sequential page reads).
+pub struct FileScanExec<'a> {
+    table: &'a StoredTable,
+    layout: TupleLayout,
+    counters: SharedCounters,
+    page_idx: usize,
+    buffer: Vec<Tuple>,
+    buffer_pos: usize,
+}
+
+impl<'a> FileScanExec<'a> {
+    /// Creates a scan over `table`.
+    #[must_use]
+    pub fn new(table: &'a StoredTable, layout: TupleLayout, counters: SharedCounters) -> Self {
+        FileScanExec {
+            table,
+            layout,
+            counters,
+            page_idx: 0,
+            buffer: Vec::new(),
+            buffer_pos: 0,
+        }
+    }
+}
+
+impl Operator for FileScanExec<'_> {
+    fn open(&mut self) {
+        self.page_idx = 0;
+        self.buffer.clear();
+        self.buffer_pos = 0;
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if self.buffer_pos < self.buffer.len() {
+                let t = self.buffer[self.buffer_pos].clone();
+                self.buffer_pos += 1;
+                self.counters.add_records(1);
+                return Some(t);
+            }
+            let pages = self.table.heap.pages();
+            if self.page_idx >= pages.len() {
+                return None;
+            }
+            let page = SlottedPage::from_bytes(self.table.heap.disk().read(pages[self.page_idx]));
+            self.page_idx += 1;
+            self.buffer = page.iter().map(|r| self.table.decode(r)).collect();
+            self.buffer_pos = 0;
+        }
+    }
+
+    fn close(&mut self) {
+        self.buffer.clear();
+    }
+
+    fn layout(&self) -> &TupleLayout {
+        &self.layout
+    }
+}
+
+/// Full scan through an unclustered B-tree: delivers key order, at the
+/// cost of one random record fetch per entry — the trade the optimizer
+/// reasons about when an interesting order is requested.
+pub struct BtreeScanExec<'a> {
+    table: &'a StoredTable,
+    index: dqep_catalog::IndexId,
+    layout: TupleLayout,
+    counters: SharedCounters,
+    rids: std::vec::IntoIter<Rid>,
+}
+
+impl<'a> BtreeScanExec<'a> {
+    /// Creates a full index scan.
+    #[must_use]
+    pub fn new(
+        table: &'a StoredTable,
+        index: dqep_catalog::IndexId,
+        layout: TupleLayout,
+        counters: SharedCounters,
+    ) -> Self {
+        BtreeScanExec {
+            table,
+            index,
+            layout,
+            counters,
+            rids: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl Operator for BtreeScanExec<'_> {
+    fn open(&mut self) {
+        let tree = &self.table.indexes[&self.index];
+        let mut rids = Vec::with_capacity(tree.len() as usize);
+        tree.scan_all(|_, rid| rids.push(rid));
+        self.rids = rids.into_iter();
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        let rid = self.rids.next()?;
+        let record = self.table.heap.fetch(rid).expect("index rid valid");
+        self.counters.add_records(1);
+        Some(self.table.decode(&record))
+    }
+
+    fn close(&mut self) {}
+
+    fn layout(&self) -> &TupleLayout {
+        &self.layout
+    }
+}
+
+/// Combined retrieval + selection through a B-tree range probe
+/// (Filter-B-tree-Scan): descends once and touches only qualifying keys.
+pub struct FilterBtreeScanExec<'a> {
+    table: &'a StoredTable,
+    index: dqep_catalog::IndexId,
+    /// Inclusive key range derived from the (bound) predicate.
+    range: (Option<i64>, Option<i64>),
+    layout: TupleLayout,
+    counters: SharedCounters,
+    rids: std::vec::IntoIter<Rid>,
+}
+
+impl<'a> FilterBtreeScanExec<'a> {
+    /// Creates a range probe over `[lo, hi]` (inclusive bounds).
+    #[must_use]
+    pub fn new(
+        table: &'a StoredTable,
+        index: dqep_catalog::IndexId,
+        range: (Option<i64>, Option<i64>),
+        layout: TupleLayout,
+        counters: SharedCounters,
+    ) -> Self {
+        FilterBtreeScanExec {
+            table,
+            index,
+            range,
+            layout,
+            counters,
+            rids: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl Operator for FilterBtreeScanExec<'_> {
+    fn open(&mut self) {
+        let tree = &self.table.indexes[&self.index];
+        self.rids = tree.range(self.range.0, self.range.1).into_iter();
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        let rid = self.rids.next()?;
+        let record = self.table.heap.fetch(rid).expect("index rid valid");
+        self.counters.add_records(1);
+        Some(self.table.decode(&record))
+    }
+
+    fn close(&mut self) {}
+
+    fn layout(&self) -> &TupleLayout {
+        &self.layout
+    }
+}

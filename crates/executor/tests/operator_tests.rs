@@ -1,0 +1,250 @@
+//! Unit and property tests of individual executor operators against
+//! reference (nested-loop / in-memory) implementations.
+
+use dqep_algebra::{CompareOp, HostVar, JoinPred, LogicalExpr, PhysicalOp, SelectPred};
+use dqep_catalog::{Catalog, CatalogBuilder, SystemConfig};
+use dqep_cost::{Bindings, Environment};
+use dqep_executor::{compile_plan, SharedCounters, Tuple};
+use dqep_plan::{PlanNodeBuilder, PlanNode};
+use dqep_cost::{Cost, PlanStats};
+use dqep_interval::Interval;
+use dqep_storage::StoredDatabase;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Catalog with two joinable relations; `r.a` indexed for selections,
+/// `j` indexed on both sides for joins.
+fn fixture(card_r: u64, card_s: u64, jdomain: f64) -> (Catalog, StoredDatabase) {
+    let cat = CatalogBuilder::new(SystemConfig::paper_1994())
+        .relation("r", card_r, 512, |r| {
+            r.attr("a", card_r as f64)
+                .attr("j", jdomain)
+                .btree("a", false)
+                .btree("j", false)
+        })
+        .relation("s", card_s, 512, |r| {
+            r.attr("a", card_s as f64)
+                .attr("j", jdomain)
+                .btree("a", false)
+                .btree("j", false)
+        })
+        .build()
+        .unwrap();
+    let db = StoredDatabase::generate(&cat, 1234);
+    (cat, db)
+}
+
+fn rows_of(cat: &Catalog, db: &StoredDatabase, name: &str) -> Vec<Tuple> {
+    let rel = cat.relation_by_name(name).unwrap();
+    let t = db.table(rel.id);
+    t.heap.scan().map(|rec| t.decode(&rec)).collect()
+}
+
+/// Builds a raw physical plan node (no optimizer involved).
+fn node(
+    b: &mut PlanNodeBuilder,
+    op: PhysicalOp,
+    children: Vec<Arc<PlanNode>>,
+) -> Arc<PlanNode> {
+    b.node(
+        op,
+        children,
+        PlanStats::new(Interval::point(0.0), 512.0),
+        Cost::ZERO,
+    )
+}
+
+fn run(plan: &Arc<PlanNode>, db: &StoredDatabase, cat: &Catalog, bindings: &Bindings, mem: usize) -> Vec<Tuple> {
+    let counters = SharedCounters::new();
+    let mut op = compile_plan(plan, db, cat, bindings, mem, &counters).unwrap();
+    op.open();
+    let mut out = Vec::new();
+    while let Some(t) = op.next() {
+        out.push(t);
+    }
+    op.close();
+    out
+}
+
+fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+    v.sort();
+    v
+}
+
+/// Hash join, merge join (with sorts), and index join all produce exactly
+/// the nested-loop reference result.
+#[test]
+fn all_join_algorithms_agree_with_nested_loop() {
+    let (cat, db) = fixture(200, 150, 60.0);
+    let r = cat.relation_by_name("r").unwrap();
+    let s = cat.relation_by_name("s").unwrap();
+    let rj = r.attr_id("j").unwrap();
+    let sj = s.attr_id("j").unwrap();
+    let pred = JoinPred::new(rj, sj);
+
+    // Reference: nested loops.
+    let r_rows = rows_of(&cat, &db, "r");
+    let s_rows = rows_of(&cat, &db, "s");
+    let mut reference = Vec::new();
+    for a in &r_rows {
+        for b in &s_rows {
+            if a[1] == b[1] {
+                let mut t = a.clone();
+                t.extend_from_slice(b);
+                reference.push(t);
+            }
+        }
+    }
+    let reference = sorted(reference);
+
+    let bindings = Bindings::new();
+    let mem = 64 * 2048;
+
+    // Hash join (in-memory).
+    let mut b = PlanNodeBuilder::new();
+    let scan_r = node(&mut b, PhysicalOp::FileScan { relation: r.id }, vec![]);
+    let scan_s = node(&mut b, PhysicalOp::FileScan { relation: s.id }, vec![]);
+    let hj = node(
+        &mut b,
+        PhysicalOp::HashJoin { predicates: vec![pred] },
+        vec![scan_r.clone(), scan_s.clone()],
+    );
+    assert_eq!(sorted(run(&hj, &db, &cat, &bindings, mem)), reference);
+
+    // Hash join forced to partition (tiny memory budget).
+    assert_eq!(sorted(run(&hj, &db, &cat, &bindings, 2048)), reference);
+
+    // Merge join over explicit sorts.
+    let sort_r = node(&mut b, PhysicalOp::Sort { attr: rj }, vec![scan_r.clone()]);
+    let sort_s = node(&mut b, PhysicalOp::Sort { attr: sj }, vec![scan_s]);
+    let mj = node(
+        &mut b,
+        PhysicalOp::MergeJoin { predicates: vec![pred] },
+        vec![sort_r, sort_s],
+    );
+    assert_eq!(sorted(run(&mj, &db, &cat, &bindings, mem)), reference);
+
+    // Merge join with spilling sorts.
+    assert_eq!(sorted(run(&mj, &db, &cat, &bindings, 4 * 2048)), reference);
+
+    // Index join (inner s through its j index).
+    let (idx, _) = cat.index_on_attr(sj).unwrap();
+    let ij = node(
+        &mut b,
+        PhysicalOp::IndexJoin {
+            predicates: vec![pred],
+            inner: s.id,
+            index: idx,
+            residual: None,
+        },
+        vec![scan_r],
+    );
+    assert_eq!(sorted(run(&ij, &db, &cat, &bindings, mem)), reference);
+}
+
+/// External sort output is sorted and a permutation of its input, for
+/// memory budgets spanning in-memory and multi-run spills.
+#[test]
+fn sort_is_correct_across_memory_budgets() {
+    let (cat, db) = fixture(500, 10, 100.0);
+    let r = cat.relation_by_name("r").unwrap();
+    let ra = r.attr_id("a").unwrap();
+    let reference = sorted(rows_of(&cat, &db, "r"));
+
+    for mem in [1 * 2048, 8 * 2048, 64 * 2048, 1024 * 2048] {
+        let mut b = PlanNodeBuilder::new();
+        let scan = node(&mut b, PhysicalOp::FileScan { relation: r.id }, vec![]);
+        let sort = node(&mut b, PhysicalOp::Sort { attr: ra }, vec![scan]);
+        let out = run(&sort, &db, &cat, &Bindings::new(), mem);
+        assert!(
+            out.windows(2).all(|w| w[0][0] <= w[1][0]),
+            "not sorted at mem={mem}"
+        );
+        assert_eq!(sorted(out), reference, "lost/duplicated rows at mem={mem}");
+    }
+}
+
+/// Filter-B-tree-Scan agrees with Filter over File-Scan for all operators.
+#[test]
+fn index_scan_agrees_with_filter_scan_for_all_operators() {
+    let (cat, db) = fixture(300, 10, 50.0);
+    let r = cat.relation_by_name("r").unwrap();
+    let ra = r.attr_id("a").unwrap();
+    let (idx, _) = cat.index_on_attr(ra).unwrap();
+
+    for op in [CompareOp::Lt, CompareOp::Le, CompareOp::Eq, CompareOp::Ge, CompareOp::Gt] {
+        for v in [0i64, 1, 150, 299, 400] {
+            let pred = SelectPred::bound(ra, op, v);
+            let mut b = PlanNodeBuilder::new();
+            let scan = node(&mut b, PhysicalOp::FileScan { relation: r.id }, vec![]);
+            let filter = node(&mut b, PhysicalOp::Filter { predicate: pred }, vec![scan]);
+            let via_filter = sorted(run(&filter, &db, &cat, &Bindings::new(), 64 * 2048));
+
+            let fbs = node(
+                &mut b,
+                PhysicalOp::FilterBtreeScan { relation: r.id, index: idx, predicate: pred },
+                vec![],
+            );
+            let via_index = sorted(run(&fbs, &db, &cat, &Bindings::new(), 64 * 2048));
+            assert_eq!(via_filter, via_index, "op {op}, value {v}");
+        }
+    }
+}
+
+/// B-tree-Scan delivers key order and the full relation.
+#[test]
+fn btree_scan_delivers_order() {
+    let (cat, db) = fixture(250, 10, 50.0);
+    let r = cat.relation_by_name("r").unwrap();
+    let (idx, _) = cat.index_on_attr(r.attr_id("a").unwrap()).unwrap();
+    let mut b = PlanNodeBuilder::new();
+    let scan = node(
+        &mut b,
+        PhysicalOp::BtreeScan {
+            relation: r.id,
+            index: idx,
+            key_attr: r.attr_id("a").unwrap(),
+        },
+        vec![],
+    );
+    let out = run(&scan, &db, &cat, &Bindings::new(), 64 * 2048);
+    assert_eq!(out.len(), 250);
+    assert!(out.windows(2).all(|w| w[0][0] <= w[1][0]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For random bindings, the optimizer-produced plan (whatever shape it
+    /// takes) returns exactly the reference result of the logical query.
+    #[test]
+    fn optimized_plans_compute_the_logical_result(sel_v in 0i64..200, mem in 16u64..112) {
+        let (cat, db) = fixture(200, 150, 60.0);
+        let r = cat.relation_by_name("r").unwrap();
+        let s = cat.relation_by_name("s").unwrap();
+        let q = LogicalExpr::get(r.id)
+            .select(SelectPred::unbound(
+                r.attr_id("a").unwrap(),
+                CompareOp::Lt,
+                HostVar(0),
+            ))
+            .join(
+                LogicalExpr::get(s.id),
+                vec![JoinPred::new(r.attr_id("j").unwrap(), s.attr_id("j").unwrap())],
+            );
+        let env = Environment::dynamic_uncertain_memory(&cat.config);
+        let plan = dqep_core::Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+        let bindings = Bindings::new().with_value(HostVar(0), sel_v).with_memory(mem as f64);
+        let (summary, _) =
+            dqep_executor::execute_plan(&plan, &db, &cat, &env, &bindings).unwrap();
+
+        let r_rows = rows_of(&cat, &db, "r");
+        let s_rows = rows_of(&cat, &db, "s");
+        let expected: u64 = r_rows
+            .iter()
+            .filter(|t| t[0] < sel_v)
+            .map(|t| s_rows.iter().filter(|u| u[1] == t[1]).count() as u64)
+            .sum();
+        prop_assert_eq!(summary.rows, expected);
+    }
+}

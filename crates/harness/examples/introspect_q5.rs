@@ -1,0 +1,28 @@
+//! Introspect static vs dynamic cost structure for query 5.
+use dqep_cost::Environment;
+use dqep_harness::{paper_query, BindingSampler};
+use dqep_core::Optimizer;
+use dqep_plan::{evaluate_startup, render_plan};
+
+fn main() {
+    let w = paper_query(5, 1592596884 + 5);
+    let cat = &w.catalog;
+    let se = Environment::static_compile_time(&cat.config);
+    let de = Environment::dynamic_compile_time(&cat.config);
+    let sp = Optimizer::new(cat, &se).optimize(&w.query).unwrap().plan;
+    let dp = Optimizer::new(cat, &de).optimize(&w.query).unwrap().plan;
+    println!("STATIC PLAN:\n{}", render_plan(&sp));
+    let mut s = BindingSampler::new(1592596884u64 ^ 0xB17D, false);
+    let bs = s.sample_n(&w, 8);
+    for b in &bs {
+        let st = evaluate_startup(&sp, cat, &se, b);
+        let dy = evaluate_startup(&dp, cat, &de, b);
+        println!("static {:8.3}s dynamic {:8.3}s ratio {:5.1}", st.predicted_run_seconds, dy.predicted_run_seconds, st.predicted_run_seconds/dy.predicted_run_seconds);
+    }
+    // Show resolved dynamic plan for one binding and static resolved cost breakdown
+    let b = &bs[0];
+    let st = evaluate_startup(&sp, cat, &se, b);
+    println!("\nSTATIC RESOLVED under b0 (cost {:.3}):\n{}", st.predicted_run_seconds, render_plan(&st.resolved));
+    let dy = evaluate_startup(&dp, cat, &de, b);
+    println!("DYNAMIC CHOSEN under b0 (cost {:.3}):\n{}", dy.predicted_run_seconds, render_plan(&dy.resolved));
+}

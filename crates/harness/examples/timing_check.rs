@@ -1,0 +1,12 @@
+use dqep_harness::*;
+fn main() {
+    for k in [2,3,4,5] {
+        let w = paper_query(k, 21);
+        let b = BindingSampler::new(33, false).sample_n(&w, 20);
+        let dy = run_dynamic(&w, &b, false);
+        let rt = run_runtime_opt(&w, &b);
+        println!("q{k}: reopt a={:.6}s startup f_cpu={:.6}s ratio={:.1} nodes={} e={:.6}",
+            rt.optimize_seconds, dy.measured_startup_cpu,
+            rt.optimize_seconds/dy.measured_startup_cpu, dy.plan_nodes, dy.optimize_seconds);
+    }
+}

@@ -1,0 +1,159 @@
+//! Ablations of the design choices Section 3 discusses.
+//!
+//! * **Branch-and-bound pruning** (lossless with intervals, but weakened):
+//!   how much optimization time does it save?
+//! * **DAG sharing**: plan size as a tree vs as a DAG — the paper's
+//!   argument for representing dynamic plans as DAGs.
+//! * **Bushy vs left-deep**: search-space restriction.
+//! * **Multi-point probing**: the heuristic removal of
+//!   pseudo-incomparable plans — plan size and robustness impact.
+//! * **Frontier caps**: bounded robustness.
+
+use dqep_core::SearchOptions;
+use dqep_cost::Bindings;
+
+use crate::bindings::BindingSampler;
+use crate::queries::{paper_query, Workload};
+use crate::report::{fmt_secs, Table};
+use crate::scenario::{run_dynamic_with, ScenarioResult};
+
+/// One ablation configuration.
+#[derive(Debug, Clone)]
+pub struct AblationCase {
+    /// Label shown in the table.
+    pub name: &'static str,
+    /// The options to run with.
+    pub options: SearchOptions,
+}
+
+/// The standard ablation suite.
+#[must_use]
+pub fn cases() -> Vec<AblationCase> {
+    let paper = SearchOptions::paper();
+    vec![
+        AblationCase { name: "paper (baseline)", options: paper },
+        AblationCase {
+            name: "no branch-and-bound",
+            options: SearchOptions { enable_pruning: false, ..paper },
+        },
+        AblationCase {
+            name: "no DAG sharing (trees)",
+            options: SearchOptions { dag_sharing: false, ..paper },
+        },
+        AblationCase {
+            name: "left-deep only",
+            options: SearchOptions { bushy: false, ..paper },
+        },
+        AblationCase {
+            name: "probing k=5",
+            options: SearchOptions { probe_points: 5, ..paper },
+        },
+        AblationCase {
+            name: "frontier cap 2",
+            options: SearchOptions { max_frontier: 2, ..paper },
+        },
+        AblationCase {
+            name: "exhaustive plan",
+            options: SearchOptions { exhaustive: true, ..paper },
+        },
+    ]
+}
+
+/// Result of one ablation run.
+#[derive(Debug)]
+pub struct AblationRow {
+    /// Case label.
+    pub name: &'static str,
+    /// The dynamic scenario under this configuration.
+    pub result: ScenarioResult,
+}
+
+/// Runs the ablation suite on the paper's query `k` with `invocations`
+/// random bindings.
+#[must_use]
+pub fn run(k: usize, invocations: usize, seed: u64) -> (Workload, Vec<AblationRow>) {
+    let workload = paper_query(k, seed);
+    let bindings: Vec<Bindings> =
+        BindingSampler::new(seed ^ 0xAB1A, false).sample_n(&workload, invocations);
+    let rows = cases()
+        .into_iter()
+        .map(|case| AblationRow {
+            name: case.name,
+            result: run_dynamic_with(&workload, &bindings, false, case.options),
+        })
+        .collect();
+    (workload, rows)
+}
+
+/// Renders the ablation table.
+#[must_use]
+pub fn table(query: usize, rows: &[AblationRow]) -> Table {
+    let mut t = Table::new(
+        format!("Ablations (dynamic-plan optimization of query {query})"),
+        &[
+            "configuration",
+            "opt time",
+            "plan nodes",
+            "choose-plans",
+            "avg exec",
+            "considered",
+            "pruned",
+        ],
+    );
+    for row in rows {
+        t.row(vec![
+            row.name.to_string(),
+            fmt_secs(row.result.optimize_seconds),
+            row.result.plan_nodes.to_string(),
+            row.result.choose_plans.to_string(),
+            fmt_secs(row.result.avg_exec()),
+            row.result.opt_stats.physical_considered.to_string(),
+            row.result.opt_stats.pruned_by_bound.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_show_expected_directions() {
+        let (w, rows) = run(2, 10, 77);
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.name.starts_with(n))
+                .unwrap_or_else(|| panic!("case {n}"))
+        };
+        let base = by_name("paper");
+        let trees = by_name("no DAG sharing");
+        let capped = by_name("frontier cap 2");
+
+        // Trees blow the plan up; sharing keeps it small.
+        assert!(trees.result.plan_nodes > base.result.plan_nodes);
+        // Semantics unchanged without sharing.
+        assert!((trees.result.avg_exec() - base.result.avg_exec()).abs() < 1e-9);
+        // Caps shrink the plan but may cost robustness (exec can only be
+        // equal or worse).
+        assert!(capped.result.plan_nodes <= base.result.plan_nodes);
+        assert!(capped.result.avg_exec() >= base.result.avg_exec() - 1e-9);
+        assert_eq!(w.query_number, Some(2));
+        assert!(table(2, &rows).render().contains("Ablations"));
+    }
+
+    #[test]
+    fn pruning_off_is_lossless() {
+        let (_w, rows) = run(2, 6, 78);
+        let base = rows.iter().find(|r| r.name.starts_with("paper")).unwrap();
+        let nobb = rows.iter().find(|r| r.name.contains("branch")).unwrap();
+        for (a, b) in base
+            .result
+            .exec_seconds
+            .iter()
+            .zip(&nobb.result.exec_seconds)
+        {
+            assert!((a - b).abs() < 1e-9, "pruning changed plan quality");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 4: execution times of static and dynamic plans.
+//!
+//! "Obviously, the static plans are not competitive with their equivalent
+//! dynamic plans. The performance difference varies between a factor of 5
+//! for query 1 to a factor of 24 for query 5. … the average run time for
+//! query 5 improved from 194.1 sec to 7.8 sec."
+
+use crate::report::{fmt_ratio, fmt_secs, Table};
+
+use super::QueryResults;
+
+/// Paper-reported reference ratios (static / dynamic average run time) for
+/// queries 1 and 5 — the end points of the reported "factor 5 … factor 24"
+/// range.
+pub const PAPER_RATIO_Q1: f64 = 5.0;
+/// See [`PAPER_RATIO_Q1`].
+pub const PAPER_RATIO_Q5: f64 = 24.0;
+
+/// One data point of the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    /// Query number.
+    pub query: usize,
+    /// Uncertain variables (x-axis of the paper's plot).
+    pub uncertain_vars: usize,
+    /// Average static execution time (selectivities uncertain).
+    pub static_avg: f64,
+    /// Average dynamic execution time (selectivities uncertain).
+    pub dynamic_avg: f64,
+    /// Same with memory also uncertain, when run.
+    pub static_avg_mem: Option<f64>,
+    /// See `static_avg_mem`.
+    pub dynamic_avg_mem: Option<f64>,
+}
+
+impl Fig4Row {
+    /// Static-over-dynamic ratio (selectivities only).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.static_avg / self.dynamic_avg
+    }
+}
+
+/// Extracts the figure's data points.
+#[must_use]
+pub fn rows(results: &[QueryResults]) -> Vec<Fig4Row> {
+    results
+        .iter()
+        .map(|r| Fig4Row {
+            query: r.query,
+            uncertain_vars: r.uncertain_vars,
+            static_avg: r.static_sel.avg_exec(),
+            dynamic_avg: r.dynamic_sel.avg_exec(),
+            static_avg_mem: r.static_mem.as_ref().map(|s| s.avg_exec()),
+            dynamic_avg_mem: r.dynamic_mem.as_ref().map(|s| s.avg_exec()),
+        })
+        .collect()
+}
+
+/// Renders the figure as a table (one row per query).
+#[must_use]
+pub fn table(results: &[QueryResults]) -> Table {
+    let mut t = Table::new(
+        "Figure 4: average execution times of static and dynamic plans \
+         (paper: factors 5x..24x; query 5: 194.1 s -> 7.8 s)",
+        &[
+            "query",
+            "#vars",
+            "static",
+            "dynamic",
+            "ratio",
+            "static+mem",
+            "dynamic+mem",
+            "ratio+mem",
+        ],
+    );
+    for row in rows(results) {
+        let mem_ratio = match (row.static_avg_mem, row.dynamic_avg_mem) {
+            (Some(s), Some(d)) => fmt_ratio(s / d),
+            _ => "-".into(),
+        };
+        t.row(vec![
+            row.query.to_string(),
+            row.uncertain_vars.to_string(),
+            fmt_secs(row.static_avg),
+            fmt_secs(row.dynamic_avg),
+            fmt_ratio(row.ratio()),
+            row.static_avg_mem.map(fmt_secs).unwrap_or_else(|| "-".into()),
+            row.dynamic_avg_mem.map(fmt_secs).unwrap_or_else(|| "-".into()),
+            mem_ratio,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::run_query;
+    use crate::params::ExperimentParams;
+
+    #[test]
+    fn dynamic_wins_and_table_renders() {
+        let params = ExperimentParams {
+            invocations: 15,
+            ..ExperimentParams::paper()
+        };
+        let results = vec![run_query(1, &params), run_query(2, &params)];
+        let rows = rows(&results);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                r.ratio() > 1.0,
+                "query {}: static {} should exceed dynamic {}",
+                r.query,
+                r.static_avg,
+                r.dynamic_avg
+            );
+        }
+        let t = table(&results);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("Figure 4"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Experiment drivers: one module per paper table/figure.
+//!
+//! [`run_all`] executes the full Section 6 protocol once — five queries ×
+//! three scenarios × two uncertainty families — and the per-figure modules
+//! render their tables from the shared [`QueryResults`], so regenerating
+//! all figures costs a single pass.
+
+pub mod ablation;
+pub mod breakeven;
+pub mod extension;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+
+use crate::bindings::BindingSampler;
+use crate::params::{ExperimentParams, QUERY_RELATIONS};
+use crate::queries::{paper_query, Workload};
+use crate::scenario::{run_dynamic, run_runtime_opt, run_static, ScenarioResult};
+
+/// All scenario results for one of the paper's five queries.
+#[derive(Debug)]
+pub struct QueryResults {
+    /// Query number (1–5).
+    pub query: usize,
+    /// Number of uncertain selectivity variables (= relations).
+    pub uncertain_vars: usize,
+    /// The workload (catalog + query).
+    pub workload: Workload,
+    /// Static scenario, selectivity uncertainty only.
+    pub static_sel: ScenarioResult,
+    /// Dynamic scenario, selectivity uncertainty only (○-curves).
+    pub dynamic_sel: ScenarioResult,
+    /// Run-time optimization, selectivity uncertainty only.
+    pub runtime_sel: ScenarioResult,
+    /// Static scenario with uncertain memory bindings (□-curves).
+    pub static_mem: Option<ScenarioResult>,
+    /// Dynamic scenario with uncertain memory (□-curves).
+    pub dynamic_mem: Option<ScenarioResult>,
+}
+
+impl QueryResults {
+    /// The number of uncertain variables including memory (the x-axis of
+    /// the paper's □-curves is shifted right by one).
+    #[must_use]
+    pub fn uncertain_vars_with_memory(&self) -> usize {
+        self.uncertain_vars + 1
+    }
+}
+
+/// Runs the full experimental protocol.
+#[must_use]
+pub fn run_all(params: &ExperimentParams) -> Vec<QueryResults> {
+    (1..=QUERY_RELATIONS.len())
+        .map(|k| run_query(k, params))
+        .collect()
+}
+
+/// Runs one query's scenarios.
+#[must_use]
+pub fn run_query(k: usize, params: &ExperimentParams) -> QueryResults {
+    let workload = paper_query(k, params.seed.wrapping_add(k as u64));
+    let bindings_sel =
+        BindingSampler::new(params.seed ^ 0xB17D, false).sample_n(&workload, params.invocations);
+    let static_sel = run_static(&workload, &bindings_sel);
+    let dynamic_sel = run_dynamic(&workload, &bindings_sel, false);
+    let runtime_sel = run_runtime_opt(&workload, &bindings_sel);
+
+    let (static_mem, dynamic_mem) = if params.with_memory_uncertainty {
+        let bindings_mem = BindingSampler::new(params.seed ^ 0x3E30, true)
+            .sample_n(&workload, params.invocations);
+        (
+            Some(run_static(&workload, &bindings_mem)),
+            Some(run_dynamic(&workload, &bindings_mem, true)),
+        )
+    } else {
+        (None, None)
+    };
+
+    QueryResults {
+        query: k,
+        uncertain_vars: workload.uncertain_vars(),
+        workload,
+        static_sel,
+        dynamic_sel,
+        runtime_sel,
+        static_mem,
+        dynamic_mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_query_produces_consistent_results() {
+        let params = ExperimentParams {
+            invocations: 5,
+            with_memory_uncertainty: true,
+            ..ExperimentParams::paper()
+        };
+        let r = run_query(2, &params);
+        assert_eq!(r.query, 2);
+        assert_eq!(r.uncertain_vars, 2);
+        assert_eq!(r.uncertain_vars_with_memory(), 3);
+        assert_eq!(r.static_sel.exec_seconds.len(), 5);
+        assert!(r.static_mem.is_some());
+        assert!(r.dynamic_mem.is_some());
+        // The robustness headline, on a tiny sample.
+        assert!(r.dynamic_sel.avg_exec() <= r.static_sel.avg_exec() + 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! Parallel experiment execution.
+//!
+//! The figure tables that report *measured times* (Figures 5, 7, 8) must
+//! run sequentially — concurrent optimizer runs would contend for cores
+//! and distort the microsecond-scale measurements. Everything else
+//! (predicted execution times, plan sizes, node counts) is deterministic
+//! and safe to compute concurrently. [`run_all_parallel`] runs the five
+//! queries on scoped threads; use it for quick table regeneration,
+//! smoke tests and benches, and [`super::experiments::run_all`] when
+//! timing fidelity matters.
+
+use crossbeam::thread;
+
+use crate::experiments::{run_query, QueryResults};
+use crate::params::{ExperimentParams, QUERY_RELATIONS};
+
+/// Runs all five paper queries concurrently (one scoped thread per query).
+///
+/// Timing caveat: measured optimization and start-up times in the results
+/// reflect a loaded machine; predicted execution times, plan sizes, and
+/// decisions are identical to the sequential run.
+#[must_use]
+pub fn run_all_parallel(params: &ExperimentParams) -> Vec<QueryResults> {
+    thread::scope(|scope| {
+        let handles: Vec<_> = (1..=QUERY_RELATIONS.len())
+            .map(|k| {
+                let params = *params;
+                scope.spawn(move |_| run_query(k, &params))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+    .expect("scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential_on_deterministic_outputs() {
+        let params = ExperimentParams {
+            invocations: 5,
+            with_memory_uncertainty: false,
+            ..ExperimentParams::paper()
+        };
+        let par = run_all_parallel(&params);
+        assert_eq!(par.len(), QUERY_RELATIONS.len());
+        for (k, r) in par.iter().enumerate() {
+            let seq = run_query(k + 1, &params);
+            assert_eq!(r.query, seq.query);
+            assert_eq!(r.static_sel.plan_nodes, seq.static_sel.plan_nodes);
+            assert_eq!(r.dynamic_sel.plan_nodes, seq.dynamic_sel.plan_nodes);
+            // Predicted execution series are bit-identical.
+            assert_eq!(r.static_sel.exec_seconds, seq.static_sel.exec_seconds);
+            assert_eq!(r.dynamic_sel.exec_seconds, seq.dynamic_sel.exec_seconds);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Experiment parameters (paper Section 6).
+
+/// Number of relations joined by each of the paper's five queries:
+/// query 1 is a single-relation selection, queries 2–5 are 2-, 4-, 6-,
+/// and 10-way chain joins, each with one unbound selection per relation.
+pub const QUERY_RELATIONS: [usize; 5] = [1, 2, 4, 6, 10];
+
+/// Global experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentParams {
+    /// RNG seed for catalog generation and binding sampling.
+    pub seed: u64,
+    /// Random binding sets per data point (paper: `N = 100`).
+    pub invocations: usize,
+    /// Also run the uncertain-memory variants (the paper's □-curves).
+    pub with_memory_uncertainty: bool,
+}
+
+impl ExperimentParams {
+    /// The paper's setup: 100 invocations, both curve families.
+    #[must_use]
+    pub fn paper() -> ExperimentParams {
+        ExperimentParams {
+            seed: 0x5EED_1994,
+            invocations: 100,
+            with_memory_uncertainty: true,
+        }
+    }
+
+    /// A reduced setup for quick tests and Criterion warm-ups.
+    #[must_use]
+    pub fn quick() -> ExperimentParams {
+        ExperimentParams {
+            invocations: 10,
+            ..ExperimentParams::paper()
+        }
+    }
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = ExperimentParams::paper();
+        assert_eq!(p.invocations, 100);
+        assert!(p.with_memory_uncertainty);
+        assert_eq!(QUERY_RELATIONS, [1, 2, 4, 6, 10]);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        assert!(ExperimentParams::quick().invocations < ExperimentParams::paper().invocations);
+    }
+}

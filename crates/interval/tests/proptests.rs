@@ -1,0 +1,137 @@
+//! Property-based tests of interval arithmetic invariants.
+
+use dqep_interval::{Interval, Monotonicity, PartialCmp};
+use proptest::prelude::*;
+
+/// Strategy producing a valid interval with bounds in [-1e6, 1e6].
+fn interval() -> impl Strategy<Value = Interval> {
+    (-1e6f64..1e6, 0.0f64..1e6).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+}
+
+/// Strategy producing a non-negative interval (like all costs).
+fn nonneg_interval() -> impl Strategy<Value = Interval> {
+    (0.0f64..1e6, 0.0f64..1e6).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+}
+
+/// A point sampled from within an interval.
+fn interval_with_point() -> impl Strategy<Value = (Interval, f64)> {
+    (interval(), 0.0f64..=1.0).prop_map(|(iv, t)| (iv, iv.lo() + t * (iv.hi() - iv.lo())))
+}
+
+proptest! {
+    #[test]
+    fn bounds_ordered(iv in interval()) {
+        prop_assert!(iv.lo() <= iv.hi());
+    }
+
+    #[test]
+    fn add_is_commutative(a in interval(), b in interval()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_contains_pointwise_sums((a, x) in interval_with_point(), (b, y) in interval_with_point()) {
+        // Interval addition is a sound enclosure: any x in a, y in b has
+        // x + y in a + b (modulo float rounding slack).
+        let s = a + b;
+        prop_assert!(s.lo() - 1e-6 <= x + y && x + y <= s.hi() + 1e-6);
+    }
+
+    #[test]
+    fn mul_contains_pointwise_products((a, x) in interval_with_point(), (b, y) in interval_with_point()) {
+        let p = a * b;
+        let slack = 1e-6 * (1.0 + x.abs() * y.abs());
+        prop_assert!(p.lo() - slack <= x * y && x * y <= p.hi() + slack);
+    }
+
+    #[test]
+    fn compare_antisymmetric(a in interval(), b in interval()) {
+        prop_assert_eq!(a.compare(b), b.compare(a).reverse());
+    }
+
+    #[test]
+    fn incomparable_iff_overlapping_nonequal(a in interval(), b in interval()) {
+        let cmp = a.compare(b);
+        if cmp == PartialCmp::Incomparable {
+            prop_assert!(a.overlaps(b));
+        }
+        if !a.overlaps(b) {
+            prop_assert!(cmp == PartialCmp::Less || cmp == PartialCmp::Greater);
+        }
+    }
+
+    #[test]
+    fn domination_implies_never_worse(a in interval(), b in interval()) {
+        if a.dominates(b) {
+            // Every value of a is <= every value of b.
+            prop_assert!(a.hi() <= b.lo());
+            // Domination is antisymmetric.
+            prop_assert!(!b.dominates(a) || (a.hi() == b.lo() && a.lo() == b.hi()));
+        }
+    }
+
+    #[test]
+    fn min_is_choose_plan_cost(a in nonneg_interval(), b in nonneg_interval()) {
+        let m = a.min(b);
+        // Best case: the cheaper best case; worst case: the cheaper worst case.
+        prop_assert_eq!(m.lo(), a.lo().min(b.lo()));
+        prop_assert_eq!(m.hi(), a.hi().min(b.hi()));
+        // The choose-plan cost never exceeds either alternative.
+        prop_assert!(m.lo() <= a.lo() && m.hi() <= a.hi());
+        prop_assert!(m.lo() <= b.lo() && m.hi() <= b.hi());
+    }
+
+    #[test]
+    fn hull_contains_both(a in interval(), b in interval()) {
+        let h = a.hull(b);
+        prop_assert!(h.contains_interval(a));
+        prop_assert!(h.contains_interval(b));
+    }
+
+    #[test]
+    fn intersect_symmetric_and_contained(a in interval(), b in interval()) {
+        match (a.intersect(b), b.intersect(a)) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x, y);
+                prop_assert!(a.contains_interval(x));
+                prop_assert!(b.contains_interval(x));
+            }
+            (None, None) => prop_assert!(!a.overlaps(b)),
+            _ => prop_assert!(false, "intersect not symmetric"),
+        }
+    }
+
+    #[test]
+    fn sub_lower_never_negative(a in nonneg_interval(), b in nonneg_interval()) {
+        let r = a.sub_lower(b);
+        prop_assert!(r.lo() >= 0.0);
+        prop_assert!(r.lo() <= r.hi());
+        // Width never shrinks: both bounds move by the same amount unless clamped.
+        prop_assert!(r.hi() - r.lo() >= (a.hi() - a.lo()) - 1e-9 || r.lo() == 0.0);
+    }
+
+    #[test]
+    fn combine2_encloses_samples(
+        (a, x) in interval_with_point(),
+        (b, y) in interval_with_point(),
+    ) {
+        // f(p, m) = p * 2 + 1/(1+m) is increasing in p, decreasing in m.
+        let f = |p: f64, m: f64| p * 2.0 + 1.0 / (1.0 + m.abs());
+        let r = Interval::combine2(a, b, Monotonicity::Increasing, Monotonicity::Decreasing, f);
+        let v = f(x, y);
+        prop_assert!(r.lo() - 1e-6 <= v && v <= r.hi() + 1e-6);
+    }
+
+    #[test]
+    fn map_monotone_encloses_samples((a, x) in interval_with_point()) {
+        let f = |v: f64| (v / 7.0).ceil();
+        let r = a.map_monotone(f);
+        prop_assert!(r.contains(f(x)));
+    }
+
+    #[test]
+    fn point_intervals_totally_ordered(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+        let cmp = Interval::point(x).compare(Interval::point(y));
+        prop_assert!(cmp.is_decided(), "point costs must behave like a traditional optimizer");
+    }
+}

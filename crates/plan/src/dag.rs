@@ -1,0 +1,213 @@
+//! Analytics over plan DAGs: node counts, contained plans, sharing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::node::{NodeId, PlanNode};
+
+/// Visits each *distinct* node of the DAG exactly once, children before
+/// parents (post-order).
+pub fn walk_dag(root: &Arc<PlanNode>, f: &mut impl FnMut(&Arc<PlanNode>)) {
+    fn go(
+        node: &Arc<PlanNode>,
+        seen: &mut std::collections::HashSet<NodeId>,
+        f: &mut impl FnMut(&Arc<PlanNode>),
+    ) {
+        if !seen.insert(node.id) {
+            return;
+        }
+        for c in &node.children {
+            go(c, seen, f);
+        }
+        f(node);
+    }
+    let mut seen = std::collections::HashSet::new();
+    go(root, &mut seen, f);
+}
+
+/// Number of distinct operator nodes in the DAG — the plan-size metric of
+/// the paper's Figure 6 ("a count of operator nodes in the directed
+/// acyclic graph, i.e., in the physical representation of the plan").
+#[must_use]
+pub fn node_count(root: &Arc<PlanNode>) -> usize {
+    let mut n = 0;
+    walk_dag(root, &mut |_| n += 1);
+    n
+}
+
+/// Number of nodes the plan would have as a *tree* (shared subexpressions
+/// expanded). Contrasted with [`node_count`] this quantifies how much DAG
+/// sharing saves.
+#[must_use]
+pub fn tree_node_count(root: &Arc<PlanNode>) -> f64 {
+    let mut memo: HashMap<NodeId, f64> = HashMap::new();
+    fn go(node: &Arc<PlanNode>, memo: &mut HashMap<NodeId, f64>) -> f64 {
+        if let Some(&v) = memo.get(&node.id) {
+            return v;
+        }
+        let v = 1.0 + node.children.iter().map(|c| go(c, memo)).sum::<f64>();
+        memo.insert(node.id, v);
+        v
+    }
+    go(root, &mut memo)
+}
+
+/// Number of choose-plan operators in the DAG.
+#[must_use]
+pub fn choose_plan_count(root: &Arc<PlanNode>) -> usize {
+    let mut n = 0;
+    walk_dag(root, &mut |node| {
+        if node.is_choose_plan() {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// Number of complete *static* plans contained in the dynamic plan: a
+/// choose-plan multiplies by choice, ordinary operators multiply their
+/// children's counts. This is the quantity that grows exponentially with
+/// query complexity while the DAG node count does not (paper Section 3).
+#[must_use]
+pub fn contained_plan_count(root: &Arc<PlanNode>) -> f64 {
+    let mut memo: HashMap<NodeId, f64> = HashMap::new();
+    fn go(node: &Arc<PlanNode>, memo: &mut HashMap<NodeId, f64>) -> f64 {
+        if let Some(&v) = memo.get(&node.id) {
+            return v;
+        }
+        let v = if node.is_choose_plan() {
+            node.children.iter().map(|c| go(c, memo)).sum::<f64>()
+        } else {
+            node.children.iter().map(|c| go(c, memo)).product::<f64>()
+        };
+        memo.insert(node.id, v);
+        v
+    }
+    go(root, &mut memo)
+}
+
+/// Longest root-to-leaf path length (in nodes).
+#[must_use]
+pub fn depth(root: &Arc<PlanNode>) -> usize {
+    let mut memo: HashMap<NodeId, usize> = HashMap::new();
+    fn go(node: &Arc<PlanNode>, memo: &mut HashMap<NodeId, usize>) -> usize {
+        if let Some(&v) = memo.get(&node.id) {
+            return v;
+        }
+        let v = 1 + node.children.iter().map(|c| go(c, memo)).max().unwrap_or(0);
+        memo.insert(node.id, v);
+        v
+    }
+    go(root, &mut memo)
+}
+
+/// All distinct nodes in post-order (children before parents). The order
+/// is deterministic for a given DAG.
+#[must_use]
+pub fn topological_order(root: &Arc<PlanNode>) -> Vec<Arc<PlanNode>> {
+    let mut out = Vec::new();
+    walk_dag(root, &mut |n| out.push(Arc::clone(n)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PlanNodeBuilder;
+    use dqep_algebra::PhysicalOp;
+    use dqep_catalog::RelationId;
+    use dqep_cost::{Cost, PlanStats};
+    use dqep_interval::Interval;
+
+    fn scan(b: &mut PlanNodeBuilder, rel: u32) -> Arc<PlanNode> {
+        b.node(
+            PhysicalOp::FileScan { relation: RelationId(rel) },
+            vec![],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.0, 1.0),
+        )
+    }
+
+    /// A diamond: choose-plan over two filters sharing one scan.
+    fn diamond() -> (Arc<PlanNode>, Arc<PlanNode>) {
+        let mut b = PlanNodeBuilder::new();
+        let shared = scan(&mut b, 0);
+        let f1 = b.node(
+            PhysicalOp::Sort {
+                attr: dqep_catalog::AttrId { relation: RelationId(0), index: 0 },
+            },
+            vec![shared.clone()],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.1, 0.0),
+        );
+        let f2 = b.node(
+            PhysicalOp::Sort {
+                attr: dqep_catalog::AttrId { relation: RelationId(0), index: 1 },
+            },
+            vec![shared.clone()],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.2, 0.0),
+        );
+        let cp = b.choose_plan(vec![f1, f2], Cost::point(0.01, 0.0));
+        (cp, shared)
+    }
+
+    #[test]
+    fn node_count_deduplicates_shared() {
+        let (root, _) = diamond();
+        assert_eq!(node_count(&root), 4); // scan + 2 sorts + choose-plan
+        assert_eq!(tree_node_count(&root), 5.0); // scan counted twice in a tree
+    }
+
+    #[test]
+    fn walk_visits_post_order_once() {
+        let (root, shared) = diamond();
+        let order = topological_order(&root);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0].id, shared.id, "children come before parents");
+        assert_eq!(order[3].id, root.id);
+    }
+
+    #[test]
+    fn counts() {
+        let (root, _) = diamond();
+        assert_eq!(choose_plan_count(&root), 1);
+        assert_eq!(contained_plan_count(&root), 2.0);
+        assert_eq!(depth(&root), 3);
+    }
+
+    #[test]
+    fn contained_plans_multiply_across_independent_choices() {
+        // Join of two choose-plans, each with 2 alternatives: 4 static plans.
+        let mut b = PlanNodeBuilder::new();
+        let cp1 = {
+            let s1 = scan(&mut b, 0);
+            let s2 = scan(&mut b, 0);
+            b.choose_plan(vec![s1, s2], Cost::ZERO)
+        };
+        let cp2 = {
+            let s1 = scan(&mut b, 1);
+            let s2 = scan(&mut b, 1);
+            b.choose_plan(vec![s1, s2], Cost::ZERO)
+        };
+        let join = b.node(
+            PhysicalOp::HashJoin { predicates: vec![] },
+            vec![cp1, cp2],
+            PlanStats::new(Interval::point(1.0), 1024.0),
+            Cost::ZERO,
+        );
+        assert_eq!(contained_plan_count(&join), 4.0);
+        assert_eq!(choose_plan_count(&join), 2);
+        assert_eq!(node_count(&join), 7);
+    }
+
+    #[test]
+    fn single_node_plan() {
+        let mut b = PlanNodeBuilder::new();
+        let s = scan(&mut b, 0);
+        assert_eq!(node_count(&s), 1);
+        assert_eq!(contained_plan_count(&s), 1.0);
+        assert_eq!(depth(&s), 1);
+        assert_eq!(choose_plan_count(&s), 0);
+    }
+}

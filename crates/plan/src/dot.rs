@@ -1,0 +1,126 @@
+//! Graphviz (DOT) export of plan DAGs.
+//!
+//! Dynamic plans are DAGs with shared subexpressions, which indented text
+//! rendering ([`crate::render_plan`]) can only hint at; DOT makes the
+//! sharing visible. Choose-plan nodes render as diamonds, scans as boxes,
+//! other operators as ellipses; edges from a choose-plan carry the
+//! alternative index.
+//!
+//! ```text
+//! dot -Tsvg plan.dot -o plan.svg
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use dqep_algebra::PhysicalOp;
+
+use crate::dag;
+use crate::node::PlanNode;
+
+/// Renders the DAG as a Graphviz digraph.
+#[must_use]
+pub fn to_dot(root: &Arc<PlanNode>) -> String {
+    let mut out = String::from("digraph plan {\n  rankdir=BT;\n  node [fontsize=10];\n");
+    dag::walk_dag(root, &mut |node| {
+        let shape = match node.op {
+            PhysicalOp::ChoosePlan => "diamond",
+            PhysicalOp::FileScan { .. }
+            | PhysicalOp::BtreeScan { .. }
+            | PhysicalOp::FilterBtreeScan { .. } => "box",
+            _ => "ellipse",
+        };
+        let label = format!(
+            "{}\\ncard={}\\ncost={}",
+            escape(&node.op.to_string()),
+            node.stats.card,
+            node.total_cost.total()
+        );
+        let _ = writeln!(
+            out,
+            "  {} [shape={shape}, label=\"{label}\"];",
+            node.id.0
+        );
+        for (i, child) in node.children.iter().enumerate() {
+            if node.is_choose_plan() {
+                let _ = writeln!(out, "  {} -> {} [label=\"alt {i}\"];", child.id.0, node.id.0);
+            } else {
+                let _ = writeln!(out, "  {} -> {};", child.id.0, node.id.0);
+            }
+        }
+    });
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PlanNodeBuilder;
+    use dqep_catalog::RelationId;
+    use dqep_cost::{Cost, PlanStats};
+    use dqep_interval::Interval;
+
+    #[test]
+    fn emits_nodes_edges_and_shapes() {
+        let mut b = PlanNodeBuilder::new();
+        let shared = b.node(
+            PhysicalOp::FileScan { relation: RelationId(0) },
+            vec![],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.0, 0.1),
+        );
+        let s1 = b.node(
+            PhysicalOp::Sort {
+                attr: dqep_catalog::AttrId { relation: RelationId(0), index: 0 },
+            },
+            vec![shared.clone()],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.1, 0.0),
+        );
+        let s2 = b.node(
+            PhysicalOp::Sort {
+                attr: dqep_catalog::AttrId { relation: RelationId(0), index: 1 },
+            },
+            vec![shared],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.2, 0.0),
+        );
+        let cp = b.choose_plan(vec![s1, s2], Cost::point(0.01, 0.0));
+        let dot = to_dot(&cp);
+        assert!(dot.starts_with("digraph plan {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("alt 0"));
+        assert!(dot.contains("alt 1"));
+        // Shared scan: exactly one node line for it, two outgoing edges.
+        let scan_node_lines = dot
+            .lines()
+            .filter(|l| l.contains("File-Scan") && l.contains("shape=box"))
+            .count();
+        assert_eq!(scan_node_lines, 1);
+        let scan_edges = dot
+            .lines()
+            .filter(|l| l.trim_start().starts_with("0 -> "))
+            .count();
+        assert_eq!(scan_edges, 2, "shared node has two parents:\n{dot}");
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let mut b = PlanNodeBuilder::new();
+        let scan = b.node(
+            PhysicalOp::FileScan { relation: RelationId(1) },
+            vec![],
+            PlanStats::new(Interval::point(1.0), 512.0),
+            Cost::ZERO,
+        );
+        assert_eq!(to_dot(&scan), to_dot(&scan));
+    }
+}

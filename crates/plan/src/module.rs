@@ -1,0 +1,546 @@
+//! Access modules: the stored representation of query evaluation plans.
+//!
+//! Production systems with compile-time optimization store plans in
+//! *access modules* read at start-up-time (System R's terminology, which
+//! the paper adopts). A dynamic plan's module is larger than a static
+//! plan's — the paper models activation I/O as
+//! `nodes × 128 bytes / 2 MB/s` plus a fixed 0.1 s for catalog validation
+//! and the initial seek — and this crate makes that concrete: modules
+//! serialize to a compact binary format (DAG nodes in post-order, children
+//! by ordinal) and report both their actual byte size and the paper's
+//! modeled size.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dqep_algebra::{CompareOp, HostVar, JoinPred, PhysicalOp, Scalar, SelectPred};
+use dqep_catalog::{AttrId, IndexId, RelationId, SystemConfig};
+use dqep_cost::{Cost, PlanStats};
+use dqep_interval::Interval;
+
+use crate::dag;
+use crate::node::{PlanNode, PlanNodeBuilder};
+
+/// Errors produced when decoding an access module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// The byte stream ended prematurely.
+    Truncated,
+    /// An unknown operator or scalar tag was encountered.
+    BadTag(u8),
+    /// A child reference pointed at a node not yet decoded.
+    BadChildRef(u32),
+    /// The module contained no nodes.
+    Empty,
+    /// A decoded numeric field was invalid (NaN bounds, inverted interval).
+    BadNumber,
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::Truncated => f.write_str("truncated access module"),
+            ModuleError::BadTag(t) => write!(f, "unknown tag {t}"),
+            ModuleError::BadChildRef(i) => write!(f, "forward child reference {i}"),
+            ModuleError::Empty => f.write_str("empty access module"),
+            ModuleError::BadNumber => f.write_str("invalid numeric field"),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// Size and activation-time statistics of an access module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleStats {
+    /// Distinct operator nodes in the DAG (the paper's Figure 6 metric).
+    pub nodes: usize,
+    /// Actual serialized size in bytes.
+    pub serialized_bytes: usize,
+    /// Modeled size: `nodes × plan_node_bytes`.
+    pub modeled_bytes: usize,
+    /// Modeled I/O seconds to read the module (`modeled_bytes /
+    /// module_read_bandwidth`).
+    pub read_seconds: f64,
+    /// Total modeled activation time: catalog validation + seek
+    /// (`activation_base`) plus the module read.
+    pub activation_seconds: f64,
+}
+
+/// A stored plan: a DAG of [`PlanNode`]s plus serialization.
+#[derive(Debug, Clone)]
+pub struct AccessModule {
+    root: Arc<PlanNode>,
+}
+
+impl AccessModule {
+    /// Wraps a plan in an access module.
+    #[must_use]
+    pub fn new(root: Arc<PlanNode>) -> AccessModule {
+        AccessModule { root }
+    }
+
+    /// The plan root.
+    #[must_use]
+    pub fn root(&self) -> &Arc<PlanNode> {
+        &self.root
+    }
+
+    /// Size and activation statistics under `config`.
+    #[must_use]
+    pub fn stats(&self, config: &SystemConfig) -> ModuleStats {
+        let nodes = dag::node_count(&self.root);
+        let serialized_bytes = self.serialize().len();
+        let modeled_bytes = nodes * config.plan_node_bytes as usize;
+        let read_seconds = config.module_read_time(nodes);
+        ModuleStats {
+            nodes,
+            serialized_bytes,
+            modeled_bytes,
+            read_seconds,
+            activation_seconds: config.activation_base + read_seconds,
+        }
+    }
+
+    /// Serializes the DAG: nodes in post-order, children as ordinals into
+    /// the already-emitted prefix (so decoding is a single forward pass).
+    #[must_use]
+    pub fn serialize(&self) -> Bytes {
+        let order = dag::topological_order(&self.root);
+        let index: std::collections::HashMap<_, _> = order
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.id, i as u32))
+            .collect();
+        let mut buf = BytesMut::with_capacity(order.len() * 96);
+        buf.put_u32(order.len() as u32);
+        for node in &order {
+            encode_op(&mut buf, &node.op);
+            buf.put_f64(node.stats.card.lo());
+            buf.put_f64(node.stats.card.hi());
+            buf.put_f64(node.stats.row_bytes);
+            encode_cost(&mut buf, node.self_cost);
+            buf.put_u16(node.children.len() as u16);
+            for c in &node.children {
+                buf.put_u32(index[&c.id]);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a module previously produced by [`AccessModule::serialize`].
+    ///
+    /// Total costs and delivered orders are recomputed during
+    /// reconstruction, so a decoded module satisfies the same invariants as
+    /// a freshly optimized one.
+    pub fn deserialize(mut bytes: Bytes) -> Result<AccessModule, ModuleError> {
+        let buf = &mut bytes;
+        let count = get_u32(buf)? as usize;
+        if count == 0 {
+            return Err(ModuleError::Empty);
+        }
+        let mut builder = PlanNodeBuilder::new();
+        // Never trust the length prefix for preallocation: a corrupt or
+        // hostile module could otherwise request a multi-gigabyte Vec
+        // before the per-node decoding ever detects truncation.
+        let mut nodes: Vec<Arc<PlanNode>> = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let op = decode_op(buf)?;
+            let card = decode_interval(buf)?;
+            let row_bytes = get_f64(buf)?;
+            let self_cost = decode_cost(buf)?;
+            let n_children = get_u16(buf)? as usize;
+            let mut children = Vec::with_capacity(n_children);
+            for _ in 0..n_children {
+                let ordinal = get_u32(buf)?;
+                let child = nodes
+                    .get(ordinal as usize)
+                    .ok_or(ModuleError::BadChildRef(ordinal))?;
+                children.push(Arc::clone(child));
+            }
+            nodes.push(builder.node(op, children, PlanStats::new(card, row_bytes), self_cost));
+        }
+        Ok(AccessModule {
+            root: nodes.pop().expect("count >= 1"),
+        })
+    }
+}
+
+// ---- encoding helpers -------------------------------------------------
+
+const TAG_FILE_SCAN: u8 = 0;
+const TAG_BTREE_SCAN: u8 = 1;
+const TAG_FILTER: u8 = 2;
+const TAG_FILTER_BTREE_SCAN: u8 = 3;
+const TAG_HASH_JOIN: u8 = 4;
+const TAG_MERGE_JOIN: u8 = 5;
+const TAG_INDEX_JOIN: u8 = 6;
+const TAG_SORT: u8 = 7;
+const TAG_CHOOSE_PLAN: u8 = 8;
+
+fn encode_op(buf: &mut BytesMut, op: &PhysicalOp) {
+    match op {
+        PhysicalOp::FileScan { relation } => {
+            buf.put_u8(TAG_FILE_SCAN);
+            buf.put_u32(relation.0);
+        }
+        PhysicalOp::BtreeScan {
+            relation,
+            index,
+            key_attr,
+        } => {
+            buf.put_u8(TAG_BTREE_SCAN);
+            buf.put_u32(relation.0);
+            buf.put_u32(index.0);
+            encode_attr(buf, *key_attr);
+        }
+        PhysicalOp::Filter { predicate } => {
+            buf.put_u8(TAG_FILTER);
+            encode_pred(buf, predicate);
+        }
+        PhysicalOp::FilterBtreeScan {
+            relation,
+            index,
+            predicate,
+        } => {
+            buf.put_u8(TAG_FILTER_BTREE_SCAN);
+            buf.put_u32(relation.0);
+            buf.put_u32(index.0);
+            encode_pred(buf, predicate);
+        }
+        PhysicalOp::HashJoin { predicates } => {
+            buf.put_u8(TAG_HASH_JOIN);
+            encode_join_preds(buf, predicates);
+        }
+        PhysicalOp::MergeJoin { predicates } => {
+            buf.put_u8(TAG_MERGE_JOIN);
+            encode_join_preds(buf, predicates);
+        }
+        PhysicalOp::IndexJoin {
+            predicates,
+            inner,
+            index,
+            residual,
+        } => {
+            buf.put_u8(TAG_INDEX_JOIN);
+            encode_join_preds(buf, predicates);
+            buf.put_u32(inner.0);
+            buf.put_u32(index.0);
+            match residual {
+                Some(p) => {
+                    buf.put_u8(1);
+                    encode_pred(buf, p);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        PhysicalOp::Sort { attr } => {
+            buf.put_u8(TAG_SORT);
+            encode_attr(buf, *attr);
+        }
+        PhysicalOp::ChoosePlan => buf.put_u8(TAG_CHOOSE_PLAN),
+    }
+}
+
+fn decode_op(buf: &mut Bytes) -> Result<PhysicalOp, ModuleError> {
+    let tag = get_u8(buf)?;
+    Ok(match tag {
+        TAG_FILE_SCAN => PhysicalOp::FileScan {
+            relation: RelationId(get_u32(buf)?),
+        },
+        TAG_BTREE_SCAN => PhysicalOp::BtreeScan {
+            relation: RelationId(get_u32(buf)?),
+            index: IndexId(get_u32(buf)?),
+            key_attr: decode_attr(buf)?,
+        },
+        TAG_FILTER => PhysicalOp::Filter {
+            predicate: decode_pred(buf)?,
+        },
+        TAG_FILTER_BTREE_SCAN => PhysicalOp::FilterBtreeScan {
+            relation: RelationId(get_u32(buf)?),
+            index: IndexId(get_u32(buf)?),
+            predicate: decode_pred(buf)?,
+        },
+        TAG_HASH_JOIN => PhysicalOp::HashJoin {
+            predicates: decode_join_preds(buf)?,
+        },
+        TAG_MERGE_JOIN => PhysicalOp::MergeJoin {
+            predicates: decode_join_preds(buf)?,
+        },
+        TAG_INDEX_JOIN => {
+            let predicates = decode_join_preds(buf)?;
+            let inner = RelationId(get_u32(buf)?);
+            let index = IndexId(get_u32(buf)?);
+            let residual = match get_u8(buf)? {
+                0 => None,
+                1 => Some(decode_pred(buf)?),
+                t => return Err(ModuleError::BadTag(t)),
+            };
+            PhysicalOp::IndexJoin {
+                predicates,
+                inner,
+                index,
+                residual,
+            }
+        }
+        TAG_SORT => PhysicalOp::Sort {
+            attr: decode_attr(buf)?,
+        },
+        TAG_CHOOSE_PLAN => PhysicalOp::ChoosePlan,
+        t => return Err(ModuleError::BadTag(t)),
+    })
+}
+
+fn encode_attr(buf: &mut BytesMut, attr: AttrId) {
+    buf.put_u32(attr.relation.0);
+    buf.put_u32(attr.index);
+}
+
+fn decode_attr(buf: &mut Bytes) -> Result<AttrId, ModuleError> {
+    Ok(AttrId {
+        relation: RelationId(get_u32(buf)?),
+        index: get_u32(buf)?,
+    })
+}
+
+fn encode_pred(buf: &mut BytesMut, p: &SelectPred) {
+    encode_attr(buf, p.attr);
+    buf.put_u8(match p.op {
+        CompareOp::Lt => 0,
+        CompareOp::Le => 1,
+        CompareOp::Eq => 2,
+        CompareOp::Ge => 3,
+        CompareOp::Gt => 4,
+    });
+    match p.rhs {
+        Scalar::Const(v) => {
+            buf.put_u8(0);
+            buf.put_i64(v);
+        }
+        Scalar::Host(h) => {
+            buf.put_u8(1);
+            buf.put_u32(h.0);
+        }
+    }
+}
+
+fn decode_pred(buf: &mut Bytes) -> Result<SelectPred, ModuleError> {
+    let attr = decode_attr(buf)?;
+    let op = match get_u8(buf)? {
+        0 => CompareOp::Lt,
+        1 => CompareOp::Le,
+        2 => CompareOp::Eq,
+        3 => CompareOp::Ge,
+        4 => CompareOp::Gt,
+        t => return Err(ModuleError::BadTag(t)),
+    };
+    let rhs = match get_u8(buf)? {
+        0 => Scalar::Const(get_i64(buf)?),
+        1 => Scalar::Host(HostVar(get_u32(buf)?)),
+        t => return Err(ModuleError::BadTag(t)),
+    };
+    Ok(SelectPred { attr, op, rhs })
+}
+
+fn encode_join_preds(buf: &mut BytesMut, ps: &[JoinPred]) {
+    buf.put_u16(ps.len() as u16);
+    for p in ps {
+        encode_attr(buf, p.left);
+        encode_attr(buf, p.right);
+    }
+}
+
+fn decode_join_preds(buf: &mut Bytes) -> Result<Vec<JoinPred>, ModuleError> {
+    let n = get_u16(buf)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let left = decode_attr(buf)?;
+        let right = decode_attr(buf)?;
+        out.push(JoinPred { left, right });
+    }
+    Ok(out)
+}
+
+fn encode_cost(buf: &mut BytesMut, c: Cost) {
+    buf.put_f64(c.cpu.lo());
+    buf.put_f64(c.cpu.hi());
+    buf.put_f64(c.io.lo());
+    buf.put_f64(c.io.hi());
+}
+
+fn decode_cost(buf: &mut Bytes) -> Result<Cost, ModuleError> {
+    let cpu = decode_interval(buf)?;
+    let io = decode_interval(buf)?;
+    Ok(Cost::new(cpu, io))
+}
+
+fn decode_interval(buf: &mut Bytes) -> Result<Interval, ModuleError> {
+    let lo = get_f64(buf)?;
+    let hi = get_f64(buf)?;
+    Interval::try_new(lo, hi).map_err(|_| ModuleError::BadNumber)
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, ModuleError> {
+    (buf.remaining() >= 1)
+        .then(|| buf.get_u8())
+        .ok_or(ModuleError::Truncated)
+}
+
+fn get_u16(buf: &mut Bytes) -> Result<u16, ModuleError> {
+    (buf.remaining() >= 2)
+        .then(|| buf.get_u16())
+        .ok_or(ModuleError::Truncated)
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, ModuleError> {
+    (buf.remaining() >= 4)
+        .then(|| buf.get_u32())
+        .ok_or(ModuleError::Truncated)
+}
+
+fn get_i64(buf: &mut Bytes) -> Result<i64, ModuleError> {
+    (buf.remaining() >= 8)
+        .then(|| buf.get_i64())
+        .ok_or(ModuleError::Truncated)
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64, ModuleError> {
+    (buf.remaining() >= 8)
+        .then(|| buf.get_f64())
+        .ok_or(ModuleError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PlanNodeBuilder;
+
+    fn sample_plan() -> Arc<PlanNode> {
+        let mut b = PlanNodeBuilder::new();
+        let pred = SelectPred::unbound(
+            AttrId {
+                relation: RelationId(0),
+                index: 0,
+            },
+            CompareOp::Lt,
+            HostVar(0),
+        );
+        let scan = b.node(
+            PhysicalOp::FileScan {
+                relation: RelationId(0),
+            },
+            vec![],
+            PlanStats::new(Interval::point(1000.0), 512.0),
+            Cost::point(0.1, 0.25),
+        );
+        let filter = b.node(
+            PhysicalOp::Filter { predicate: pred },
+            vec![scan],
+            PlanStats::new(Interval::new(0.0, 1000.0), 512.0),
+            Cost::cpu_only(Interval::new(0.0, 0.1)),
+        );
+        let index = b.node(
+            PhysicalOp::FilterBtreeScan {
+                relation: RelationId(0),
+                index: IndexId(0),
+                predicate: pred,
+            },
+            vec![],
+            PlanStats::new(Interval::new(0.0, 1000.0), 512.0),
+            Cost::io_only(Interval::new(0.008, 4.1)),
+        );
+        b.choose_plan(vec![filter, index], Cost::point(0.001, 0.0))
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_costs() {
+        let plan = sample_plan();
+        let module = AccessModule::new(plan.clone());
+        let bytes = module.serialize();
+        let back = AccessModule::deserialize(bytes).unwrap();
+        assert_eq!(dag::node_count(back.root()), dag::node_count(&plan));
+        assert_eq!(back.root().op, plan.op);
+        assert_eq!(back.root().total_cost.total(), plan.total_cost.total());
+        assert_eq!(back.root().children.len(), 2);
+        assert_eq!(back.root().children[0].op, plan.children[0].op);
+        back.root().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_preserves_sharing() {
+        // Two sorts sharing a scan: 4 DAG nodes, 5 tree nodes.
+        let mut b = PlanNodeBuilder::new();
+        let shared = b.node(
+            PhysicalOp::FileScan {
+                relation: RelationId(1),
+            },
+            vec![],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.0, 0.01),
+        );
+        let s1 = b.node(
+            PhysicalOp::Sort {
+                attr: AttrId { relation: RelationId(1), index: 0 },
+            },
+            vec![shared.clone()],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.01, 0.0),
+        );
+        let s2 = b.node(
+            PhysicalOp::Sort {
+                attr: AttrId { relation: RelationId(1), index: 1 },
+            },
+            vec![shared],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.02, 0.0),
+        );
+        let cp = b.choose_plan(vec![s1, s2], Cost::ZERO);
+        let back = AccessModule::deserialize(AccessModule::new(cp).serialize()).unwrap();
+        assert_eq!(dag::node_count(back.root()), 4);
+        assert_eq!(dag::tree_node_count(back.root()), 5.0);
+        // The shared scan decodes to one node referenced twice.
+        let left_scan = back.root().children[0].children[0].id;
+        let right_scan = back.root().children[1].children[0].id;
+        assert_eq!(left_scan, right_scan);
+    }
+
+    #[test]
+    fn module_stats_use_paper_model() {
+        let cfg = SystemConfig::paper_1994();
+        let module = AccessModule::new(sample_plan());
+        let stats = module.stats(&cfg);
+        assert_eq!(stats.nodes, 4);
+        assert_eq!(stats.modeled_bytes, 4 * 128);
+        assert!((stats.read_seconds - 4.0 * 128.0 / 2.0e6).abs() < 1e-12);
+        assert!((stats.activation_seconds - (0.1 + stats.read_seconds)).abs() < 1e-12);
+        assert!(stats.serialized_bytes > 0);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            AccessModule::deserialize(Bytes::from_static(&[0, 0])),
+            Err(ModuleError::Truncated)
+        ));
+        let empty = {
+            let mut b = BytesMut::new();
+            b.put_u32(0);
+            b.freeze()
+        };
+        assert!(matches!(
+            AccessModule::deserialize(empty),
+            Err(ModuleError::Empty)
+        ));
+        let bad_tag = {
+            let mut b = BytesMut::new();
+            b.put_u32(1);
+            b.put_u8(99);
+            b.freeze()
+        };
+        assert!(matches!(
+            AccessModule::deserialize(bad_tag),
+            Err(ModuleError::BadTag(99))
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! Human-readable plan rendering.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::node::{NodeId, PlanNode};
+
+/// Renders a plan DAG as an indented tree. Nodes reached more than once
+/// (shared subexpressions) are expanded the first time and referenced as
+/// `^n<id>` afterwards, making DAG sharing visible:
+///
+/// ```text
+/// Choose-Plan  cost=[0.0100, 1.0100]
+/// ├── Filter[R0.#0 < :v0]  cost=...
+/// │   └── File-Scan R0  cost=...
+/// └── Filter-B-tree-Scan R0[R0.#0 < :v0]  cost=...
+/// ```
+#[must_use]
+pub fn render_plan(root: &Arc<PlanNode>) -> String {
+    let mut out = String::new();
+    let mut seen = HashSet::new();
+    render(root, "", "", &mut seen, &mut out);
+    out
+}
+
+fn render(
+    node: &Arc<PlanNode>,
+    prefix: &str,
+    child_prefix: &str,
+    seen: &mut HashSet<NodeId>,
+    out: &mut String,
+) {
+    if !seen.insert(node.id) {
+        let _ = writeln!(out, "{prefix}^{} (shared {})", node.id, node.op.name());
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "{prefix}{}  card={} cost={}",
+        node.op,
+        node.stats.card,
+        node.total_cost.total()
+    );
+    let n = node.children.len();
+    for (i, c) in node.children.iter().enumerate() {
+        let last = i + 1 == n;
+        let (branch, cont) = if last {
+            ("└── ", "    ")
+        } else {
+            ("├── ", "│   ")
+        };
+        render(
+            c,
+            &format!("{child_prefix}{branch}"),
+            &format!("{child_prefix}{cont}"),
+            seen,
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PlanNodeBuilder;
+    use dqep_algebra::PhysicalOp;
+    use dqep_catalog::{AttrId, RelationId};
+    use dqep_cost::{Cost, PlanStats};
+    use dqep_interval::Interval;
+
+    #[test]
+    fn renders_tree_with_sharing_markers() {
+        let mut b = PlanNodeBuilder::new();
+        let shared = b.node(
+            PhysicalOp::FileScan { relation: RelationId(0) },
+            vec![],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.0, 0.1),
+        );
+        let s1 = b.node(
+            PhysicalOp::Sort {
+                attr: AttrId { relation: RelationId(0), index: 0 },
+            },
+            vec![shared.clone()],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.1, 0.0),
+        );
+        let s2 = b.node(
+            PhysicalOp::Sort {
+                attr: AttrId { relation: RelationId(0), index: 1 },
+            },
+            vec![shared],
+            PlanStats::new(Interval::point(10.0), 512.0),
+            Cost::point(0.2, 0.0),
+        );
+        let cp = b.choose_plan(vec![s1, s2], Cost::point(0.01, 0.0));
+        let text = render_plan(&cp);
+        assert!(text.contains("Choose-Plan"));
+        assert!(text.contains("File-Scan R0"));
+        assert!(text.contains("^n0 (shared File-Scan)"), "text was:\n{text}");
+        assert_eq!(text.matches("Sort").count(), 2);
+        // The shared scan is expanded exactly once.
+        assert_eq!(text.matches("File-Scan R0  card").count(), 1);
+    }
+
+    #[test]
+    fn renders_single_node() {
+        let mut b = PlanNodeBuilder::new();
+        let scan = b.node(
+            PhysicalOp::FileScan { relation: RelationId(2) },
+            vec![],
+            PlanStats::new(Interval::point(5.0), 512.0),
+            Cost::point(0.0, 0.2),
+        );
+        let text = render_plan(&scan);
+        assert!(text.starts_with("File-Scan R2"));
+        assert!(text.contains("cost=[0.2000]"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Tokenizer for the embedded-SQL subset.
+
+use std::fmt;
+
+/// Token kinds of the SQL subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `SELECT` (case-insensitive keyword).
+    Select,
+    /// `FROM`.
+    From,
+    /// `WHERE`.
+    Where,
+    /// `AND`.
+    And,
+    /// `ORDER` (only meaningful followed by `BY`).
+    Order,
+    /// `BY`.
+    By,
+    /// An identifier (relation or attribute name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A named host variable, `:name`.
+    HostVar(String),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Select => f.write_str("SELECT"),
+            TokenKind::From => f.write_str("FROM"),
+            TokenKind::Where => f.write_str("WHERE"),
+            TokenKind::And => f.write_str("AND"),
+            TokenKind::Order => f.write_str("ORDER"),
+            TokenKind::By => f.write_str("BY"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::HostVar(s) => write!(f, "host variable :{s}"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Gt => f.write_str(">"),
+        }
+    }
+}
+
+/// A token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// An unrecognized character.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// Byte offset.
+        offset: usize,
+    },
+    /// A `:` with no identifier after it.
+    EmptyHostVar {
+        /// Byte offset.
+        offset: usize,
+    },
+    /// Integer literal out of `i64` range.
+    IntOutOfRange {
+        /// Byte offset.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar { ch, offset } => {
+                write!(f, "unexpected character {ch:?} at byte {offset}")
+            }
+            LexError::EmptyHostVar { offset } => {
+                write!(f, "':' must be followed by a variable name (byte {offset})")
+            }
+            LexError::IntOutOfRange { offset } => {
+                write!(f, "integer literal out of range at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the input.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            ':' => {
+                let start = i + 1;
+                let end = ident_end(bytes, start);
+                if end == start {
+                    return Err(LexError::EmptyHostVar { offset: i });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::HostVar(input[start..end].to_string()),
+                    offset: i,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                let mut end = i + 1;
+                while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                    end += 1;
+                }
+                if c == '-' && end == start + 1 {
+                    return Err(LexError::UnexpectedChar { ch: '-', offset: i });
+                }
+                let text = &input[start..end];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| LexError::IntOutOfRange { offset: start })?;
+                tokens.push(Token { kind: TokenKind::Int(value), offset: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let end = ident_end(bytes, start);
+                let word = &input[start..end];
+                let kind = match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => TokenKind::Select,
+                    "FROM" => TokenKind::From,
+                    "WHERE" => TokenKind::Where,
+                    "AND" => TokenKind::And,
+                    "ORDER" => TokenKind::Order,
+                    "BY" => TokenKind::By,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+                i = end;
+            }
+            other => return Err(LexError::UnexpectedChar { ch: other, offset: i }),
+        }
+    }
+    Ok(tokens)
+}
+
+fn ident_end(bytes: &[u8], start: usize) -> usize {
+    let mut end = start;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        if c.is_ascii_alphanumeric() || c == '_' {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_full_query() {
+        let ks = kinds("SELECT * FROM r, s WHERE r.j = s.j AND r.a < :x");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Select,
+                TokenKind::Star,
+                TokenKind::From,
+                TokenKind::Ident("r".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("s".into()),
+                TokenKind::Where,
+                TokenKind::Ident("r".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("j".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("s".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("j".into()),
+                TokenKind::And,
+                TokenKind::Ident("r".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("a".into()),
+                TokenKind::Lt,
+                TokenKind::HostVar("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select FROM Where aNd")[..], [
+            TokenKind::Select,
+            TokenKind::From,
+            TokenKind::Where,
+            TokenKind::And
+        ]);
+        // But identifiers keep their case.
+        assert_eq!(kinds("Orders"), vec![TokenKind::Ident("Orders".into())]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("< <= = >= >"), vec![
+            TokenKind::Lt,
+            TokenKind::Le,
+            TokenKind::Eq,
+            TokenKind::Ge,
+            TokenKind::Gt
+        ]);
+    }
+
+    #[test]
+    fn integers_and_negatives() {
+        assert_eq!(kinds("42 -17 0"), vec![
+            TokenKind::Int(42),
+            TokenKind::Int(-17),
+            TokenKind::Int(0)
+        ]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(lex("r.a < :"), Err(LexError::EmptyHostVar { .. })));
+        assert!(matches!(lex("r ? s"), Err(LexError::UnexpectedChar { ch: '?', .. })));
+        assert!(matches!(
+            lex("99999999999999999999"),
+            Err(LexError::IntOutOfRange { .. })
+        ));
+        assert!(matches!(lex("a - b"), Err(LexError::UnexpectedChar { ch: '-', .. })));
+    }
+
+    #[test]
+    fn offsets_point_into_input() {
+        let toks = lex("SELECT *").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+}

@@ -1,0 +1,43 @@
+//! Embedded-SQL front end.
+//!
+//! The paper's motivating interface is "an SQL query embedded within an
+//! application program" whose predicates contain **host variables** bound
+//! only at start-up-time. This crate parses that query shape into the
+//! `dqep` logical algebra:
+//!
+//! ```sql
+//! SELECT * FROM r, s, t
+//! WHERE r.j = s.j AND s.j2 = t.j AND r.a < :x AND t.a >= 10
+//! ```
+//!
+//! * the `FROM` list names catalog relations;
+//! * `WHERE` is a conjunction of equi-join predicates
+//!   (`rel.attr = rel.attr`) and selection predicates
+//!   (`rel.attr OP constant` or `rel.attr OP :hostvar`);
+//! * named host variables (`:x`) are assigned [`dqep_algebra::HostVar`] ids in order of
+//!   first occurrence, and the parsed [`Query`] carries the name → id map
+//!   so applications can supply [`dqep_cost::Bindings`] by name.
+//!
+//! ```
+//! use dqep_catalog::{CatalogBuilder, SystemConfig};
+//! use dqep_sql::parse_query;
+//!
+//! let catalog = CatalogBuilder::new(SystemConfig::paper_1994())
+//!     .relation("orders", 1_000, 512, |r| r.attr("amount", 500.0))
+//!     .build()
+//!     .unwrap();
+//! let q = parse_query("SELECT * FROM orders WHERE orders.amount < :limit", &catalog).unwrap();
+//! assert_eq!(q.host_var_names(), vec!["limit"]);
+//! let bindings = q.bindings(&[("limit", 250)]).unwrap();
+//! assert_eq!(bindings.values.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{ParsedPredicate, Query};
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::{parse_query, ParseError};

@@ -1,0 +1,133 @@
+//! An LRU buffer pool over the simulated disk.
+
+use std::collections::HashMap;
+
+use crate::disk::SimDisk;
+use crate::page::{PageId, PAGE_SIZE};
+
+/// A least-recently-used page cache.
+///
+/// Reads hit the cache for free; misses read through to the (accounted)
+/// disk and evict the least recently used frame when the pool is full.
+/// The executor routes repeated point fetches (e.g. the inner fetches of
+/// an index join) through a pool sized to the query's memory grant, which
+/// is what the cost model's "upper index levels are cached" assumption
+/// corresponds to.
+#[derive(Debug)]
+pub struct BufferPool {
+    disk: SimDisk,
+    capacity: usize,
+    frames: HashMap<PageId, (Box<[u8; PAGE_SIZE]>, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` pages over `disk`.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    #[must_use]
+    pub fn new(disk: SimDisk, capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            disk,
+            capacity,
+            frames: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Reads a page through the pool.
+    pub fn read(&mut self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some((data, used)) = self.frames.get_mut(&id) {
+            *used = clock;
+            self.hits += 1;
+            return data.clone();
+        }
+        self.misses += 1;
+        let data = self.disk.read(id);
+        if self.frames.len() >= self.capacity {
+            if let Some((&victim, _)) = self.frames.iter().min_by_key(|(_, (_, used))| *used) {
+                self.frames.remove(&victim);
+            }
+        }
+        self.frames.insert(id, (data.clone(), clock));
+        data
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Frames currently cached.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk_with(n: u32) -> (SimDisk, Vec<PageId>) {
+        let disk = SimDisk::new();
+        let ids: Vec<PageId> = (0..n).map(|_| disk.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let mut page = [0u8; PAGE_SIZE];
+            page[0] = i as u8;
+            disk.write_unaccounted(id, &page);
+        }
+        (disk, ids)
+    }
+
+    #[test]
+    fn caches_repeated_reads() {
+        let (disk, ids) = disk_with(4);
+        let mut pool = BufferPool::new(disk.clone(), 4);
+        for _ in 0..10 {
+            let page = pool.read(ids[2]);
+            assert_eq!(page[0], 2);
+        }
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 9);
+        assert_eq!(disk.stats().total(), 1, "only the miss touches disk");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let (disk, ids) = disk_with(3);
+        let mut pool = BufferPool::new(disk.clone(), 2);
+        let _ = pool.read(ids[0]);
+        let _ = pool.read(ids[1]);
+        let _ = pool.read(ids[0]); // refresh 0; 1 is now LRU
+        let _ = pool.read(ids[2]); // evicts 1
+        assert_eq!(pool.resident(), 2);
+        let before = disk.stats().total();
+        let _ = pool.read(ids[0]); // still cached
+        assert_eq!(disk.stats().total(), before);
+        let _ = pool.read(ids[1]); // was evicted: miss
+        assert_eq!(disk.stats().total(), before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let (disk, _) = disk_with(1);
+        let _ = BufferPool::new(disk, 0);
+    }
+}

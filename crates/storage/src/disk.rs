@@ -1,0 +1,242 @@
+//! The simulated disk: an in-memory page store with I/O accounting.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use dqep_catalog::SystemConfig;
+
+use crate::page::{PageId, PAGE_SIZE};
+
+/// Access counters, classified the way the cost model charges them: a read
+/// of the page following the previously read page is *sequential*, any
+/// other read is *random*, writes are charged sequentially (the simulator
+/// writes whole files and runs in order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Sequential page reads.
+    pub seq_reads: u64,
+    /// Random page reads.
+    pub random_reads: u64,
+    /// Page writes.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total pages touched.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.seq_reads + self.random_reads + self.writes
+    }
+
+    /// Simulated seconds under the configured per-page constants.
+    #[must_use]
+    pub fn seconds(&self, config: &SystemConfig) -> f64 {
+        (self.seq_reads + self.writes) as f64 * config.seq_page_io
+            + self.random_reads as f64 * config.random_page_io
+    }
+
+    /// Counter difference (`self` later than `earlier`).
+    #[must_use]
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            seq_reads: self.seq_reads - earlier.seq_reads,
+            random_reads: self.random_reads - earlier.random_reads,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct DiskInner {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    stats: IoStats,
+    last_read: Option<PageId>,
+}
+
+/// A shared, thread-safe simulated disk.
+///
+/// All storage structures ([`crate::HeapFile`], [`crate::BTree`],
+/// [`crate::BufferPool`]) allocate and access pages through one `SimDisk`,
+/// so a query's total I/O is read off a single [`IoStats`].
+#[derive(Debug, Clone)]
+pub struct SimDisk {
+    inner: Arc<Mutex<DiskInner>>,
+}
+
+impl SimDisk {
+    /// An empty disk.
+    #[must_use]
+    pub fn new() -> SimDisk {
+        SimDisk {
+            inner: Arc::new(Mutex::new(DiskInner {
+                pages: Vec::new(),
+                stats: IoStats::default(),
+                last_read: None,
+            })),
+        }
+    }
+
+    /// Allocates a zeroed page; not charged as I/O (allocation happens at
+    /// load time in the experiments).
+    pub fn allocate(&self) -> PageId {
+        let mut inner = self.inner.lock();
+        let id = PageId(inner.pages.len() as u32);
+        inner.pages.push(Box::new([0u8; PAGE_SIZE]));
+        id
+    }
+
+    /// Number of allocated pages.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.inner.lock().pages.len()
+    }
+
+    /// Reads a page, charging sequential or random I/O.
+    ///
+    /// # Panics
+    /// Panics on an unallocated page id.
+    #[must_use]
+    pub fn read(&self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
+        let mut inner = self.inner.lock();
+        let sequential = matches!(inner.last_read, Some(prev) if prev.0 + 1 == id.0);
+        if sequential {
+            inner.stats.seq_reads += 1;
+        } else {
+            inner.stats.random_reads += 1;
+        }
+        inner.last_read = Some(id);
+        inner.pages[id.0 as usize].clone()
+    }
+
+    /// Writes a page, charging one write.
+    ///
+    /// # Panics
+    /// Panics on an unallocated page id or wrong buffer length.
+    pub fn write(&self, id: PageId, data: &[u8]) {
+        assert_eq!(data.len(), PAGE_SIZE, "page writes are whole pages");
+        let mut inner = self.inner.lock();
+        inner.stats.writes += 1;
+        inner.pages[id.0 as usize].copy_from_slice(data);
+    }
+
+    /// Reads a page **without** charging I/O — used by loaders (e.g.
+    /// B-tree construction) whose effort the experiments do not account.
+    ///
+    /// # Panics
+    /// Panics on an unallocated page id.
+    #[must_use]
+    pub fn read_unaccounted(&self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
+        self.inner.lock().pages[id.0 as usize].clone()
+    }
+
+    /// Writes a page **without** charging I/O — used by loaders building
+    /// the initial database, which the experiments do not account.
+    pub fn write_unaccounted(&self, id: PageId, data: &[u8]) {
+        assert_eq!(data.len(), PAGE_SIZE, "page writes are whole pages");
+        let mut inner = self.inner.lock();
+        inner.pages[id.0 as usize].copy_from_slice(data);
+    }
+
+    /// Charges one write without transferring data — used by temp heap
+    /// files that buffer a page in memory and account it when sealed.
+    pub fn note_write(&self) {
+        self.inner.lock().stats.writes += 1;
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets counters (e.g. between the load phase and a measured query).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats = IoStats::default();
+        inner.last_read = None;
+    }
+}
+
+impl Default for SimDisk {
+    fn default() -> Self {
+        SimDisk::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let disk = SimDisk::new();
+        let ids: Vec<PageId> = (0..4).map(|_| disk.allocate()).collect();
+        let _ = disk.read(ids[0]); // first read: random
+        let _ = disk.read(ids[1]); // sequential
+        let _ = disk.read(ids[2]); // sequential
+        let _ = disk.read(ids[0]); // random (backwards)
+        let _ = disk.read(ids[3]); // random (skip)
+        let s = disk.stats();
+        assert_eq!(s.seq_reads, 2);
+        assert_eq!(s.random_reads, 3);
+        assert_eq!(s.writes, 0);
+    }
+
+    #[test]
+    fn write_roundtrip_and_accounting() {
+        let disk = SimDisk::new();
+        let id = disk.allocate();
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 42;
+        buf[PAGE_SIZE - 1] = 7;
+        disk.write(id, &buf);
+        let back = disk.read(id);
+        assert_eq!(back[0], 42);
+        assert_eq!(back[PAGE_SIZE - 1], 7);
+        assert_eq!(disk.stats().writes, 1);
+
+        disk.write_unaccounted(id, &buf);
+        assert_eq!(disk.stats().writes, 1, "unaccounted writes do not count");
+    }
+
+    #[test]
+    fn stats_seconds_and_since() {
+        let cfg = SystemConfig::paper_1994();
+        let s = IoStats {
+            seq_reads: 100,
+            random_reads: 10,
+            writes: 50,
+        };
+        let secs = s.seconds(&cfg);
+        assert!((secs - (150.0 * 0.001 + 10.0 * 0.004)).abs() < 1e-12);
+        assert_eq!(s.total(), 160);
+
+        let earlier = IoStats {
+            seq_reads: 40,
+            random_reads: 4,
+            writes: 20,
+        };
+        let d = s.since(&earlier);
+        assert_eq!(d, IoStats { seq_reads: 60, random_reads: 6, writes: 30 });
+    }
+
+    #[test]
+    fn reset_clears_counters_and_position() {
+        let disk = SimDisk::new();
+        let a = disk.allocate();
+        let b = disk.allocate();
+        let _ = disk.read(a);
+        disk.reset_stats();
+        assert_eq!(disk.stats(), IoStats::default());
+        // After reset, even the "next" page counts as random.
+        let _ = disk.read(b);
+        assert_eq!(disk.stats().random_reads, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_unallocated_page_panics() {
+        let disk = SimDisk::new();
+        let _ = disk.read(PageId(5));
+    }
+}

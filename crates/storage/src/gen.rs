@@ -1,0 +1,333 @@
+//! Synthetic stored databases mirroring a catalog.
+//!
+//! Records are fixed-width: each attribute is an `i64` (little-endian) at
+//! offset `8 × position`, padded with zeros to the relation's record
+//! length (the experiments use 512-byte records). Attribute values are
+//! drawn uniformly from `[0, domain_size)` — the same uniform-domain model
+//! the selectivity estimator assumes, so predicted and actual
+//! selectivities agree and any divergence between predicted and executed
+//! cost comes from the cost formulas, not from estimation error (the
+//! paper's footnote 4 separation).
+
+use std::collections::HashMap;
+
+use dqep_catalog::{Catalog, Histogram, IndexId, RelationId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::btree::BTree;
+use crate::disk::SimDisk;
+use crate::heap::HeapFile;
+use crate::page::PAGE_SIZE;
+
+/// One stored relation: its heap file and its indexes.
+#[derive(Debug)]
+pub struct StoredTable {
+    /// The relation this table stores.
+    pub relation: RelationId,
+    /// The data file.
+    pub heap: HeapFile,
+    /// B-tree per catalog index id.
+    pub indexes: HashMap<IndexId, BTree>,
+    /// Number of attributes (for record decoding).
+    pub n_attrs: usize,
+    /// Record length in bytes.
+    pub record_len: usize,
+}
+
+impl StoredTable {
+    /// Decodes a stored record into attribute values.
+    #[must_use]
+    pub fn decode(&self, record: &[u8]) -> Vec<i64> {
+        decode_record(record, self.n_attrs)
+    }
+}
+
+/// Decodes `n_attrs` little-endian `i64`s from the front of a record.
+#[must_use]
+pub fn decode_record(record: &[u8], n_attrs: usize) -> Vec<i64> {
+    (0..n_attrs)
+        .map(|i| {
+            let at = i * 8;
+            i64::from_le_bytes(record[at..at + 8].try_into().expect("8 bytes"))
+        })
+        .collect()
+}
+
+/// Encodes attribute values as a fixed-width record of `record_len` bytes.
+#[must_use]
+pub fn encode_record(values: &[i64], record_len: usize) -> Vec<u8> {
+    assert!(values.len() * 8 <= record_len, "record too narrow");
+    let mut out = vec![0u8; record_len];
+    for (i, v) in values.iter().enumerate() {
+        out[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Value distribution of generated attributes.
+///
+/// The paper's experiments use uniform values, under which the uniform
+/// selectivity model is exact. The Zipf profile generates the skew that
+/// makes uniform estimates wrong — the selectivity-estimation-error
+/// setting the paper's final section points to — which
+/// [`install_histograms`] then repairs for bound predicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueDistribution {
+    /// Uniform over `[0, domain_size)` (the paper's setup).
+    Uniform,
+    /// Zipf-like: value `v` drawn with probability proportional to
+    /// `1 / (v + 1)^exponent`; mass concentrates at small values.
+    Zipf {
+        /// Skew exponent; 0 degenerates to uniform, 1 is classic Zipf.
+        exponent: f64,
+    },
+}
+
+/// Samples one value in `[0, domain)` under the distribution.
+fn sample(dist: ValueDistribution, domain: i64, rng: &mut StdRng, cdf: &[f64]) -> i64 {
+    match dist {
+        ValueDistribution::Uniform => rng.gen_range(0..domain.max(1)),
+        ValueDistribution::Zipf { .. } => {
+            let u: f64 = rng.gen();
+            // Binary search the precomputed CDF.
+            match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+                Ok(i) | Err(i) => (i as i64).min(domain - 1),
+            }
+        }
+    }
+}
+
+fn zipf_cdf(domain: i64, exponent: f64) -> Vec<f64> {
+    let n = domain.max(1) as usize;
+    let mut weights: Vec<f64> = (0..n).map(|v| 1.0 / ((v as f64) + 1.0).powf(exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    weights
+}
+
+/// Builds equi-width histograms (`buckets` buckets) over every attribute
+/// of every stored table and installs them in the catalog. After this,
+/// the selectivity model's *bound* estimates reflect the actual value
+/// distribution instead of the uniform assumption.
+pub fn install_histograms(db: &StoredDatabase, catalog: &mut Catalog, buckets: usize) {
+    let rel_ids: Vec<RelationId> = catalog.relations().iter().map(|r| r.id).collect();
+    for rel_id in rel_ids {
+        let table = db.table(rel_id);
+        let n_attrs = table.n_attrs;
+        let mut columns: Vec<Vec<i64>> = vec![Vec::new(); n_attrs];
+        for record in table.heap.scan() {
+            for (i, v) in decode_record(&record, n_attrs).into_iter().enumerate() {
+                columns[i].push(v);
+            }
+        }
+        for (i, column) in columns.into_iter().enumerate() {
+            if let Some(h) = Histogram::build(column, buckets) {
+                catalog.set_histogram(
+                    dqep_catalog::AttrId {
+                        relation: rel_id,
+                        index: i as u32,
+                    },
+                    h,
+                );
+            }
+        }
+    }
+    db.disk.reset_stats();
+}
+
+/// A fully loaded synthetic database.
+#[derive(Debug)]
+pub struct StoredDatabase {
+    /// The shared simulated disk (query I/O is read off its stats).
+    pub disk: SimDisk,
+    tables: HashMap<RelationId, StoredTable>,
+}
+
+impl StoredDatabase {
+    /// Generates and loads every relation of `catalog`, with all catalog
+    /// indexes built. Deterministic in `seed`. I/O counters are reset
+    /// after loading.
+    ///
+    /// # Panics
+    /// Panics when the catalog's page size differs from the storage page
+    /// size.
+    #[must_use]
+    pub fn generate(catalog: &Catalog, seed: u64) -> StoredDatabase {
+        StoredDatabase::generate_with(catalog, seed, ValueDistribution::Uniform)
+    }
+
+    /// Like [`StoredDatabase::generate`], but with an explicit value
+    /// distribution for all attributes.
+    ///
+    /// # Panics
+    /// Panics when the catalog's page size differs from the storage page
+    /// size.
+    #[must_use]
+    pub fn generate_with(
+        catalog: &Catalog,
+        seed: u64,
+        dist: ValueDistribution,
+    ) -> StoredDatabase {
+        assert_eq!(
+            catalog.config.page_size as usize, PAGE_SIZE,
+            "catalog page size must match storage PAGE_SIZE"
+        );
+        let disk = SimDisk::new();
+        let mut tables = HashMap::new();
+        // Per-domain-size CDFs for the Zipf profile (cached across attrs).
+        let mut cdfs: HashMap<i64, Vec<f64>> = HashMap::new();
+        for rel in catalog.relations() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0x7AB1E << 8) ^ u64::from(rel.id.0));
+            let mut heap = HeapFile::new(disk.clone());
+            let mut indexes: HashMap<IndexId, BTree> = rel
+                .indexes
+                .iter()
+                .map(|&id| (id, BTree::new(disk.clone())))
+                .collect();
+            for _ in 0..rel.stats.cardinality {
+                let values: Vec<i64> = rel
+                    .attributes
+                    .iter()
+                    .map(|a| {
+                        let domain = (a.domain_size as i64).max(1);
+                        let cdf: &[f64] = match dist {
+                            ValueDistribution::Uniform => &[],
+                            ValueDistribution::Zipf { exponent } => cdfs
+                                .entry(domain)
+                                .or_insert_with(|| zipf_cdf(domain, exponent)),
+                        };
+                        sample(dist, domain, &mut rng, cdf)
+                    })
+                    .collect();
+                let record = encode_record(&values, rel.stats.record_len as usize);
+                let rid = heap.append(&record);
+                for (&idx_id, tree) in &mut indexes {
+                    let key_attr = catalog.index(idx_id).attr.index as usize;
+                    tree.insert(values[key_attr], rid);
+                }
+            }
+            tables.insert(
+                rel.id,
+                StoredTable {
+                    relation: rel.id,
+                    heap,
+                    indexes,
+                    n_attrs: rel.attributes.len(),
+                    record_len: rel.stats.record_len as usize,
+                },
+            );
+        }
+        disk.reset_stats();
+        StoredDatabase { disk, tables }
+    }
+
+    /// The stored table for a relation.
+    ///
+    /// # Panics
+    /// Panics for relations not in the generated catalog.
+    #[must_use]
+    pub fn table(&self, rel: RelationId) -> &StoredTable {
+        &self.tables[&rel]
+    }
+
+    /// All stored tables.
+    pub fn tables(&self) -> impl Iterator<Item = &StoredTable> {
+        self.tables.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqep_catalog::{CatalogBuilder, SystemConfig};
+
+    fn catalog() -> Catalog {
+        CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("r", 500, 512, |r| {
+                r.attr("a", 500.0).attr("j", 100.0).btree("a", false).btree("j", false)
+            })
+            .relation("s", 200, 512, |r| r.attr("a", 200.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generates_catalog_cardinalities() {
+        let cat = catalog();
+        let db = StoredDatabase::generate(&cat, 7);
+        let r = db.table(cat.relation_by_name("r").unwrap().id);
+        assert_eq!(r.heap.record_count(), 500);
+        assert_eq!(r.indexes.len(), 2);
+        let s = db.table(cat.relation_by_name("s").unwrap().id);
+        assert_eq!(s.heap.record_count(), 200);
+        assert!(s.indexes.is_empty());
+        assert_eq!(db.tables().count(), 2);
+        assert_eq!(db.disk.stats().total(), 0, "load I/O is reset");
+    }
+
+    #[test]
+    fn values_respect_domains() {
+        let cat = catalog();
+        let db = StoredDatabase::generate(&cat, 7);
+        let r = db.table(cat.relation_by_name("r").unwrap().id);
+        for record in r.heap.scan() {
+            let v = r.decode(&record);
+            assert_eq!(v.len(), 2);
+            assert!((0..500).contains(&v[0]), "a in domain");
+            assert!((0..100).contains(&v[1]), "j in domain");
+        }
+    }
+
+    #[test]
+    fn indexes_agree_with_heap() {
+        let cat = catalog();
+        let db = StoredDatabase::generate(&cat, 7);
+        let rel = cat.relation_by_name("r").unwrap();
+        let table = db.table(rel.id);
+        let (idx_id, _) = cat.index_on_attr(rel.attr_id("a").unwrap()).unwrap();
+        let tree = &table.indexes[&idx_id];
+        assert_eq!(tree.len(), 500);
+
+        // Every indexed rid fetches a record whose key matches.
+        for target in [0i64, 100, 499] {
+            for rid in tree.lookup(target) {
+                let rec = table.heap.fetch(rid).unwrap();
+                assert_eq!(table.decode(&rec)[0], target);
+            }
+        }
+        // Range count equals heap filter count.
+        let via_index = tree.range(None, Some(99)).len();
+        let via_scan = table
+            .heap
+            .scan()
+            .filter(|r| table.decode(r)[0] < 100)
+            .count();
+        assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cat = catalog();
+        let a = StoredDatabase::generate(&cat, 9);
+        let b = StoredDatabase::generate(&cat, 9);
+        let rel = cat.relation_by_name("r").unwrap().id;
+        let ra: Vec<Vec<u8>> = a.table(rel).heap.scan().collect();
+        let rb: Vec<Vec<u8>> = b.table(rel).heap.scan().collect();
+        assert_eq!(ra, rb);
+        let c = StoredDatabase::generate(&cat, 10);
+        let rc: Vec<Vec<u8>> = c.table(rel).heap.scan().collect();
+        assert_ne!(ra, rc);
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let rec = encode_record(&[1, -5, 1 << 40], 512);
+        assert_eq!(rec.len(), 512);
+        assert_eq!(decode_record(&rec, 3), vec![1, -5, 1 << 40]);
+    }
+}

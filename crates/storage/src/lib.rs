@@ -1,0 +1,42 @@
+//! Storage substrate: a simulated disk with I/O accounting, slotted pages,
+//! heap files, B-trees, and a buffer pool.
+//!
+//! The paper's experiments ran on a DECstation with real disks; this crate
+//! substitutes a deterministic **simulated disk** that stores pages in
+//! memory and *accounts* every access as sequential or random I/O. The
+//! executor charges the same per-page constants the cost model uses
+//! ([`dqep_catalog::SystemConfig`]), so measured simulator times and the
+//! optimizer's predicted times are directly comparable — which is exactly
+//! what the end-to-end validation tests rely on: the plan the choose-plan
+//! operator picks at start-up must also be the faster plan *when actually
+//! executed* on stored data.
+//!
+//! Components:
+//! * [`SimDisk`] — page store + [`IoStats`] (sequential reads, random
+//!   reads, writes).
+//! * [`SlottedPage`] — classic slotted-page layout for variable-length
+//!   records.
+//! * [`HeapFile`] — unordered record file over slotted pages.
+//! * [`BTree`] — a from-scratch page-based B-tree mapping `i64` keys to
+//!   record ids, with range scans; used for unclustered indexes.
+//! * [`BufferPool`] — LRU page cache with hit/miss statistics.
+//! * [`gen`] — synthetic table generation mirroring the catalog's schema
+//!   and statistics (uniform integer attributes over their domains).
+
+#![warn(missing_docs)]
+
+mod btree;
+mod buffer;
+mod disk;
+pub mod gen;
+mod heap;
+mod page;
+mod slotted;
+
+pub use btree::BTree;
+pub use buffer::BufferPool;
+pub use disk::{IoStats, SimDisk};
+pub use gen::{install_histograms, StoredDatabase, StoredTable, ValueDistribution};
+pub use heap::{HeapFile, Rid};
+pub use page::{PageId, PAGE_SIZE};
+pub use slotted::SlottedPage;

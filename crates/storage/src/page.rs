@@ -1,0 +1,41 @@
+//! Pages and page identifiers.
+
+use std::fmt;
+
+/// Fixed page size in bytes, matching the paper's experimental setup
+/// (2,048-byte pages). The catalog's `SystemConfig::page_size` must agree;
+/// [`crate::gen::StoredDatabase::generate`] asserts it.
+pub const PAGE_SIZE: usize = 2048;
+
+/// Identifier of a page on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel for "no page" (used for B-tree leaf chaining).
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    /// Whether this id is the sentinel.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self != PageId::INVALID
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert_eq!(PageId(3).to_string(), "p3");
+    }
+}

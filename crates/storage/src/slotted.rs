@@ -1,0 +1,177 @@
+//! Slotted-page layout for variable-length records.
+//!
+//! Layout: a 4-byte header (`n_slots: u16`, `free_end: u16`), a slot array
+//! growing forward from byte 4 (each slot is `offset: u16`, `len: u16`),
+//! and record bytes growing backward from the end of the page. Deletion is
+//! not needed by the experiments and is not implemented; records are
+//! immutable once inserted.
+
+use crate::page::PAGE_SIZE;
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+
+/// An in-memory view over one slotted page's bytes.
+#[derive(Debug)]
+pub struct SlottedPage {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl SlottedPage {
+    /// A fresh, empty page.
+    #[must_use]
+    pub fn new() -> SlottedPage {
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        write_u16(&mut data[..], 2, PAGE_SIZE as u16); // free_end
+        SlottedPage { data }
+    }
+
+    /// Wraps existing page bytes (as read from disk).
+    #[must_use]
+    pub fn from_bytes(data: Box<[u8; PAGE_SIZE]>) -> SlottedPage {
+        SlottedPage { data }
+    }
+
+    /// The underlying bytes (for writing back to disk).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Number of records stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        read_u16(&self.data[..], 0) as usize
+    }
+
+    /// Whether the page holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Free bytes remaining (accounting for the slot a new record needs).
+    #[must_use]
+    pub fn free_space(&self) -> usize {
+        let n = self.len();
+        let free_end = read_u16(&self.data[..], 2) as usize;
+        free_end.saturating_sub(HEADER + (n + 1) * SLOT)
+    }
+
+    /// Inserts a record, returning its slot number, or `None` when the
+    /// page is full.
+    ///
+    /// # Panics
+    /// Panics on records too large to ever fit a page.
+    pub fn insert(&mut self, record: &[u8]) -> Option<u16> {
+        assert!(
+            record.len() + HEADER + SLOT <= PAGE_SIZE,
+            "record of {} bytes can never fit a page",
+            record.len()
+        );
+        if self.free_space() < record.len() {
+            return None;
+        }
+        let n = self.len();
+        let free_end = read_u16(&self.data[..], 2) as usize;
+        let off = free_end - record.len();
+        self.data[off..free_end].copy_from_slice(record);
+        let slot_base = HEADER + n * SLOT;
+        write_u16(&mut self.data[..], slot_base, off as u16);
+        write_u16(&mut self.data[..], slot_base + 2, record.len() as u16);
+        write_u16(&mut self.data[..], 0, (n + 1) as u16);
+        write_u16(&mut self.data[..], 2, off as u16);
+        Some(n as u16)
+    }
+
+    /// The record in `slot`, or `None` when out of range.
+    #[must_use]
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if (slot as usize) >= self.len() {
+            return None;
+        }
+        let slot_base = HEADER + slot as usize * SLOT;
+        let off = read_u16(&self.data[..], slot_base) as usize;
+        let len = read_u16(&self.data[..], slot_base + 2) as usize;
+        Some(&self.data[off..off + len])
+    }
+
+    /// Iterates over records in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.len() as u16).filter_map(move |s| self.get(s))
+    }
+}
+
+impl Default for SlottedPage {
+    fn default() -> Self {
+        SlottedPage::new()
+    }
+}
+
+fn read_u16(data: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([data[at], data[at + 1]])
+}
+
+fn write_u16(data: &mut [u8], at: usize, v: u16) {
+    data[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = SlottedPage::new();
+        assert!(p.is_empty());
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(p.get(0), Some(&b"hello"[..]));
+        assert_eq!(p.get(1), Some(&b"world!"[..]));
+        assert_eq!(p.get(2), None);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = SlottedPage::new();
+        let record = [7u8; 512];
+        let mut count = 0;
+        while p.insert(&record).is_some() {
+            count += 1;
+        }
+        // 2048-byte page, 4-byte header, 4-byte slots: 3 records of 512 fit
+        // (4 * (512 + 4) + 4 > 2048).
+        assert_eq!(count, 3);
+        assert!(p.insert(&record).is_none());
+        // Smaller records may still fit.
+        assert!(p.insert(&[1u8; 100]).is_some());
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut p = SlottedPage::new();
+        p.insert(b"abc").unwrap();
+        p.insert(b"defg").unwrap();
+        let bytes = Box::new(*p.as_bytes());
+        let q = SlottedPage::from_bytes(bytes);
+        let records: Vec<&[u8]> = q.iter().collect();
+        assert_eq!(records, vec![&b"abc"[..], &b"defg"[..]]);
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let mut p = SlottedPage::new();
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.get(s), Some(&b""[..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fit")]
+    fn oversized_record_panics() {
+        let mut p = SlottedPage::new();
+        let _ = p.insert(&[0u8; PAGE_SIZE]);
+    }
+}

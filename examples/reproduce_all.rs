@@ -1,0 +1,34 @@
+//! Regenerates every paper table and figure in a reduced configuration
+//! (10 invocations, selectivity uncertainty only) suitable for a quick
+//! look. The `reproduce` binary in `dqep-bench` runs the full N=100
+//! protocol with memory uncertainty and extra flags.
+//!
+//! Run with `cargo run --release --example reproduce_all`.
+
+use dqep::harness::experiments::{
+    ablation, breakeven, fig3, fig4, fig5, fig6, fig7, fig8, run_all, table1,
+};
+use dqep::harness::params::ExperimentParams;
+
+fn main() {
+    let params = ExperimentParams {
+        invocations: 10,
+        with_memory_uncertainty: false,
+        ..ExperimentParams::paper()
+    };
+    println!("{}\n", table1::table());
+
+    eprintln!("running the five paper queries under all three scenarios ...");
+    let results = run_all(&params);
+    println!("{}\n", fig3::table(&results[1]));
+    println!("{}\n", fig4::table(&results));
+    println!("{}\n", fig5::table(&results));
+    println!("{}\n", fig6::table(&results));
+    println!("{}\n", fig7::table(&results));
+    println!("{}\n", fig8::table(&results));
+    println!("{}\n", breakeven::table(&results));
+
+    eprintln!("running ablations on query 3 ...");
+    let (_, rows) = ablation::run(3, 10, params.seed);
+    println!("{}", ablation::table(3, &rows));
+}
