@@ -92,6 +92,7 @@ impl RelSet {
     }
 
     /// Builds a set from an iterator of relation ids.
+    #[allow(clippy::should_implement_trait)] // not generic enough for FromIterator
     pub fn from_iter(rels: impl IntoIterator<Item = RelationId>) -> RelSet {
         rels.into_iter()
             .fold(RelSet::EMPTY, |s, r| s.union(RelSet::singleton(r)))

@@ -239,6 +239,7 @@ impl Catalog {
     /// # Panics
     /// Panics if the id was not issued by this catalog.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // catalog lookup, not ops::Index
     pub fn index(&self, id: IndexId) -> &IndexInfo {
         &self.indexes[id.0 as usize]
     }

@@ -17,17 +17,27 @@
 //!   --run               execute on generated data and report simulated time
 //!   --adaptive          run with one pilot-observation round (§7)
 //!   --dot PATH          write the plan DAG as Graphviz
+//!
+//! Robustness (with --run):
+//!   --fault-plan SPEC   inject storage faults, e.g. nth-read=5,read-prob=0.01
+//!   --memory-limit B    enforce a B-byte memory grant (governor)
+//!   --max-rows N        abort after N result rows
+//!   --max-io N          abort after N accounted page I/Os
+//!   --timeout-ms MS     wall-clock deadline
 //! ```
+//!
+//! Exit codes distinguish failure classes — see [`dqep::DqepError`].
 
 use std::process::ExitCode;
 
+use dqep::DqepError;
 use dqep_catalog::{make_chain_catalog, SyntheticSpec, SystemConfig};
 use dqep_core::Optimizer;
 use dqep_cost::{Bindings, Environment};
-use dqep_executor::{execute_adaptive, execute_plan};
+use dqep_executor::{execute_adaptive, execute_plan_with, ResourceLimits};
 use dqep_plan::{evaluate_startup, render_plan, to_dot};
 use dqep_sql::parse_query;
-use dqep_storage::{install_histograms, StoredDatabase, ValueDistribution};
+use dqep_storage::{install_histograms, FaultPlan, StoredDatabase, ValueDistribution};
 
 #[derive(Debug)]
 struct Args {
@@ -42,6 +52,11 @@ struct Args {
     run: bool,
     adaptive: bool,
     dot: Option<String>,
+    fault_plan: Option<String>,
+    memory_limit: Option<u64>,
+    max_rows: Option<u64>,
+    max_io: Option<u64>,
+    timeout_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +77,11 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         run: false,
         adaptive: false,
         dot: None,
+        fault_plan: None,
+        memory_limit: None,
+        max_rows: None,
+        max_io: None,
+        timeout_ms: None,
     };
     let mut i = 0;
     let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -142,6 +162,42 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
                 args.dot = Some(value(argv, i, "--dot")?);
                 i += 2;
             }
+            "--fault-plan" => {
+                args.fault_plan = Some(value(argv, i, "--fault-plan")?);
+                i += 2;
+            }
+            "--memory-limit" => {
+                args.memory_limit = Some(
+                    value(argv, i, "--memory-limit")?
+                        .parse()
+                        .map_err(|e| format!("--memory-limit: {e}"))?,
+                );
+                i += 2;
+            }
+            "--max-rows" => {
+                args.max_rows = Some(
+                    value(argv, i, "--max-rows")?
+                        .parse()
+                        .map_err(|e| format!("--max-rows: {e}"))?,
+                );
+                i += 2;
+            }
+            "--max-io" => {
+                args.max_io = Some(
+                    value(argv, i, "--max-io")?
+                        .parse()
+                        .map_err(|e| format!("--max-io: {e}"))?,
+                );
+                i += 2;
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    value(argv, i, "--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?,
+                );
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Err("usage: see `dqep` module docs (or the README)".to_string());
             }
@@ -154,6 +210,14 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
     if args.mode != "dynamic" && args.mode != "static" {
         return Err(format!("--mode must be dynamic or static, got `{}`", args.mode));
     }
+    let governed = args.fault_plan.is_some()
+        || args.memory_limit.is_some()
+        || args.max_rows.is_some()
+        || args.max_io.is_some()
+        || args.timeout_ms.is_some();
+    if governed && !args.run {
+        return Err("--fault-plan and resource limits require --run".to_string());
+    }
     Ok(args)
 }
 
@@ -162,13 +226,13 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("dqep: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+fn run() -> Result<(), DqepError> {
+    let args = parse_args().map_err(DqepError::Usage)?;
     let mut catalog = make_chain_catalog(
         &SyntheticSpec::paper(args.relations, args.seed),
         SystemConfig::paper_1994(),
@@ -182,19 +246,24 @@ fn run() -> Result<(), String> {
     let needs_db = args.run || args.histograms.is_some();
     let db = needs_db.then(|| StoredDatabase::generate_with(&catalog, args.seed, dist));
     if let (Some(buckets), Some(db)) = (args.histograms, &db) {
-        install_histograms(db, &mut catalog, buckets);
+        install_histograms(db, &mut catalog, buckets)?;
         eprintln!("built {buckets}-bucket histograms over all attributes");
     }
+    if let (Some(spec), Some(db)) = (&args.fault_plan, &db) {
+        let plan = FaultPlan::parse(spec)
+            .map_err(|e| DqepError::Usage(format!("--fault-plan: {e}")))?;
+        db.disk.set_fault_plan(plan);
+        eprintln!("fault plan armed: {spec}");
+    }
 
-    let query = parse_query(&args.sql, &catalog).map_err(|e| e.to_string())?;
+    let query = parse_query(&args.sql, &catalog)?;
     let env = if args.mode == "static" {
         Environment::static_compile_time(&catalog.config)
     } else {
         Environment::dynamic_compile_time(&catalog.config)
     };
     let result = Optimizer::new(&catalog, &env)
-        .optimize_with_props(&query.expr, query.required_props())
-        .map_err(|e| e.to_string())?;
+        .optimize_with_props(&query.expr, query.required_props())?;
 
     println!("-- {} plan ({} nodes, {} choose-plans, {:.3e} contained static plans)",
         args.mode,
@@ -205,7 +274,7 @@ fn run() -> Result<(), String> {
     print!("{}", render_plan(&result.plan));
 
     if let Some(path) = &args.dot {
-        std::fs::write(path, to_dot(&result.plan)).map_err(|e| e.to_string())?;
+        std::fs::write(path, to_dot(&result.plan))?;
         eprintln!("wrote {path}");
     }
 
@@ -214,7 +283,7 @@ fn run() -> Result<(), String> {
     for (name, v) in &args.binds {
         let var = query
             .host_var(name)
-            .ok_or_else(|| format!("unknown host variable :{name}"))?;
+            .ok_or_else(|| DqepError::Usage(format!("unknown host variable :{name}")))?;
         bindings = bindings.with_value(var, *v);
     }
     if let Some(m) = args.memory {
@@ -228,7 +297,10 @@ fn run() -> Result<(), String> {
         .collect();
     if !args.binds.is_empty() || query.host_vars.is_empty() {
         if !missing.is_empty() {
-            return Err(format!("missing --bind for: {}", missing.join(", ")));
+            return Err(DqepError::Usage(format!(
+                "missing --bind for: {}",
+                missing.join(", ")
+            )));
         }
         let startup = evaluate_startup(&result.plan, &catalog, &env, &bindings);
         println!(
@@ -242,8 +314,7 @@ fn run() -> Result<(), String> {
         if args.run {
             let db = db.as_ref().expect("generated above");
             if args.adaptive {
-                let r = execute_adaptive(&result.plan, db, &catalog, &env, &bindings)
-                    .map_err(|e| e.to_string())?;
+                let r = execute_adaptive(&result.plan, db, &catalog, &env, &bindings)?;
                 println!(
                     "\n-- adaptive execution: {} rows, main {:.4}s + pilot {:.4}s (observed {:?} rows)",
                     r.main.rows,
@@ -252,8 +323,14 @@ fn run() -> Result<(), String> {
                     r.observed_rows
                 );
             } else {
-                let (summary, _) = execute_plan(&result.plan, db, &catalog, &env, &bindings)
-                    .map_err(|e| e.to_string())?;
+                let limits = ResourceLimits {
+                    memory_bytes: args.memory_limit,
+                    max_rows: args.max_rows,
+                    max_io: args.max_io,
+                    wall_clock_ms: args.timeout_ms,
+                };
+                let (summary, _) =
+                    execute_plan_with(&result.plan, db, &catalog, &env, &bindings, limits)?;
                 println!(
                     "\n-- executed: {} rows, {:.4}s simulated ({} seq + {} random reads, {} writes)",
                     summary.rows,
@@ -262,10 +339,19 @@ fn run() -> Result<(), String> {
                     summary.io.random_reads,
                     summary.io.writes
                 );
+                if summary.fallbacks > 0 {
+                    println!(
+                        "-- {} choose-plan fallback(s): a preferred alternative failed retryably \
+                         and execution degraded to the next-best plan",
+                        summary.fallbacks
+                    );
+                }
             }
         }
     } else if args.run {
-        return Err("--run needs --bind for every host variable".to_string());
+        return Err(DqepError::Usage(
+            "--run needs --bind for every host variable".to_string(),
+        ));
     }
     Ok(())
 }
@@ -313,6 +399,32 @@ mod tests {
         assert_eq!(a.mode, "dynamic");
         assert!(a.binds.is_empty());
         assert!(!a.run);
+    }
+
+    #[test]
+    fn parses_robustness_flags() {
+        let a = parse_argv(&argv(&[
+            "--sql", "q", "--run", "--fault-plan", "nth-read=5,read-prob=0.01,seed=7",
+            "--memory-limit", "65536", "--max-rows", "100", "--max-io", "2000",
+            "--timeout-ms", "5000",
+        ]))
+        .unwrap();
+        assert_eq!(a.fault_plan.as_deref(), Some("nth-read=5,read-prob=0.01,seed=7"));
+        assert_eq!(a.memory_limit, Some(65536));
+        assert_eq!(a.max_rows, Some(100));
+        assert_eq!(a.max_io, Some(2000));
+        assert_eq!(a.timeout_ms, Some(5000));
+    }
+
+    #[test]
+    fn governance_flags_require_run() {
+        for flags in [
+            vec!["--sql", "q", "--fault-plan", "nth-read=1"],
+            vec!["--sql", "q", "--max-rows", "5"],
+            vec!["--sql", "q", "--timeout-ms", "10"],
+        ] {
+            assert!(parse_argv(&argv(&flags)).unwrap_err().contains("--run"));
+        }
     }
 
     #[test]

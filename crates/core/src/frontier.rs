@@ -98,12 +98,12 @@ impl Frontier {
             if !keep[i] {
                 continue;
             }
-            for j in 0..self.plans.len() {
-                if i == j || !keep[j] {
+            for (j, kj) in keep.iter_mut().enumerate() {
+                if i == j || !*kj {
                     continue;
                 }
                 if dominates(&self.plans[i], &self.plans[j]) {
-                    keep[j] = false;
+                    *kj = false;
                 }
             }
         }

@@ -33,8 +33,10 @@ use dqep_cost::{Bindings, Environment};
 use dqep_plan::{dag, evaluate_startup_observed, Observations, PlanNode, StartupResult};
 use dqep_storage::StoredDatabase;
 
-use crate::compile::{compile_plan, ExecError};
+use crate::compile::compile_plan;
+use crate::error::ExecError;
 use crate::exec::drain;
+use crate::governor::ExecContext;
 use crate::metrics::{ExecSummary, SharedCounters};
 
 /// Result of one adaptive execution.
@@ -112,6 +114,9 @@ pub fn pick_pilot(plan: &Arc<PlanNode>) -> Option<Arc<PlanNode>> {
 /// Executes a dynamic plan with one round of run-time observation (see the
 /// module docs). Falls back to ordinary start-up execution when no pilot
 /// subplan is eligible.
+///
+/// # Errors
+/// Any [`ExecError`] from the pilot or main execution.
 pub fn execute_adaptive(
     plan: &Arc<PlanNode>,
     db: &StoredDatabase,
@@ -130,17 +135,18 @@ pub fn execute_adaptive(
     let mut observed_rows = None;
 
     if let Some(pilot) = pick_pilot(plan) {
-        let counters = SharedCounters::new();
+        let ctx = ExecContext::new(SharedCounters::new());
         let before = db.disk.stats();
         let mut op = crate::choose::compile_dynamic_plan(
-            &pilot, db, catalog, env, bindings, memory_bytes, &counters,
+            &pilot, db, catalog, env, bindings, memory_bytes, &ctx,
         )?;
-        let rows = drain(op.as_mut()).len() as u64;
+        let rows = drain(op.as_mut())?.len() as u64;
         let io = db.disk.stats().since(&before);
         pilot_summary = Some(ExecSummary {
             rows,
-            cpu: counters.snapshot(),
+            cpu: ctx.counters.snapshot(),
             io,
+            fallbacks: ctx.counters.fallbacks(),
         });
         observations.insert(pilot.id, rows as f64);
         observed = Some(pilot.id);
@@ -148,10 +154,10 @@ pub fn execute_adaptive(
     }
 
     let startup = evaluate_startup_observed(plan, catalog, env, bindings, &observations);
-    let counters = SharedCounters::new();
+    let ctx = ExecContext::new(SharedCounters::new());
     let before = db.disk.stats();
-    let mut op = compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, &counters)?;
-    let rows = drain(op.as_mut()).len() as u64;
+    let mut op = compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, &ctx)?;
+    let rows = drain(op.as_mut())?.len() as u64;
     let io = db.disk.stats().since(&before);
     Ok(AdaptiveResult {
         observed,
@@ -160,8 +166,9 @@ pub fn execute_adaptive(
         startup,
         main: ExecSummary {
             rows,
-            cpu: counters.snapshot(),
+            cpu: ctx.counters.snapshot(),
             io,
+            fallbacks: ctx.counters.fallbacks(),
         },
     })
 }

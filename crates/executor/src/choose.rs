@@ -13,6 +13,15 @@
 //! paper), compiles only the winning alternative, and opens it. Losing
 //! alternatives are never compiled — mirroring how an access module never
 //! instantiates the plans it does not run.
+//!
+//! Having every alternative at hand also buys **graceful degradation**:
+//! when opening the chosen alternative fails *retryably* (an injected
+//! storage fault, a memory grant the governor refuses to cover), the
+//! operator falls back to the next alternative in predicted-cost order
+//! instead of failing the query, recording each fallback in the query's
+//! counters ([`crate::ExecSummary::fallbacks`]). Fatal errors —
+//! cancellation, exceeded query-wide budgets, malformed plans — propagate
+//! immediately.
 
 use std::sync::Arc;
 
@@ -21,8 +30,9 @@ use dqep_cost::{Bindings, Environment};
 use dqep_plan::{evaluate_startup, PlanNode};
 use dqep_storage::StoredDatabase;
 
-use crate::compile::{compile_plan, ExecError};
-use crate::metrics::SharedCounters;
+use crate::compile::compile_plan;
+use crate::error::ExecError;
+use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
 use crate::Operator;
 
@@ -34,10 +44,10 @@ pub struct ChoosePlanExec<'a> {
     env: Environment,
     bindings: Bindings,
     memory_bytes: usize,
-    counters: SharedCounters,
+    ctx: ExecContext,
     /// Filled at `open()`: the compiled winning alternative.
     chosen: Option<Box<dyn Operator + 'a>>,
-    /// Index of the chosen alternative (for observability).
+    /// Index of the alternative actually running (for observability).
     chosen_index: Option<usize>,
     layout: TupleLayout,
 }
@@ -55,7 +65,7 @@ impl<'a> ChoosePlanExec<'a> {
         env: Environment,
         bindings: Bindings,
         memory_bytes: usize,
-        counters: SharedCounters,
+        ctx: ExecContext,
     ) -> Self {
         assert!(node.is_choose_plan(), "ChoosePlanExec needs a choose-plan node");
         // All alternatives share the logical result; take the first
@@ -68,17 +78,41 @@ impl<'a> ChoosePlanExec<'a> {
             env,
             bindings,
             memory_bytes,
-            counters,
+            ctx,
             chosen: None,
             chosen_index: None,
             layout,
         }
     }
 
-    /// Which alternative the decision procedure picked (after `open`).
+    /// Which alternative is running (after `open`). With fallbacks this
+    /// may differ from the decision procedure's first pick.
     #[must_use]
     pub fn chosen_index(&self) -> Option<usize> {
         self.chosen_index
+    }
+
+    /// The order in which to attempt alternatives: the decision
+    /// procedure's pick first, then the rest by their individually
+    /// predicted run time, ascending.
+    fn attempt_order(&self, preferred: usize) -> Vec<usize> {
+        let mut rest: Vec<(usize, f64)> = self
+            .node
+            .children
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != preferred)
+            .map(|(i, alt)| {
+                let cost = evaluate_startup(alt, self.catalog, &self.env, &self.bindings)
+                    .predicted_run_seconds;
+                (i, cost)
+            })
+            .collect();
+        rest.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut order = Vec::with_capacity(self.node.children.len());
+        order.push(preferred);
+        order.extend(rest.into_iter().map(|(i, _)| i));
+        order
     }
 }
 
@@ -101,35 +135,59 @@ fn layout_of(node: &Arc<PlanNode>, catalog: &Catalog) -> TupleLayout {
 }
 
 impl Operator for ChoosePlanExec<'_> {
-    fn open(&mut self) {
+    fn open(&mut self) -> Result<(), ExecError> {
         // Decision procedure: re-evaluate the alternatives' cost functions
         // with the actual bindings, once per DAG node.
         let startup = evaluate_startup(&self.node, self.catalog, &self.env, &self.bindings);
-        // The decision for THIS node is the last one recorded (post-order).
-        let idx = startup
+        let preferred = startup
             .decisions
             .iter()
             .find(|d| d.choose_plan == self.node.id)
             .map(|d| d.chosen_index)
             .unwrap_or(0);
-        self.chosen_index = Some(idx);
-        let alt = &self.node.children[idx];
-        let mut op = compile_dynamic_plan(
-            alt,
-            self.db,
-            self.catalog,
-            &self.env,
-            &self.bindings,
-            self.memory_bytes,
-            &self.counters,
-        )
-        .expect("alternative compiled after successful decision");
-        op.open();
-        self.chosen = Some(op);
+        let mut last_err: Option<ExecError> = None;
+        for idx in self.attempt_order(preferred) {
+            let alt = &self.node.children[idx];
+            let attempt = compile_dynamic_plan(
+                alt,
+                self.db,
+                self.catalog,
+                &self.env,
+                &self.bindings,
+                self.memory_bytes,
+                &self.ctx,
+            )
+            .and_then(|mut op| match op.open() {
+                Ok(()) => Ok(op),
+                Err(e) => {
+                    // Release whatever the failed attempt still holds
+                    // (buffered rows, memory reservations).
+                    op.close();
+                    Err(e)
+                }
+            });
+            match attempt {
+                Ok(op) => {
+                    self.chosen_index = Some(idx);
+                    self.chosen = Some(op);
+                    return Ok(());
+                }
+                Err(e) if e.is_retryable() => {
+                    self.ctx.counters.add_fallbacks(1);
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| ExecError::Internal("choose-plan has no alternatives".into())))
     }
 
-    fn next(&mut self) -> Option<Tuple> {
-        self.chosen.as_mut().expect("open() before next()").next()
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        match self.chosen.as_mut() {
+            Some(op) => op.next(),
+            None => Err(ExecError::Internal("choose-plan next() before open()".into())),
+        }
     }
 
     fn close(&mut self) {
@@ -147,6 +205,10 @@ impl Operator for ChoosePlanExec<'_> {
 /// nodes become [`ChoosePlanExec`] (deciding at `open()`); everything else
 /// compiles as usual. Nested choose-plans inside a chosen alternative are
 /// compiled recursively by the same rule when that alternative is opened.
+///
+/// # Errors
+/// Any compilation [`ExecError`]; choose-plan nodes themselves never fail
+/// to compile (their alternatives compile lazily at `open`).
 pub fn compile_dynamic_plan<'a>(
     node: &Arc<PlanNode>,
     db: &'a StoredDatabase,
@@ -154,7 +216,7 @@ pub fn compile_dynamic_plan<'a>(
     env: &Environment,
     bindings: &Bindings,
     memory_bytes: usize,
-    counters: &SharedCounters,
+    ctx: &ExecContext,
 ) -> Result<Box<dyn Operator + 'a>, ExecError> {
     if node.is_choose_plan() {
         return Ok(Box::new(ChoosePlanExec::new(
@@ -164,7 +226,7 @@ pub fn compile_dynamic_plan<'a>(
             env.clone(),
             bindings.clone(),
             memory_bytes,
-            counters.clone(),
+            ctx.clone(),
         )));
     }
     if node.is_dynamic() {
@@ -176,9 +238,9 @@ pub fn compile_dynamic_plan<'a>(
         // evaluation: compile the children recursively.
         // compile_plan cannot be reused directly (it rejects choose-plan),
         // so recurse manually over this node's children.
-        return compile_interior(node, db, catalog, env, bindings, memory_bytes, counters);
+        return compile_interior(node, db, catalog, env, bindings, memory_bytes, ctx);
     }
-    compile_plan(node, db, catalog, bindings, memory_bytes, counters)
+    compile_plan(node, db, catalog, bindings, memory_bytes, ctx)
 }
 
 /// Compiles a non-choose operator whose children may be dynamic.
@@ -189,7 +251,7 @@ fn compile_interior<'a>(
     env: &Environment,
     bindings: &Bindings,
     memory_bytes: usize,
-    counters: &SharedCounters,
+    ctx: &ExecContext,
 ) -> Result<Box<dyn Operator + 'a>, ExecError> {
     use dqep_algebra::PhysicalOp::*;
     // Strategy: rebuild a shallow copy of `node` whose dynamic children are
@@ -205,10 +267,10 @@ fn compile_interior<'a>(
             // root-level laziness (the common case: choose-plan at the
             // root) is preserved by `compile_dynamic_plan`.
             let startup = evaluate_startup(node, catalog, env, bindings);
-            compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, counters)
+            compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, ctx)
         }
         FileScan { .. } | BtreeScan { .. } | FilterBtreeScan { .. } => {
-            compile_plan(node, db, catalog, bindings, memory_bytes, counters)
+            compile_plan(node, db, catalog, bindings, memory_bytes, ctx)
         }
         ChoosePlan => unreachable!("handled by compile_dynamic_plan"),
     }
@@ -218,6 +280,7 @@ fn compile_interior<'a>(
 mod tests {
     use super::*;
     use crate::exec::drain;
+    use crate::metrics::SharedCounters;
     use dqep_algebra::{CompareOp, HostVar, LogicalExpr, PhysicalOp, SelectPred};
     use dqep_catalog::{CatalogBuilder, SystemConfig};
     use dqep_core::Optimizer;
@@ -246,7 +309,7 @@ mod tests {
 
         for (v, expect_index) in [(5i64, true), (550, false)] {
             let bindings = Bindings::new().with_value(HostVar(0), v);
-            let counters = SharedCounters::new();
+            let ctx = ExecContext::new(SharedCounters::new());
             let mut op = ChoosePlanExec::new(
                 plan.clone(),
                 &db,
@@ -254,10 +317,10 @@ mod tests {
                 env.clone(),
                 bindings.clone(),
                 64 * 2048,
-                counters,
+                ctx,
             );
             assert!(op.chosen_index().is_none(), "no decision before open");
-            op.open();
+            op.open().unwrap();
             let idx = op.chosen_index().expect("decided at open");
             let is_index_plan = matches!(
                 plan.children[idx].op,
@@ -266,7 +329,7 @@ mod tests {
             assert_eq!(is_index_plan, expect_index, "binding {v}");
             let rows = {
                 let mut n = 0;
-                while op.next().is_some() {
+                while op.next().unwrap().is_some() {
                     n += 1;
                 }
                 n
@@ -277,6 +340,7 @@ mod tests {
             let expected = table
                 .heap
                 .scan()
+                .map(Result::unwrap)
                 .filter(|rec| table.decode(rec)[0] < v)
                 .count();
             assert_eq!(rows, expected);
@@ -291,20 +355,16 @@ mod tests {
         for v in [10i64, 200, 580] {
             let bindings = Bindings::new().with_value(HostVar(0), v);
             // Path 1: run-time operator.
-            let counters = SharedCounters::new();
-            let mut lazy = compile_dynamic_plan(
-                &plan, &db, &cat, &env, &bindings, 64 * 2048, &counters,
-            )
-            .unwrap();
-            let lazy_rows = drain(lazy.as_mut()).len();
+            let ctx = ExecContext::new(SharedCounters::new());
+            let mut lazy =
+                compile_dynamic_plan(&plan, &db, &cat, &env, &bindings, 64 * 2048, &ctx).unwrap();
+            let lazy_rows = drain(lazy.as_mut()).unwrap().len();
             // Path 2: resolve first.
             let startup = evaluate_startup(&plan, &cat, &env, &bindings);
-            let counters = SharedCounters::new();
-            let mut eager = compile_plan(
-                &startup.resolved, &db, &cat, &bindings, 64 * 2048, &counters,
-            )
-            .unwrap();
-            let eager_rows = drain(eager.as_mut()).len();
+            let ctx = ExecContext::new(SharedCounters::new());
+            let mut eager =
+                compile_plan(&startup.resolved, &db, &cat, &bindings, 64 * 2048, &ctx).unwrap();
+            let eager_rows = drain(eager.as_mut()).unwrap().len();
             assert_eq!(lazy_rows, eager_rows, "binding {v}");
         }
     }
@@ -319,11 +379,10 @@ mod tests {
         let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
         let bindings = Bindings::new().with_value(HostVar(0), 3);
         let before = db.disk.stats();
-        let counters = SharedCounters::new();
+        let ctx = ExecContext::new(SharedCounters::new());
         let mut op =
-            compile_dynamic_plan(&plan, &db, &cat, &env, &bindings, 64 * 2048, &counters)
-                .unwrap();
-        let rows = drain(op.as_mut()).len();
+            compile_dynamic_plan(&plan, &db, &cat, &env, &bindings, 64 * 2048, &ctx).unwrap();
+        let rows = drain(op.as_mut()).unwrap().len();
         let io = db.disk.stats().since(&before);
         // A full file scan would read ~150 pages; the index path touches
         // only the B-tree descent plus a handful of fetches.
@@ -332,5 +391,56 @@ mod tests {
             io.total() < 20,
             "expected index-path I/O only, saw {io:?}"
         );
+    }
+
+    #[test]
+    fn next_before_open_is_an_internal_error() {
+        let (cat, db, q) = fixture();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+        let ctx = ExecContext::new(SharedCounters::new());
+        let mut op = ChoosePlanExec::new(
+            plan,
+            &db,
+            &cat,
+            env,
+            Bindings::new().with_value(HostVar(0), 10),
+            64 * 2048,
+            ctx,
+        );
+        assert!(matches!(op.next(), Err(ExecError::Internal(_))));
+    }
+
+    #[test]
+    fn faulted_alternative_falls_back_and_still_answers() {
+        use dqep_storage::FaultPlan;
+        let (cat, db, q) = fixture();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+        assert!(plan.children.len() >= 2);
+
+        // Selective binding: the index path wins and is opened first. Its
+        // open() materializes rids via a B-tree descent — fail the very
+        // first accounted read so that descent dies and the operator must
+        // fall back to the file scan.
+        let bindings = Bindings::new().with_value(HostVar(0), 5);
+        let ctx = ExecContext::new(SharedCounters::new());
+        let mut op = compile_dynamic_plan(
+            &plan, &db, &cat, &env, &bindings, 64 * 2048, &ctx,
+        )
+        .unwrap();
+        db.disk.set_fault_plan(FaultPlan::nth_read(1));
+        let rows = drain(op.as_mut()).unwrap().len();
+        db.disk.set_fault_plan(FaultPlan::none());
+        assert!(ctx.counters.fallbacks() >= 1, "fallback must be recorded");
+        // Same answer as a clean run.
+        let table = db.table(cat.relation_by_name("r").unwrap().id);
+        let expected = table
+            .heap
+            .scan()
+            .map(Result::unwrap)
+            .filter(|rec| table.decode(rec)[0] < 5)
+            .count();
+        assert_eq!(rows, expected);
     }
 }

@@ -1,16 +1,16 @@
 //! Plan compilation: physical plan nodes → executable operator trees.
 
-use std::fmt;
 use std::sync::Arc;
 
-use dqep_algebra::{HostVar, JoinPred, PhysicalOp, Scalar, SelectPred};
+use dqep_algebra::{JoinPred, PhysicalOp, Scalar, SelectPred};
 use dqep_catalog::Catalog;
 use dqep_cost::{Bindings, Environment};
 use dqep_plan::{evaluate_startup, PlanNode, StartupResult};
 use dqep_storage::StoredDatabase;
 
-use crate::exec::drain;
+use crate::error::ExecError;
 use crate::filter::{FilterExec, ResolvedPred};
+use crate::governor::{ExecContext, ResourceGovernor, ResourceLimits};
 use crate::hash_join::HashJoinExec;
 use crate::index_join::IndexJoinExec;
 use crate::merge_join::MergeJoinExec;
@@ -19,32 +19,6 @@ use crate::scan::{BtreeScanExec, FileScanExec, FilterBtreeScanExec};
 use crate::sort::SortExec;
 use crate::tuple::TupleLayout;
 use crate::Operator;
-
-/// Compilation errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ExecError {
-    /// A predicate references a host variable with no binding.
-    UnboundHostVar(HostVar),
-    /// The plan still contains a choose-plan operator; resolve it with
-    /// [`evaluate_startup`] (which [`execute_plan`] does) before compiling.
-    UnresolvedChoosePlan,
-    /// A join predicate does not span the operator's inputs.
-    PredicateMismatch(String),
-}
-
-impl fmt::Display for ExecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ExecError::UnboundHostVar(h) => write!(f, "host variable {h} is unbound"),
-            ExecError::UnresolvedChoosePlan => {
-                f.write_str("plan contains an unresolved choose-plan operator")
-            }
-            ExecError::PredicateMismatch(p) => write!(f, "predicate does not span inputs: {p}"),
-        }
-    }
-}
-
-impl std::error::Error for ExecError {}
 
 fn pred_value(pred: &SelectPred, bindings: &Bindings) -> Result<i64, ExecError> {
     match pred.rhs {
@@ -85,20 +59,26 @@ fn orient(
 }
 
 /// Compiles a **resolved** (choose-plan-free) physical plan into an
-/// executable operator tree.
+/// executable operator tree. All operators share `ctx` — its counters for
+/// simulated-CPU accounting and its governor for resource enforcement.
+///
+/// # Errors
+/// [`ExecError::UnresolvedChoosePlan`] on a choose-plan node (compile
+/// those with [`crate::compile_dynamic_plan`]); unbound-host-variable and
+/// predicate errors from resolution; storage errors from operator setup.
 pub fn compile_plan<'a>(
     node: &Arc<PlanNode>,
     db: &'a StoredDatabase,
     catalog: &'a Catalog,
     bindings: &Bindings,
     memory_bytes: usize,
-    counters: &SharedCounters,
+    ctx: &ExecContext,
 ) -> Result<Box<dyn Operator + 'a>, ExecError> {
     Ok(match &node.op {
         PhysicalOp::FileScan { relation } => Box::new(FileScanExec::new(
             db.table(*relation),
             TupleLayout::base(catalog, *relation),
-            counters.clone(),
+            ctx.clone(),
         )),
         PhysicalOp::BtreeScan {
             relation, index, ..
@@ -106,7 +86,7 @@ pub fn compile_plan<'a>(
             db.table(*relation),
             *index,
             TupleLayout::base(catalog, *relation),
-            counters.clone(),
+            ctx.clone(),
         )),
         PhysicalOp::FilterBtreeScan {
             relation,
@@ -120,19 +100,19 @@ pub fn compile_plan<'a>(
                 *index,
                 resolved.key_range(),
                 layout,
-                counters.clone(),
+                ctx.clone(),
             ))
         }
         PhysicalOp::Filter { predicate } => {
-            let child = compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, counters)?;
+            let child = compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
             let resolved = resolve_pred(predicate, child.layout(), bindings)?;
-            Box::new(FilterExec::new(child, resolved, counters.clone()))
+            Box::new(FilterExec::new(child, resolved, ctx.clone()))
         }
         PhysicalOp::HashJoin { predicates } => {
             let build =
-                compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, counters)?;
+                compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
             let probe =
-                compile_plan(&node.children[1], db, catalog, bindings, memory_bytes, counters)?;
+                compile_plan(&node.children[1], db, catalog, bindings, memory_bytes, ctx)?;
             let keys = predicates
                 .iter()
                 .map(|p| orient(p, build.layout(), probe.layout()))
@@ -141,22 +121,22 @@ pub fn compile_plan<'a>(
                 build,
                 probe,
                 keys,
-                counters.clone(),
+                ctx.clone(),
                 db.disk.clone(),
                 memory_bytes,
             ))
         }
         PhysicalOp::MergeJoin { predicates } => {
             let left =
-                compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, counters)?;
+                compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
             let right =
-                compile_plan(&node.children[1], db, catalog, bindings, memory_bytes, counters)?;
+                compile_plan(&node.children[1], db, catalog, bindings, memory_bytes, ctx)?;
             let mut keys = predicates
                 .iter()
                 .map(|p| orient(p, left.layout(), right.layout()))
                 .collect::<Result<Vec<_>, _>>()?;
             let (lk, rk) = keys.remove(0);
-            Box::new(MergeJoinExec::new(left, right, lk, rk, keys, counters.clone()))
+            Box::new(MergeJoinExec::new(left, right, lk, rk, keys, ctx.clone()))
         }
         PhysicalOp::IndexJoin {
             predicates,
@@ -165,7 +145,7 @@ pub fn compile_plan<'a>(
             residual,
         } => {
             let outer =
-                compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, counters)?;
+                compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
             let inner_layout = TupleLayout::base(catalog, *inner);
             let mut keys = predicates
                 .iter()
@@ -184,12 +164,12 @@ pub fn compile_plan<'a>(
                 outer_key,
                 keys,
                 residual,
-                counters.clone(),
+                ctx.clone(),
                 memory_bytes / dqep_storage::PAGE_SIZE,
-            ))
+            )?)
         }
         PhysicalOp::Sort { attr } => {
-            let child = compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, counters)?;
+            let child = compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
             let key = child
                 .layout()
                 .position(*attr)
@@ -197,7 +177,7 @@ pub fn compile_plan<'a>(
             Box::new(SortExec::new(
                 child,
                 key,
-                counters.clone(),
+                ctx.clone(),
                 db.disk.clone(),
                 memory_bytes,
             ))
@@ -206,10 +186,34 @@ pub fn compile_plan<'a>(
     })
 }
 
+/// Opens and drains `op`, charging each produced row against the row
+/// budget; closes the operator on success and on error.
+fn drain_root(op: &mut dyn Operator, governor: &ResourceGovernor) -> Result<u64, ExecError> {
+    fn run(op: &mut dyn Operator, governor: &ResourceGovernor) -> Result<u64, ExecError> {
+        let mut rows = 0u64;
+        op.open()?;
+        while op.next()?.is_some() {
+            governor.charge_rows(1)?;
+            rows += 1;
+        }
+        Ok(rows)
+    }
+    let result = run(op, governor);
+    op.close();
+    result
+}
+
 /// Executes a (static or dynamic) plan end-to-end: runs the start-up-time
-/// decision procedure against the bindings, compiles the resolved plan,
-/// drains it, and reports both the execution summary (simulated I/O + CPU)
-/// and the start-up result.
+/// decision procedure against the bindings, compiles the plan — mapping
+/// choose-plan nodes to the run-time [`crate::ChoosePlanExec`], so a
+/// retryable failure in the chosen alternative falls back to the next one
+/// — drains it, and reports both the execution summary (simulated I/O +
+/// CPU + fallbacks taken) and the start-up result.
+///
+/// No resource limits are enforced; use [`execute_plan_with`] for that.
+///
+/// # Errors
+/// Any [`ExecError`] from compilation or execution.
 pub fn execute_plan(
     plan: &Arc<PlanNode>,
     db: &StoredDatabase,
@@ -217,21 +221,41 @@ pub fn execute_plan(
     env: &Environment,
     bindings: &Bindings,
 ) -> Result<(ExecSummary, StartupResult), ExecError> {
+    execute_plan_with(plan, db, catalog, env, bindings, ResourceLimits::unlimited())
+}
+
+/// [`execute_plan`] with resource governance: the query runs under a
+/// [`ResourceGovernor`] enforcing `limits` (memory grant, row / I/O
+/// budgets, wall-clock deadline).
+///
+/// # Errors
+/// Any [`ExecError`], including [`ExecError::ResourceExhausted`] when a
+/// budget is exceeded.
+pub fn execute_plan_with(
+    plan: &Arc<PlanNode>,
+    db: &StoredDatabase,
+    catalog: &Catalog,
+    env: &Environment,
+    bindings: &Bindings,
+    limits: ResourceLimits,
+) -> Result<(ExecSummary, StartupResult), ExecError> {
     let startup = evaluate_startup(plan, catalog, env, bindings);
     let memory_pages = bindings
         .memory_pages
         .unwrap_or_else(|| env.memory.expected());
     let memory_bytes = (memory_pages * catalog.config.page_size as f64) as usize;
-    let counters = SharedCounters::new();
+    let ctx = ExecContext::with_limits(SharedCounters::new(), limits);
     let io_before = db.disk.stats();
-    let mut op = compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, &counters)?;
-    let rows = drain(op.as_mut()).len() as u64;
+    let mut op =
+        crate::choose::compile_dynamic_plan(plan, db, catalog, env, bindings, memory_bytes, &ctx)?;
+    let rows = drain_root(op.as_mut(), &ctx.governor)?;
     let io = db.disk.stats().since(&io_before);
     Ok((
         ExecSummary {
             rows,
-            cpu: counters.snapshot(),
+            cpu: ctx.counters.snapshot(),
             io,
+            fallbacks: ctx.counters.fallbacks(),
         },
         startup,
     ))
@@ -240,7 +264,8 @@ pub fn execute_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dqep_algebra::{CompareOp, LogicalExpr};
+    use crate::exec::drain;
+    use dqep_algebra::{CompareOp, HostVar, LogicalExpr};
     use dqep_catalog::{CatalogBuilder, SystemConfig};
     use dqep_core::Optimizer;
 
@@ -284,6 +309,7 @@ mod tests {
             let expected = table
                 .heap
                 .scan()
+                .map(Result::unwrap)
                 .filter(|rec| table.decode(rec)[0] < v)
                 .count() as u64;
             assert_eq!(summary.rows, expected, "binding {v}");
@@ -302,12 +328,11 @@ mod tests {
             .plan;
         assert!(plan.is_choose_plan());
         let bindings = Bindings::new().with_value(HostVar(0), 120);
-        let counters = SharedCounters::new();
+        let ctx = ExecContext::new(SharedCounters::new());
         let mut results: Vec<u64> = Vec::new();
         for alt in &plan.children {
-            let mut op =
-                compile_plan(alt, &db, &cat, &bindings, 1 << 20, &counters).unwrap();
-            results.push(drain(op.as_mut()).len() as u64);
+            let mut op = compile_plan(alt, &db, &cat, &bindings, 1 << 20, &ctx).unwrap();
+            results.push(drain(op.as_mut()).unwrap().len() as u64);
         }
         assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
     }
@@ -327,16 +352,16 @@ mod tests {
             let startup = evaluate_startup(&plan, &cat, &env, &bindings);
             let mut times = Vec::new();
             for alt in &plan.children {
-                let counters = SharedCounters::new();
+                let ctx = ExecContext::new(SharedCounters::new());
                 let before = db.disk.stats();
-                let mut op =
-                    compile_plan(alt, &db, &cat, &bindings, 1 << 20, &counters).unwrap();
-                let _ = drain(op.as_mut());
+                let mut op = compile_plan(alt, &db, &cat, &bindings, 1 << 20, &ctx).unwrap();
+                let _ = drain(op.as_mut()).unwrap();
                 let io = db.disk.stats().since(&before);
                 let summary = ExecSummary {
                     rows: 0,
-                    cpu: counters.snapshot(),
+                    cpu: ctx.counters.snapshot(),
                     io,
+                    fallbacks: 0,
                 };
                 times.push(summary.simulated_seconds(&cat.config));
             }
@@ -374,8 +399,10 @@ mod tests {
         // Ground truth: nested loops over raw heap scans.
         let rt = db.table(r.id);
         let st = db.table(s.id);
-        let r_rows: Vec<Vec<i64>> = rt.heap.scan().map(|rec| rt.decode(&rec)).collect();
-        let s_rows: Vec<Vec<i64>> = st.heap.scan().map(|rec| st.decode(&rec)).collect();
+        let r_rows: Vec<Vec<i64>> =
+            rt.heap.scan().map(|rec| rt.decode(&rec.unwrap())).collect();
+        let s_rows: Vec<Vec<i64>> =
+            st.heap.scan().map(|rec| st.decode(&rec.unwrap())).collect();
         let expected = r_rows
             .iter()
             .filter(|row| row[0] < 100)
@@ -384,6 +411,7 @@ mod tests {
         assert_eq!(summary.rows, expected);
         assert!(summary.io.total() > 0);
         assert!(summary.cpu.records > 0);
+        assert_eq!(summary.fallbacks, 0, "no faults: no fallbacks");
     }
 
     #[test]
@@ -415,8 +443,54 @@ mod tests {
             &cat,
             &Bindings::new().with_value(HostVar(0), 1),
             1 << 20,
-            &SharedCounters::new(),
+            &ExecContext::new(SharedCounters::new()),
         );
         assert_eq!(err.err(), Some(ExecError::UnresolvedChoosePlan));
+    }
+
+    #[test]
+    fn row_limit_aborts_execution() {
+        let (cat, db) = fixture();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env)
+            .optimize(&select_query(&cat))
+            .unwrap()
+            .plan;
+        let bindings = Bindings::new().with_value(HostVar(0), 400);
+        let limits = ResourceLimits {
+            max_rows: Some(10),
+            ..ResourceLimits::default()
+        };
+        let err = execute_plan_with(&plan, &db, &cat, &env, &bindings, limits).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::ResourceExhausted(crate::error::Resource::Rows { limit: 10 })
+        );
+        // The same query under a generous limit succeeds.
+        let limits = ResourceLimits {
+            max_rows: Some(1_000_000),
+            ..ResourceLimits::default()
+        };
+        assert!(execute_plan_with(&plan, &db, &cat, &env, &bindings, limits).is_ok());
+    }
+
+    #[test]
+    fn io_limit_aborts_execution() {
+        let (cat, db) = fixture();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env)
+            .optimize(&select_query(&cat))
+            .unwrap()
+            .plan;
+        let bindings = Bindings::new().with_value(HostVar(0), 400);
+        let limits = ResourceLimits {
+            max_io: Some(2),
+            ..ResourceLimits::default()
+        };
+        let err = execute_plan_with(&plan, &db, &cat, &env, &bindings, limits).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::ResourceExhausted(crate::error::Resource::Io { limit: 2 })
+        );
     }
 }

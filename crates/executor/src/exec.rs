@@ -1,17 +1,32 @@
 //! The Volcano iterator interface.
 
+use crate::error::ExecError;
 use crate::tuple::{Tuple, TupleLayout};
 
 /// A demand-driven query operator (Volcano iterator model): `open`
 /// prepares state (and may consume inputs eagerly for stop-and-go
 /// operators like sort and hash-join build), `next` produces one tuple at
 /// a time, `close` releases state.
+///
+/// `open` and `next` are fallible: storage faults, resource-governor
+/// aborts and cancellation surface as [`ExecError`] instead of panics, so
+/// a choose-plan operator can catch a retryable `open` failure and fall
+/// back to another alternative. `close` stays infallible — teardown must
+/// always succeed so errors propagate without leaking operator state.
 pub trait Operator {
     /// Prepares the operator; must be called before `next`.
-    fn open(&mut self);
+    ///
+    /// # Errors
+    /// Any [`ExecError`]; blocking operators do their buffering here, so
+    /// memory exhaustion and most storage faults surface from `open`.
+    fn open(&mut self) -> Result<(), ExecError>;
 
-    /// Produces the next tuple, or `None` when exhausted.
-    fn next(&mut self) -> Option<Tuple>;
+    /// Produces the next tuple, or `Ok(None)` when exhausted.
+    ///
+    /// # Errors
+    /// Any [`ExecError`]. After an error the operator's state is
+    /// unspecified; callers should `close` it and not call `next` again.
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError>;
 
     /// Releases resources; the operator may not be reopened.
     fn close(&mut self);
@@ -21,12 +36,22 @@ pub trait Operator {
 }
 
 /// Drains an operator to completion, returning all tuples.
-pub fn drain(op: &mut dyn Operator) -> Vec<Tuple> {
-    let mut out = Vec::new();
-    op.open();
-    while let Some(t) = op.next() {
-        out.push(t);
+///
+/// The operator is closed on success *and* on error, so buffered state
+/// and memory reservations are released either way.
+///
+/// # Errors
+/// The first [`ExecError`] raised by `open` or `next`.
+pub fn drain(op: &mut dyn Operator) -> Result<Vec<Tuple>, ExecError> {
+    fn run(op: &mut dyn Operator, out: &mut Vec<Tuple>) -> Result<(), ExecError> {
+        op.open()?;
+        while let Some(t) = op.next()? {
+            out.push(t);
+        }
+        Ok(())
     }
+    let mut out = Vec::new();
+    let result = run(op, &mut out);
     op.close();
-    out
+    result.map(|()| out)
 }

@@ -2,7 +2,8 @@
 
 use dqep_algebra::CompareOp;
 
-use crate::metrics::SharedCounters;
+use crate::error::ExecError;
+use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
 use crate::Operator;
 
@@ -44,33 +45,31 @@ impl ResolvedPred {
 pub struct FilterExec<'a> {
     input: Box<dyn Operator + 'a>,
     pred: ResolvedPred,
-    counters: SharedCounters,
+    ctx: ExecContext,
 }
 
 impl<'a> FilterExec<'a> {
     /// Creates a filter over `input`.
     #[must_use]
-    pub fn new(input: Box<dyn Operator + 'a>, pred: ResolvedPred, counters: SharedCounters) -> Self {
-        FilterExec {
-            input,
-            pred,
-            counters,
-        }
+    pub fn new(input: Box<dyn Operator + 'a>, pred: ResolvedPred, ctx: ExecContext) -> Self {
+        FilterExec { input, pred, ctx }
     }
 }
 
 impl Operator for FilterExec<'_> {
-    fn open(&mut self) {
-        self.input.open();
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.input.open()
     }
 
-    fn next(&mut self) -> Option<Tuple> {
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         loop {
-            let t = self.input.next()?;
-            self.counters.add_compares(1);
+            let Some(t) = self.input.next()? else {
+                return Ok(None);
+            };
+            self.ctx.counters.add_compares(1);
             if self.pred.matches(&t) {
-                self.counters.add_records(1);
-                return Some(t);
+                self.ctx.counters.add_records(1);
+                return Ok(Some(t));
             }
         }
     }

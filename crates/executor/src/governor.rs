@@ -1,0 +1,303 @@
+//! Per-query resource governance and cooperative cancellation.
+//!
+//! A [`ResourceGovernor`] is shared (cheaply cloned) by every operator of
+//! one query. It enforces the query's memory grant — buffering operators
+//! *reserve* bytes before holding rows and abort with
+//! [`ExecError::ResourceExhausted`] instead of silently exceeding the
+//! grant — plus optional row, I/O and wall-clock budgets, and carries a
+//! cancellation flag that operators check once per produced tuple.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::{ExecError, Resource};
+use crate::metrics::SharedCounters;
+
+/// Budgets a query must stay within. `None` means unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceLimits {
+    /// Cap on bytes simultaneously reserved by buffering operators
+    /// (sort buffers, hash tables). This is the *enforced* side of the
+    /// memory grant the optimizer planned with.
+    pub memory_bytes: Option<u64>,
+    /// Cap on result rows produced by the query root.
+    pub max_rows: Option<u64>,
+    /// Cap on accounted page I/Os performed by the query.
+    pub max_io: Option<u64>,
+    /// Wall-clock deadline in milliseconds, measured from governor
+    /// creation.
+    pub wall_clock_ms: Option<u64>,
+}
+
+impl ResourceLimits {
+    /// No budgets at all.
+    #[must_use]
+    pub fn unlimited() -> ResourceLimits {
+        ResourceLimits::default()
+    }
+}
+
+#[derive(Debug)]
+struct GovernorInner {
+    limits: ResourceLimits,
+    memory_used: AtomicU64,
+    memory_peak: AtomicU64,
+    rows: AtomicU64,
+    io: AtomicU64,
+    cancelled: AtomicBool,
+    started: Instant,
+    /// Ticks since the wall clock was last consulted; `check` only calls
+    /// `Instant::now` every [`CLOCK_STRIDE`] ticks.
+    clock_ticks: AtomicU64,
+}
+
+/// How many `check` calls elapse between wall-clock reads.
+const CLOCK_STRIDE: u64 = 64;
+
+/// Shared enforcement of one query's [`ResourceLimits`].
+///
+/// Clones share state; hand one clone to every operator of a query.
+#[derive(Debug, Clone)]
+pub struct ResourceGovernor {
+    inner: Arc<GovernorInner>,
+}
+
+impl ResourceGovernor {
+    /// A governor enforcing `limits`, with its wall clock starting now.
+    #[must_use]
+    pub fn new(limits: ResourceLimits) -> ResourceGovernor {
+        ResourceGovernor {
+            inner: Arc::new(GovernorInner {
+                limits,
+                memory_used: AtomicU64::new(0),
+                memory_peak: AtomicU64::new(0),
+                rows: AtomicU64::new(0),
+                io: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+                started: Instant::now(),
+                clock_ticks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A governor with no budgets.
+    #[must_use]
+    pub fn unlimited() -> ResourceGovernor {
+        ResourceGovernor::new(ResourceLimits::unlimited())
+    }
+
+    /// Reserves `bytes` of working memory for a buffering operator.
+    ///
+    /// # Errors
+    /// [`ExecError::ResourceExhausted`] with [`Resource::Memory`] if the
+    /// reservation would push usage past the memory limit. Nothing is
+    /// reserved on failure.
+    pub fn try_reserve_memory(&self, bytes: u64) -> Result<(), ExecError> {
+        let used = self.inner.memory_used.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        if let Some(limit) = self.inner.limits.memory_bytes {
+            if used > limit {
+                self.inner.memory_used.fetch_sub(bytes, Ordering::SeqCst);
+                return Err(ExecError::ResourceExhausted(Resource::Memory {
+                    requested: bytes,
+                    limit,
+                }));
+            }
+        }
+        self.inner.memory_peak.fetch_max(used, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Returns `bytes` previously reserved with [`Self::try_reserve_memory`].
+    pub fn release_memory(&self, bytes: u64) {
+        let prev = self.inner.memory_used.fetch_sub(bytes, Ordering::SeqCst);
+        debug_assert!(prev >= bytes, "released more memory than reserved");
+    }
+
+    /// Bytes currently reserved.
+    #[must_use]
+    pub fn memory_used(&self) -> u64 {
+        self.inner.memory_used.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of reserved bytes.
+    #[must_use]
+    pub fn memory_peak(&self) -> u64 {
+        self.inner.memory_peak.load(Ordering::SeqCst)
+    }
+
+    /// Charges `n` result rows against the row budget.
+    ///
+    /// # Errors
+    /// [`ExecError::ResourceExhausted`] with [`Resource::Rows`] once the
+    /// budget is exceeded.
+    pub fn charge_rows(&self, n: u64) -> Result<(), ExecError> {
+        let rows = self.inner.rows.fetch_add(n, Ordering::SeqCst) + n;
+        if let Some(limit) = self.inner.limits.max_rows {
+            if rows > limit {
+                return Err(ExecError::ResourceExhausted(Resource::Rows { limit }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` page I/Os against the I/O budget.
+    ///
+    /// # Errors
+    /// [`ExecError::ResourceExhausted`] with [`Resource::Io`] once the
+    /// budget is exceeded.
+    pub fn charge_io(&self, n: u64) -> Result<(), ExecError> {
+        let io = self.inner.io.fetch_add(n, Ordering::SeqCst) + n;
+        if let Some(limit) = self.inner.limits.max_io {
+            if io > limit {
+                return Err(ExecError::ResourceExhausted(Resource::Io { limit }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Requests cooperative cancellation; operators notice at their next
+    /// [`Self::check`].
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Cancellation and deadline check; operators call this once per
+    /// produced tuple. The cancellation flag is read every time; the wall
+    /// clock only every [`CLOCK_STRIDE`] calls to keep `next()` cheap.
+    ///
+    /// # Errors
+    /// [`ExecError::Cancelled`] after [`Self::cancel`];
+    /// [`ExecError::ResourceExhausted`] with [`Resource::WallClock`] past
+    /// the deadline.
+    pub fn check(&self) -> Result<(), ExecError> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Err(ExecError::Cancelled);
+        }
+        if let Some(limit_ms) = self.inner.limits.wall_clock_ms {
+            let ticks = self.inner.clock_ticks.fetch_add(1, Ordering::Relaxed);
+            if ticks.is_multiple_of(CLOCK_STRIDE)
+                && self.inner.started.elapsed().as_millis() as u64 > limit_ms
+            {
+                return Err(ExecError::ResourceExhausted(Resource::WallClock { limit_ms }));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything a compiled operator needs from its query: CPU accounting
+/// plus resource governance. Cloning shares both.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Simulated-CPU and fallback counters for the query.
+    pub counters: SharedCounters,
+    /// The query's resource governor.
+    pub governor: ResourceGovernor,
+}
+
+impl ExecContext {
+    /// A context around `counters` with an unlimited governor.
+    #[must_use]
+    pub fn new(counters: SharedCounters) -> ExecContext {
+        ExecContext {
+            counters,
+            governor: ResourceGovernor::unlimited(),
+        }
+    }
+
+    /// A context around `counters` enforcing `limits`.
+    #[must_use]
+    pub fn with_limits(counters: SharedCounters, limits: ResourceLimits) -> ExecContext {
+        ExecContext {
+            counters,
+            governor: ResourceGovernor::new(limits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_reservations_enforce_the_grant() {
+        let gov = ResourceGovernor::new(ResourceLimits {
+            memory_bytes: Some(100),
+            ..ResourceLimits::default()
+        });
+        gov.try_reserve_memory(60).unwrap();
+        gov.try_reserve_memory(40).unwrap();
+        let err = gov.try_reserve_memory(1).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::ResourceExhausted(Resource::Memory { requested: 1, limit: 100 })
+        );
+        assert_eq!(gov.memory_used(), 100, "failed reservation not charged");
+        gov.release_memory(60);
+        gov.try_reserve_memory(30).unwrap();
+        assert_eq!(gov.memory_peak(), 100);
+    }
+
+    #[test]
+    fn row_and_io_budgets() {
+        let gov = ResourceGovernor::new(ResourceLimits {
+            max_rows: Some(3),
+            max_io: Some(2),
+            ..ResourceLimits::default()
+        });
+        for _ in 0..3 {
+            gov.charge_rows(1).unwrap();
+        }
+        assert_eq!(
+            gov.charge_rows(1).unwrap_err(),
+            ExecError::ResourceExhausted(Resource::Rows { limit: 3 })
+        );
+        gov.charge_io(2).unwrap();
+        assert_eq!(
+            gov.charge_io(1).unwrap_err(),
+            ExecError::ResourceExhausted(Resource::Io { limit: 2 })
+        );
+    }
+
+    #[test]
+    fn cancellation_is_seen_by_clones() {
+        let gov = ResourceGovernor::unlimited();
+        let clone = gov.clone();
+        assert!(clone.check().is_ok());
+        gov.cancel();
+        assert!(gov.is_cancelled());
+        assert_eq!(clone.check().unwrap_err(), ExecError::Cancelled);
+    }
+
+    #[test]
+    fn zero_wall_clock_deadline_trips_first_check() {
+        let gov = ResourceGovernor::new(ResourceLimits {
+            wall_clock_ms: Some(0),
+            ..ResourceLimits::default()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        // Tick 0 always reads the clock, so the very first check trips.
+        assert_eq!(
+            gov.check().unwrap_err(),
+            ExecError::ResourceExhausted(Resource::WallClock { limit_ms: 0 })
+        );
+    }
+
+    #[test]
+    fn unlimited_governor_never_objects() {
+        let gov = ResourceGovernor::unlimited();
+        gov.try_reserve_memory(u64::MAX / 2).unwrap();
+        gov.charge_rows(1_000_000).unwrap();
+        gov.charge_io(1_000_000).unwrap();
+        for _ in 0..200 {
+            gov.check().unwrap();
+        }
+    }
+}

@@ -7,6 +7,12 @@
 //! into accounted temporary files, then each partition pair is joined in
 //! memory — the extra write+read pass over both inputs is exactly what the
 //! cost model charges.
+//!
+//! Build-side rows are *reserved* with the query's resource governor
+//! before they are held — both the resident build table and each Grace
+//! partition's rebuilt table — so a governor limit below what the chosen
+//! strategy needs surfaces as [`ExecError::ResourceExhausted`] instead of
+//! silently exceeding the grant.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -15,6 +21,8 @@ use std::hash::{Hash, Hasher};
 use dqep_storage::gen::{decode_record, encode_record};
 use dqep_storage::{HeapFile, SimDisk};
 
+use crate::error::ExecError;
+use crate::governor::ExecContext;
 use crate::metrics::SharedCounters;
 use crate::tuple::{Tuple, TupleLayout};
 use crate::Operator;
@@ -85,10 +93,12 @@ pub struct HashJoinExec<'a> {
     probe: Box<dyn Operator + 'a>,
     keys: Keys,
     layout: TupleLayout,
-    counters: SharedCounters,
+    ctx: ExecContext,
     disk: SimDisk,
     /// Memory budget in bytes for the build table.
     budget_bytes: usize,
+    /// Bytes currently reserved with the governor; released in `close`.
+    reserved: u64,
     state: State,
     pending: Vec<Tuple>,
 }
@@ -100,7 +110,7 @@ impl<'a> HashJoinExec<'a> {
         build: Box<dyn Operator + 'a>,
         probe: Box<dyn Operator + 'a>,
         keys: Keys,
-        counters: SharedCounters,
+        ctx: ExecContext,
         disk: SimDisk,
         budget_bytes: usize,
     ) -> Self {
@@ -110,70 +120,99 @@ impl<'a> HashJoinExec<'a> {
             probe,
             keys,
             layout,
-            counters,
+            ctx,
             disk,
             budget_bytes,
+            reserved: 0,
             state: State::Closed,
             pending: Vec::new(),
         }
     }
+
+    fn reserve(&mut self, bytes: u64) -> Result<(), ExecError> {
+        self.ctx.governor.try_reserve_memory(bytes)?;
+        self.reserved += bytes;
+        Ok(())
+    }
+
+    fn release(&mut self, bytes: u64) {
+        self.ctx.governor.release_memory(bytes);
+        self.reserved -= bytes;
+    }
 }
 
 impl Operator for HashJoinExec<'_> {
-    fn open(&mut self) {
+    fn open(&mut self) -> Result<(), ExecError> {
         self.pending.clear();
-        self.build.open();
+        self.build.open()?;
+        let build_row_bytes = self.build.layout().row_bytes;
         let mut build_rows = Vec::new();
-        while let Some(t) = self.build.next() {
+        loop {
+            self.ctx.governor.check()?;
+            let Some(t) = self.build.next()? else { break };
+            self.reserve(build_row_bytes as u64)?;
             build_rows.push(t);
         }
         self.build.close();
-        self.probe.open();
+        self.probe.open()?;
 
-        let build_bytes = build_rows.len() * self.build.layout().row_bytes;
+        let build_bytes = build_rows.len() * build_row_bytes;
         if build_bytes <= self.budget_bytes {
-            self.state = State::InMemory(build_table(&self.keys, &self.counters, build_rows));
-            return;
+            // The reservation stays held while the table is resident;
+            // `close` releases it.
+            self.state = State::InMemory(build_table(&self.keys, &self.ctx.counters, build_rows));
+            return Ok(());
         }
 
-        // Grace partitioning: spill both inputs by key hash (accounted).
-        let build_row_bytes = self.build.layout().row_bytes;
+        // Grace partitioning: spill both inputs by key hash (accounted);
+        // the buffered build rows move to disk, so release their grant.
         let probe_row_bytes = self.probe.layout().row_bytes;
         let mut build_parts: Vec<HeapFile> = (0..PARTITIONS)
             .map(|_| HeapFile::new_temp(self.disk.clone()))
             .collect();
         for row in build_rows {
-            self.counters.add_hashes(1);
+            self.ctx.counters.add_hashes(1);
             let p = (hash_key(&self.keys, &row, true) as usize) % PARTITIONS;
-            build_parts[p].append(&encode_record(&row, build_row_bytes));
+            build_parts[p].append(&encode_record(&row, build_row_bytes))?;
         }
-        build_parts.iter_mut().for_each(HeapFile::finish);
+        self.release((build_bytes) as u64);
+        for part in &mut build_parts {
+            part.finish()?;
+        }
         let mut probe_parts: Vec<HeapFile> = (0..PARTITIONS)
             .map(|_| HeapFile::new_temp(self.disk.clone()))
             .collect();
-        while let Some(row) = self.probe.next() {
-            self.counters.add_hashes(1);
+        loop {
+            self.ctx.governor.check()?;
+            let Some(row) = self.probe.next()? else { break };
+            self.ctx.counters.add_hashes(1);
             let p = (hash_key(&self.keys, &row, false) as usize) % PARTITIONS;
-            probe_parts[p].append(&encode_record(&row, probe_row_bytes));
+            probe_parts[p].append(&encode_record(&row, probe_row_bytes))?;
         }
-        probe_parts.iter_mut().for_each(HeapFile::finish);
+        for part in &mut probe_parts {
+            part.finish()?;
+        }
         self.state = State::Partitioned {
             build_parts,
             probe_parts,
             part: 0,
         };
+        Ok(())
     }
 
-    fn next(&mut self) -> Option<Tuple> {
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         loop {
+            self.ctx.governor.check()?;
             if let Some(t) = self.pending.pop() {
-                return Some(t);
+                return Ok(Some(t));
             }
             match &mut self.state {
-                State::Closed => return None,
+                State::Closed => return Ok(None),
                 State::InMemory(table) => {
-                    let probe_row = self.probe.next()?;
-                    probe_into(&self.keys, &self.counters, table, &probe_row, &mut self.pending);
+                    let Some(probe_row) = self.probe.next()? else {
+                        return Ok(None);
+                    };
+                    probe_into(&self.keys, &self.ctx.counters, table, &probe_row, &mut self.pending);
                 }
                 State::Partitioned {
                     build_parts,
@@ -181,24 +220,32 @@ impl Operator for HashJoinExec<'_> {
                     part,
                 } => {
                     if *part >= PARTITIONS {
-                        return None;
+                        return Ok(None);
                     }
                     let p = *part;
                     *part += 1;
                     let build_width = self.build.layout().width();
                     let probe_width = self.probe.layout().width();
-                    let build_rows: Vec<Tuple> = build_parts[p]
-                        .scan()
-                        .map(|r| decode_record(&r, build_width))
-                        .collect();
-                    let table = build_table(&self.keys, &self.counters, build_rows);
-                    let probe_rows: Vec<Tuple> = probe_parts[p]
-                        .scan()
-                        .map(|r| decode_record(&r, probe_width))
-                        .collect();
-                    for row in &probe_rows {
-                        probe_into(&self.keys, &self.counters, &table, row, &mut self.pending);
+                    let build_row_bytes = self.build.layout().row_bytes;
+                    let mut build_rows: Vec<Tuple> = Vec::new();
+                    for record in build_parts[p].scan() {
+                        build_rows.push(decode_record(&record?, build_width));
                     }
+                    let mut probe_rows: Vec<Tuple> = Vec::new();
+                    for record in probe_parts[p].scan() {
+                        probe_rows.push(decode_record(&record?, probe_width));
+                    }
+                    // This partition's table is resident until the arm
+                    // ends; reserve it (nothing is held on failure, both
+                    // row vectors are dropped).
+                    let part_bytes = (build_rows.len() * build_row_bytes) as u64;
+                    self.ctx.governor.try_reserve_memory(part_bytes)?;
+                    let table = build_table(&self.keys, &self.ctx.counters, build_rows);
+                    for row in &probe_rows {
+                        probe_into(&self.keys, &self.ctx.counters, &table, row, &mut self.pending);
+                    }
+                    drop(table);
+                    self.ctx.governor.release_memory(part_bytes);
                     self.pending.reverse();
                 }
             }
@@ -209,6 +256,10 @@ impl Operator for HashJoinExec<'_> {
         self.probe.close();
         self.state = State::Closed;
         self.pending.clear();
+        if self.reserved > 0 {
+            self.ctx.governor.release_memory(self.reserved);
+            self.reserved = 0;
+        }
     }
 
     fn layout(&self) -> &TupleLayout {

@@ -2,10 +2,11 @@
 //! tuple.
 
 use dqep_catalog::IndexId;
-use dqep_storage::{BufferPool, SlottedPage, StoredTable};
+use dqep_storage::{BufferPool, SlottedPage, StorageError, StoredTable};
 
+use crate::error::ExecError;
 use crate::filter::ResolvedPred;
-use crate::metrics::SharedCounters;
+use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
 use crate::Operator;
 
@@ -31,13 +32,16 @@ pub struct IndexJoinExec<'a> {
     /// inner record.
     residual: Option<ResolvedPred>,
     layout: TupleLayout,
-    counters: SharedCounters,
+    ctx: ExecContext,
     pending: Vec<Tuple>,
 }
 
 impl<'a> IndexJoinExec<'a> {
     /// Creates an index join.
-    #[must_use]
+    ///
+    /// # Errors
+    /// [`ExecError::Storage`] if the buffer pool cannot be created.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         outer: Box<dyn Operator + 'a>,
         inner: &'a StoredTable,
@@ -46,12 +50,12 @@ impl<'a> IndexJoinExec<'a> {
         outer_key: usize,
         extra: Vec<(usize, usize)>,
         residual: Option<ResolvedPred>,
-        counters: SharedCounters,
+        ctx: ExecContext,
         pool_pages: usize,
-    ) -> Self {
+    ) -> Result<Self, ExecError> {
         let layout = outer.layout().concat(inner_layout);
-        let pool = BufferPool::new(inner.heap.disk().clone(), pool_pages.max(1));
-        IndexJoinExec {
+        let pool = BufferPool::new(inner.heap.disk().clone(), pool_pages.max(1))?;
+        Ok(IndexJoinExec {
             outer,
             inner,
             pool,
@@ -60,31 +64,45 @@ impl<'a> IndexJoinExec<'a> {
             extra,
             residual,
             layout,
-            counters,
+            ctx,
             pending: Vec::new(),
-        }
+        })
     }
 }
 
 impl Operator for IndexJoinExec<'_> {
-    fn open(&mut self) {
-        self.outer.open();
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.outer.open()?;
         self.pending.clear();
+        Ok(())
     }
 
-    fn next(&mut self) -> Option<Tuple> {
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         loop {
+            self.ctx.governor.check()?;
             if let Some(t) = self.pending.pop() {
-                return Some(t);
+                return Ok(Some(t));
             }
-            let outer = self.outer.next()?;
+            let Some(outer) = self.outer.next()? else {
+                return Ok(None);
+            };
             let key = outer[self.outer_key];
             let tree = &self.inner.indexes[&self.index];
-            for rid in tree.lookup(key) {
-                let page = SlottedPage::from_bytes(self.pool.read(rid.page));
-                let record = page.get(rid.slot).expect("index rid valid").to_vec();
+            for rid in tree.lookup(key)? {
+                let misses_before = self.pool.misses();
+                let page = SlottedPage::from_bytes(self.pool.read(rid.page)?);
+                if self.pool.misses() > misses_before {
+                    self.ctx.governor.charge_io(1)?;
+                }
+                let record = page
+                    .get(rid.slot)
+                    .ok_or(ExecError::Storage(StorageError::RecordNotFound {
+                        page: rid.page,
+                        slot: rid.slot,
+                    }))?
+                    .to_vec();
                 let inner = self.inner.decode(&record);
-                self.counters.add_compares(1);
+                self.ctx.counters.add_compares(1);
                 if let Some(residual) = &self.residual {
                     if !residual.matches(&inner) {
                         continue;
@@ -95,7 +113,7 @@ impl Operator for IndexJoinExec<'_> {
                 }
                 let mut joined = outer.clone();
                 joined.extend_from_slice(&inner);
-                self.counters.add_records(1);
+                self.ctx.counters.add_records(1);
                 self.pending.push(joined);
             }
             self.pending.reverse();

@@ -15,14 +15,27 @@
 //! constants the cost model uses. The end-to-end validation tests rely on
 //! this: the alternative the choose-plan operator picks at start-up must
 //! also be the faster one when actually executed.
+//!
+//! The pipeline is **fallible end to end**: `open`/`next` return
+//! `Result`, storage faults surface as [`ExecError::Storage`], and every
+//! query runs under a [`ResourceGovernor`] enforcing its memory grant plus
+//! optional row / I/O / wall-clock budgets with cooperative cancellation
+//! ([`execute_plan_with`]). A choose-plan whose chosen alternative fails
+//! *retryably* at `open` falls back to the next alternative in cost order,
+//! recording the fallback in [`ExecSummary::fallbacks`].
 
 #![warn(missing_docs)]
+// Runtime executor code must propagate errors, not panic: unwrap/expect
+// are reserved for tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod adaptive;
 mod choose;
 mod compile;
+mod error;
 mod exec;
 mod filter;
+mod governor;
 mod hash_join;
 mod index_join;
 mod merge_join;
@@ -33,7 +46,9 @@ mod tuple;
 
 pub use adaptive::{execute_adaptive, AdaptiveResult};
 pub use choose::{compile_dynamic_plan, ChoosePlanExec};
-pub use compile::{compile_plan, execute_plan, ExecError};
-pub use exec::Operator;
+pub use compile::{compile_plan, execute_plan, execute_plan_with};
+pub use error::{ExecError, Resource};
+pub use exec::{drain, Operator};
+pub use governor::{ExecContext, ResourceGovernor, ResourceLimits};
 pub use metrics::{CpuCounters, ExecSummary, SharedCounters};
 pub use tuple::{Tuple, TupleLayout};

@@ -1,6 +1,7 @@
 //! Merge join over inputs sorted on the join attributes.
 
-use crate::metrics::SharedCounters;
+use crate::error::ExecError;
+use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
 use crate::Operator;
 
@@ -16,7 +17,7 @@ pub struct MergeJoinExec<'a> {
     /// Residual (build position, probe position) equality checks.
     residual: Vec<(usize, usize)>,
     layout: TupleLayout,
-    counters: SharedCounters,
+    ctx: ExecContext,
     current_left: Option<Tuple>,
     /// The buffered group of right tuples sharing the current key.
     right_group: Vec<Tuple>,
@@ -36,7 +37,7 @@ impl<'a> MergeJoinExec<'a> {
         left_key: usize,
         right_key: usize,
         residual: Vec<(usize, usize)>,
-        counters: SharedCounters,
+        ctx: ExecContext,
     ) -> Self {
         let layout = left.layout().concat(right.layout());
         MergeJoinExec {
@@ -46,7 +47,7 @@ impl<'a> MergeJoinExec<'a> {
             right_key,
             residual,
             layout,
-            counters,
+            ctx,
             current_left: None,
             right_group: Vec::new(),
             group_pos: 0,
@@ -57,7 +58,7 @@ impl<'a> MergeJoinExec<'a> {
 
     /// Loads the group of right tuples with key == `key` (assumes the
     /// stream is positioned at or before that key group).
-    fn load_right_group(&mut self, key: i64) {
+    fn load_right_group(&mut self, key: i64) -> Result<(), ExecError> {
         self.right_group.clear();
         self.group_pos = 0;
         // Skip right tuples below the key.
@@ -65,13 +66,13 @@ impl<'a> MergeJoinExec<'a> {
             let candidate = match self.right_ahead.take() {
                 Some(t) => Some(t),
                 None if self.right_done => None,
-                None => self.right.next(),
+                None => self.right.next()?,
             };
             let Some(t) = candidate else {
                 self.right_done = true;
-                return;
+                return Ok(());
             };
-            self.counters.add_compares(1);
+            self.ctx.counters.add_compares(1);
             if t[self.right_key] < key {
                 continue;
             }
@@ -79,43 +80,45 @@ impl<'a> MergeJoinExec<'a> {
                 self.right_group.push(t);
                 // Keep pulling the whole group.
                 loop {
-                    match self.right.next() {
+                    match self.right.next()? {
                         Some(n) if n[self.right_key] == key => {
-                            self.counters.add_compares(1);
+                            self.ctx.counters.add_compares(1);
                             self.right_group.push(n);
                         }
                         Some(n) => {
-                            self.counters.add_compares(1);
+                            self.ctx.counters.add_compares(1);
                             self.right_ahead = Some(n);
-                            return;
+                            return Ok(());
                         }
                         None => {
                             self.right_done = true;
-                            return;
+                            return Ok(());
                         }
                     }
                 }
             }
             // Key overshot: stash and return with an empty group.
             self.right_ahead = Some(t);
-            return;
+            return Ok(());
         }
     }
 }
 
 impl Operator for MergeJoinExec<'_> {
-    fn open(&mut self) {
-        self.left.open();
-        self.right.open();
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.left.open()?;
+        self.right.open()?;
         self.current_left = None;
         self.right_group.clear();
         self.group_pos = 0;
         self.right_ahead = None;
         self.right_done = false;
+        Ok(())
     }
 
-    fn next(&mut self) -> Option<Tuple> {
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         loop {
+            self.ctx.governor.check()?;
             // Emit remaining pairs of the current (left, group) match.
             if let Some(left) = &self.current_left {
                 while self.group_pos < self.right_group.len() {
@@ -128,13 +131,15 @@ impl Operator for MergeJoinExec<'_> {
                     {
                         let mut joined = left.clone();
                         joined.extend_from_slice(right);
-                        self.counters.add_records(1);
-                        return Some(joined);
+                        self.ctx.counters.add_records(1);
+                        return Ok(Some(joined));
                     }
                 }
             }
             // Advance the left input.
-            let left = self.left.next()?;
+            let Some(left) = self.left.next()? else {
+                return Ok(None);
+            };
             let key = left[self.left_key];
             // Reuse the group if the key repeats; otherwise reload.
             let same_key = self
@@ -142,7 +147,7 @@ impl Operator for MergeJoinExec<'_> {
                 .first()
                 .is_some_and(|t| t[self.right_key] == key);
             if !same_key {
-                self.load_right_group(key);
+                self.load_right_group(key)?;
             }
             self.group_pos = 0;
             self.current_left = Some(left);

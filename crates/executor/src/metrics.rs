@@ -1,4 +1,5 @@
-//! Execution accounting: CPU counters and the combined summary.
+//! Execution accounting: CPU counters, fallback counts, and the combined
+//! summary.
 
 use std::sync::Arc;
 
@@ -27,10 +28,16 @@ impl CpuCounters {
     }
 }
 
+#[derive(Debug, Default)]
+struct CountersInner {
+    cpu: CpuCounters,
+    fallbacks: u64,
+}
+
 /// Shared, thread-safe counters cloned into every operator of one query.
 #[derive(Debug, Clone, Default)]
 pub struct SharedCounters {
-    inner: Arc<Mutex<CpuCounters>>,
+    inner: Arc<Mutex<CountersInner>>,
 }
 
 impl SharedCounters {
@@ -42,23 +49,35 @@ impl SharedCounters {
 
     /// Adds produced records.
     pub fn add_records(&self, n: u64) {
-        self.inner.lock().records += n;
+        self.inner.lock().cpu.records += n;
     }
 
     /// Adds comparisons.
     pub fn add_compares(&self, n: u64) {
-        self.inner.lock().compares += n;
+        self.inner.lock().cpu.compares += n;
     }
 
     /// Adds hash operations.
     pub fn add_hashes(&self, n: u64) {
-        self.inner.lock().hashes += n;
+        self.inner.lock().cpu.hashes += n;
     }
 
-    /// Snapshot of the counters.
+    /// Records choose-plan fallbacks (an alternative failed retryably and
+    /// a different one was tried).
+    pub fn add_fallbacks(&self, n: u64) {
+        self.inner.lock().fallbacks += n;
+    }
+
+    /// Fallbacks recorded so far.
+    #[must_use]
+    pub fn fallbacks(&self) -> u64 {
+        self.inner.lock().fallbacks
+    }
+
+    /// Snapshot of the CPU counters.
     #[must_use]
     pub fn snapshot(&self) -> CpuCounters {
-        *self.inner.lock()
+        self.inner.lock().cpu
     }
 }
 
@@ -71,6 +90,8 @@ pub struct ExecSummary {
     pub cpu: CpuCounters,
     /// I/O performed (query only; excludes load).
     pub io: IoStats,
+    /// Choose-plan fallbacks taken (0 when the preferred alternative ran).
+    pub fallbacks: u64,
 }
 
 impl ExecSummary {
@@ -101,12 +122,23 @@ mod tests {
     }
 
     #[test]
+    fn fallbacks_tracked_separately() {
+        let shared = SharedCounters::new();
+        assert_eq!(shared.fallbacks(), 0);
+        shared.add_fallbacks(1);
+        shared.add_fallbacks(2);
+        assert_eq!(shared.fallbacks(), 3);
+        assert_eq!(shared.snapshot(), CpuCounters::default());
+    }
+
+    #[test]
     fn summary_combines_cpu_and_io() {
         let cfg = SystemConfig::paper_1994();
         let s = ExecSummary {
             rows: 5,
             cpu: CpuCounters { records: 10, compares: 0, hashes: 0 },
             io: IoStats { seq_reads: 100, random_reads: 0, writes: 0 },
+            fallbacks: 0,
         };
         let expected = 10.0 * cfg.cpu_per_record + 100.0 * cfg.seq_page_io;
         assert!((s.simulated_seconds(&cfg) - expected).abs() < 1e-15);

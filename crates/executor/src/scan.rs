@@ -2,7 +2,8 @@
 
 use dqep_storage::{Rid, SlottedPage, StoredTable};
 
-use crate::metrics::SharedCounters;
+use crate::error::ExecError;
+use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
 use crate::Operator;
 
@@ -10,7 +11,7 @@ use crate::Operator;
 pub struct FileScanExec<'a> {
     table: &'a StoredTable,
     layout: TupleLayout,
-    counters: SharedCounters,
+    ctx: ExecContext,
     page_idx: usize,
     buffer: Vec<Tuple>,
     buffer_pos: usize,
@@ -19,11 +20,11 @@ pub struct FileScanExec<'a> {
 impl<'a> FileScanExec<'a> {
     /// Creates a scan over `table`.
     #[must_use]
-    pub fn new(table: &'a StoredTable, layout: TupleLayout, counters: SharedCounters) -> Self {
+    pub fn new(table: &'a StoredTable, layout: TupleLayout, ctx: ExecContext) -> Self {
         FileScanExec {
             table,
             layout,
-            counters,
+            ctx,
             page_idx: 0,
             buffer: Vec::new(),
             buffer_pos: 0,
@@ -32,25 +33,28 @@ impl<'a> FileScanExec<'a> {
 }
 
 impl Operator for FileScanExec<'_> {
-    fn open(&mut self) {
+    fn open(&mut self) -> Result<(), ExecError> {
         self.page_idx = 0;
         self.buffer.clear();
         self.buffer_pos = 0;
+        Ok(())
     }
 
-    fn next(&mut self) -> Option<Tuple> {
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         loop {
+            self.ctx.governor.check()?;
             if self.buffer_pos < self.buffer.len() {
                 let t = self.buffer[self.buffer_pos].clone();
                 self.buffer_pos += 1;
-                self.counters.add_records(1);
-                return Some(t);
+                self.ctx.counters.add_records(1);
+                return Ok(Some(t));
             }
             let pages = self.table.heap.pages();
             if self.page_idx >= pages.len() {
-                return None;
+                return Ok(None);
             }
-            let page = SlottedPage::from_bytes(self.table.heap.disk().read(pages[self.page_idx]));
+            self.ctx.governor.charge_io(1)?;
+            let page = SlottedPage::from_bytes(self.table.heap.disk().read(pages[self.page_idx])?);
             self.page_idx += 1;
             self.buffer = page.iter().map(|r| self.table.decode(r)).collect();
             self.buffer_pos = 0;
@@ -73,7 +77,7 @@ pub struct BtreeScanExec<'a> {
     table: &'a StoredTable,
     index: dqep_catalog::IndexId,
     layout: TupleLayout,
-    counters: SharedCounters,
+    ctx: ExecContext,
     rids: std::vec::IntoIter<Rid>,
 }
 
@@ -84,34 +88,41 @@ impl<'a> BtreeScanExec<'a> {
         table: &'a StoredTable,
         index: dqep_catalog::IndexId,
         layout: TupleLayout,
-        counters: SharedCounters,
+        ctx: ExecContext,
     ) -> Self {
         BtreeScanExec {
             table,
             index,
             layout,
-            counters,
+            ctx,
             rids: Vec::new().into_iter(),
         }
     }
 }
 
 impl Operator for BtreeScanExec<'_> {
-    fn open(&mut self) {
+    fn open(&mut self) -> Result<(), ExecError> {
         let tree = &self.table.indexes[&self.index];
         let mut rids = Vec::with_capacity(tree.len() as usize);
-        tree.scan_all(|_, rid| rids.push(rid));
+        tree.scan_all(|_, rid| rids.push(rid))?;
         self.rids = rids.into_iter();
+        Ok(())
     }
 
-    fn next(&mut self) -> Option<Tuple> {
-        let rid = self.rids.next()?;
-        let record = self.table.heap.fetch(rid).expect("index rid valid");
-        self.counters.add_records(1);
-        Some(self.table.decode(&record))
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        self.ctx.governor.check()?;
+        let Some(rid) = self.rids.next() else {
+            return Ok(None);
+        };
+        self.ctx.governor.charge_io(1)?;
+        let record = self.table.heap.fetch(rid)?;
+        self.ctx.counters.add_records(1);
+        Ok(Some(self.table.decode(&record)))
     }
 
-    fn close(&mut self) {}
+    fn close(&mut self) {
+        self.rids = Vec::new().into_iter();
+    }
 
     fn layout(&self) -> &TupleLayout {
         &self.layout
@@ -126,7 +137,7 @@ pub struct FilterBtreeScanExec<'a> {
     /// Inclusive key range derived from the (bound) predicate.
     range: (Option<i64>, Option<i64>),
     layout: TupleLayout,
-    counters: SharedCounters,
+    ctx: ExecContext,
     rids: std::vec::IntoIter<Rid>,
 }
 
@@ -138,33 +149,40 @@ impl<'a> FilterBtreeScanExec<'a> {
         index: dqep_catalog::IndexId,
         range: (Option<i64>, Option<i64>),
         layout: TupleLayout,
-        counters: SharedCounters,
+        ctx: ExecContext,
     ) -> Self {
         FilterBtreeScanExec {
             table,
             index,
             range,
             layout,
-            counters,
+            ctx,
             rids: Vec::new().into_iter(),
         }
     }
 }
 
 impl Operator for FilterBtreeScanExec<'_> {
-    fn open(&mut self) {
+    fn open(&mut self) -> Result<(), ExecError> {
         let tree = &self.table.indexes[&self.index];
-        self.rids = tree.range(self.range.0, self.range.1).into_iter();
+        self.rids = tree.range(self.range.0, self.range.1)?.into_iter();
+        Ok(())
     }
 
-    fn next(&mut self) -> Option<Tuple> {
-        let rid = self.rids.next()?;
-        let record = self.table.heap.fetch(rid).expect("index rid valid");
-        self.counters.add_records(1);
-        Some(self.table.decode(&record))
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        self.ctx.governor.check()?;
+        let Some(rid) = self.rids.next() else {
+            return Ok(None);
+        };
+        self.ctx.governor.charge_io(1)?;
+        let record = self.table.heap.fetch(rid)?;
+        self.ctx.counters.add_records(1);
+        Ok(Some(self.table.decode(&record)))
     }
 
-    fn close(&mut self) {}
+    fn close(&mut self) {
+        self.rids = Vec::new().into_iter();
+    }
 
     fn layout(&self) -> &TupleLayout {
         &self.layout

@@ -1,9 +1,10 @@
-//! External sort with memory-bounded runs.
+//! External sort with memory-bounded, governor-audited runs.
 
 use dqep_storage::gen::{decode_record, encode_record};
 use dqep_storage::{HeapFile, SimDisk};
 
-use crate::metrics::SharedCounters;
+use crate::error::ExecError;
+use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
 use crate::Operator;
 
@@ -14,12 +15,21 @@ use crate::Operator;
 /// one extra write + read pass over the data, matching the cost model's
 /// `2 × pages × passes` charge (the experiments' inputs need at most one
 /// merge pass at the minimum 16-page grant).
+///
+/// Buffered rows are *reserved* with the query's resource governor before
+/// they are held, so a grant the governor refuses to cover surfaces as
+/// [`ExecError::ResourceExhausted`] from `open` instead of silently
+/// exceeding the limit. Run formation is governed; the merge pass streams
+/// runs through fixed-size decode buffers the simulator does not charge
+/// (the classic "one page per run" merge assumption).
 pub struct SortExec<'a> {
     input: Box<dyn Operator + 'a>,
     key: usize,
-    counters: SharedCounters,
+    ctx: ExecContext,
     disk: SimDisk,
     budget_bytes: usize,
+    /// Bytes currently reserved with the governor; released in `close`.
+    reserved: u64,
     output: std::vec::IntoIter<Tuple>,
 }
 
@@ -29,16 +39,17 @@ impl<'a> SortExec<'a> {
     pub fn new(
         input: Box<dyn Operator + 'a>,
         key: usize,
-        counters: SharedCounters,
+        ctx: ExecContext,
         disk: SimDisk,
         budget_bytes: usize,
     ) -> Self {
         SortExec {
             input,
             key,
-            counters,
+            ctx,
             disk,
             budget_bytes,
+            reserved: 0,
             output: Vec::new().into_iter(),
         }
     }
@@ -46,86 +57,129 @@ impl<'a> SortExec<'a> {
     fn charge_sort_cpu(&self, n: usize) {
         if n > 1 {
             let compares = (n as f64 * (n as f64).log2()).ceil() as u64;
-            self.counters.add_compares(compares);
+            self.ctx.counters.add_compares(compares);
         }
+    }
+
+    fn reserve(&mut self, bytes: u64) -> Result<(), ExecError> {
+        self.ctx.governor.try_reserve_memory(bytes)?;
+        self.reserved += bytes;
+        Ok(())
+    }
+
+    fn release(&mut self, bytes: u64) {
+        self.ctx.governor.release_memory(bytes);
+        self.reserved -= bytes;
+    }
+
+    /// Consumes the (already open) input and leaves sorted rows in
+    /// `self.output`.
+    fn fill(&mut self) -> Result<(), ExecError> {
+        let row_bytes = self.input.layout().row_bytes;
+        let width = self.input.layout().width();
+        let budget_rows = (self.budget_bytes / row_bytes).max(1);
+        let key = self.key;
+
+        // Run formation: buffer up to one memory grant of rows; on
+        // overflow, sort the buffered chunk and spill it as a run.
+        let mut chunk: Vec<Tuple> = Vec::new();
+        let mut runs: Vec<HeapFile> = Vec::new();
+        while let Some(t) = self.input.next()? {
+            self.ctx.governor.check()?;
+            if chunk.len() >= budget_rows {
+                self.charge_sort_cpu(chunk.len());
+                chunk.sort_by_key(|t| t[key]);
+                let mut run = HeapFile::new_temp(self.disk.clone());
+                for row in &chunk {
+                    run.append(&encode_record(row, row_bytes))?;
+                }
+                run.finish()?;
+                runs.push(run);
+                self.release((chunk.len() * row_bytes) as u64);
+                chunk.clear();
+            }
+            self.reserve(row_bytes as u64)?;
+            chunk.push(t);
+        }
+
+        if runs.is_empty() {
+            // Everything fit the grant: sort in place. The reservation is
+            // held until `close` — the rows really are resident.
+            self.charge_sort_cpu(chunk.len());
+            chunk.sort_by_key(|t| t[key]);
+            self.output = chunk.into_iter();
+            return Ok(());
+        }
+
+        // The tail chunk becomes the final run.
+        if !chunk.is_empty() {
+            self.charge_sort_cpu(chunk.len());
+            chunk.sort_by_key(|t| t[key]);
+            let mut run = HeapFile::new_temp(self.disk.clone());
+            for row in &chunk {
+                run.append(&encode_record(row, row_bytes))?;
+            }
+            run.finish()?;
+            runs.push(run);
+            self.release((chunk.len() * row_bytes) as u64);
+            chunk.clear();
+        }
+
+        // Merge pass: read runs back (accounted) and k-way merge.
+        let mut streams: Vec<std::vec::IntoIter<Tuple>> = Vec::with_capacity(runs.len());
+        for run in &runs {
+            let mut rows = Vec::new();
+            for record in run.scan() {
+                rows.push(decode_record(&record?, width));
+            }
+            streams.push(rows.into_iter());
+        }
+        let mut heads: Vec<Option<Tuple>> = streams.iter_mut().map(Iterator::next).collect();
+        let mut merged = Vec::new();
+        loop {
+            let mut best: Option<(usize, i64)> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some(t) = head {
+                    self.ctx.counters.add_compares(1);
+                    let k = t[key];
+                    if best.is_none_or(|(_, bk)| k < bk) {
+                        best = Some((i, k));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            if let Some(t) = heads[i].take() {
+                merged.push(t);
+            }
+            heads[i] = streams[i].next();
+        }
+        self.output = merged.into_iter();
+        Ok(())
     }
 }
 
 impl Operator for SortExec<'_> {
-    fn open(&mut self) {
-        self.input.open();
-        let row_bytes = self.input.layout().row_bytes;
-        let width = self.input.layout().width();
-        let budget_rows = (self.budget_bytes / row_bytes).max(1);
-
-        let mut rows = Vec::new();
-        while let Some(t) = self.input.next() {
-            rows.push(t);
-        }
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.input.open()?;
+        let result = self.fill();
         self.input.close();
-
-        let key = self.key;
-        if rows.len() <= budget_rows {
-            self.charge_sort_cpu(rows.len());
-            rows.sort_by_key(|t| t[key]);
-            self.output = rows.into_iter();
-            return;
-        }
-
-        // Run formation: sort chunks of the memory grant, spill each.
-        let mut runs: Vec<HeapFile> = Vec::new();
-        for chunk in rows.chunks_mut(budget_rows) {
-            self.charge_sort_cpu(chunk.len());
-            chunk.sort_by_key(|t| t[key]);
-            let mut run = HeapFile::new_temp(self.disk.clone());
-            for row in chunk.iter() {
-                run.append(&encode_record(row, row_bytes));
-            }
-            run.finish();
-            runs.push(run);
-        }
-        drop(rows);
-
-        // Merge pass: read runs back (accounted) and k-way merge.
-        let mut streams: Vec<std::vec::IntoIter<Tuple>> = runs
-            .iter()
-            .map(|run| {
-                run.scan()
-                    .map(|r| decode_record(&r, width))
-                    .collect::<Vec<_>>()
-                    .into_iter()
-            })
-            .collect();
-        let mut heads: Vec<Option<Tuple>> = streams.iter_mut().map(Iterator::next).collect();
-        let mut merged = Vec::new();
-        loop {
-            let mut best: Option<usize> = None;
-            for (i, head) in heads.iter().enumerate() {
-                if let Some(t) = head {
-                    self.counters.add_compares(1);
-                    let better = match best {
-                        None => true,
-                        Some(b) => t[key] < heads[b].as_ref().expect("best is live")[key],
-                    };
-                    if better {
-                        best = Some(i);
-                    }
-                }
-            }
-            let Some(i) = best else { break };
-            merged.push(heads[i].take().expect("best is live"));
-            heads[i] = streams[i].next();
-        }
-        self.output = merged.into_iter();
+        result
     }
 
-    fn next(&mut self) -> Option<Tuple> {
-        let t = self.output.next()?;
-        self.counters.add_records(1);
-        Some(t)
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        self.ctx.governor.check()?;
+        let Some(t) = self.output.next() else {
+            return Ok(None);
+        };
+        self.ctx.counters.add_records(1);
+        Ok(Some(t))
     }
 
     fn close(&mut self) {
+        if self.reserved > 0 {
+            self.ctx.governor.release_memory(self.reserved);
+            self.reserved = 0;
+        }
         self.output = Vec::new().into_iter();
     }
 

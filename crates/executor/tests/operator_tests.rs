@@ -4,7 +4,7 @@
 use dqep_algebra::{CompareOp, HostVar, JoinPred, LogicalExpr, PhysicalOp, SelectPred};
 use dqep_catalog::{Catalog, CatalogBuilder, SystemConfig};
 use dqep_cost::{Bindings, Environment};
-use dqep_executor::{compile_plan, SharedCounters, Tuple};
+use dqep_executor::{compile_plan, ExecContext, SharedCounters, Tuple};
 use dqep_plan::{PlanNodeBuilder, PlanNode};
 use dqep_cost::{Cost, PlanStats};
 use dqep_interval::Interval;
@@ -37,7 +37,7 @@ fn fixture(card_r: u64, card_s: u64, jdomain: f64) -> (Catalog, StoredDatabase) 
 fn rows_of(cat: &Catalog, db: &StoredDatabase, name: &str) -> Vec<Tuple> {
     let rel = cat.relation_by_name(name).unwrap();
     let t = db.table(rel.id);
-    t.heap.scan().map(|rec| t.decode(&rec)).collect()
+    t.heap.scan().map(|rec| t.decode(&rec.unwrap())).collect()
 }
 
 /// Builds a raw physical plan node (no optimizer involved).
@@ -55,11 +55,11 @@ fn node(
 }
 
 fn run(plan: &Arc<PlanNode>, db: &StoredDatabase, cat: &Catalog, bindings: &Bindings, mem: usize) -> Vec<Tuple> {
-    let counters = SharedCounters::new();
-    let mut op = compile_plan(plan, db, cat, bindings, mem, &counters).unwrap();
-    op.open();
+    let ctx = ExecContext::new(SharedCounters::new());
+    let mut op = compile_plan(plan, db, cat, bindings, mem, &ctx).unwrap();
+    op.open().unwrap();
     let mut out = Vec::new();
-    while let Some(t) = op.next() {
+    while let Some(t) = op.next().unwrap() {
         out.push(t);
     }
     op.close();

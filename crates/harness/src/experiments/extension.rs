@@ -92,7 +92,7 @@ fn run_one(skew: f64, invocations: usize, seed: u64) -> ExtensionRow {
         .plan;
 
     let mut hist_catalog = catalog.clone();
-    install_histograms(&db, &mut hist_catalog, 32);
+    install_histograms(&db, &mut hist_catalog, 32).expect("histograms");
     let hist_plan = Optimizer::new(&hist_catalog, &env)
         .optimize(&query)
         .expect("optimize")

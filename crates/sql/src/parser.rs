@@ -68,7 +68,14 @@ impl fmt::Display for ParseError {
     }
 }
 
-impl std::error::Error for ParseError {}
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Lex(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {

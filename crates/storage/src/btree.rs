@@ -21,6 +21,7 @@
 //! measurable.
 
 use crate::disk::SimDisk;
+use crate::error::StorageError;
 use crate::heap::Rid;
 use crate::page::{PageId, PAGE_SIZE};
 
@@ -185,32 +186,45 @@ impl BTree {
 
     /// All rids whose key equals `key` (accounted reads: root-to-leaf
     /// descent plus leaf chaining).
-    #[must_use]
-    pub fn lookup(&self, key: i64) -> Vec<Rid> {
+    ///
+    /// # Errors
+    /// Propagates page-read failures (injected faults in particular).
+    pub fn lookup(&self, key: i64) -> Result<Vec<Rid>, StorageError> {
         self.range(Some(key), Some(key))
     }
 
     /// Rids with keys in `[lo, hi]` (inclusive; `None` = unbounded), in key
     /// order. Accounted reads.
-    #[must_use]
-    pub fn range(&self, lo: Option<i64>, hi: Option<i64>) -> Vec<Rid> {
+    ///
+    /// # Errors
+    /// Propagates page-read failures (injected faults in particular).
+    pub fn range(&self, lo: Option<i64>, hi: Option<i64>) -> Result<Vec<Rid>, StorageError> {
         let mut out = Vec::new();
-        self.range_scan(lo, hi, |_, rid| out.push(rid));
-        out
+        self.range_scan(lo, hi, |_, rid| out.push(rid))?;
+        Ok(out)
     }
 
     /// Streaming range scan in key order; `f(key, rid)` per entry.
-    pub fn range_scan(&self, lo: Option<i64>, hi: Option<i64>, mut f: impl FnMut(i64, Rid)) {
+    ///
+    /// # Errors
+    /// Stops at the first page-read failure and returns it; entries
+    /// already passed to `f` stand.
+    pub fn range_scan(
+        &self,
+        lo: Option<i64>,
+        hi: Option<i64>,
+        mut f: impl FnMut(i64, Rid),
+    ) -> Result<(), StorageError> {
         // Descend to the first candidate leaf.
         let mut node = self.root;
-        let mut page = self.disk.read(node);
+        let mut page = self.disk.read(node)?;
         while page[0] == KIND_INTERNAL {
             let idx = match lo {
                 Some(k) => internal_lower_bound_index(&page[..], k),
                 None => 0,
             };
             node = internal_child(&page[..], idx);
-            page = self.disk.read(node);
+            page = self.disk.read(node)?;
         }
         loop {
             let n = count(&page[..]);
@@ -222,23 +236,26 @@ impl BTree {
                 let (k, rid) = leaf_entry(&page[..], i);
                 if let Some(hi) = hi {
                     if k > hi {
-                        return;
+                        return Ok(());
                     }
                 }
                 f(k, rid);
             }
             let next = leaf_next(&page[..]);
             if !next.is_valid() {
-                return;
+                return Ok(());
             }
-            page = self.disk.read(next);
+            page = self.disk.read(next)?;
         }
     }
 
     /// Full scan in key order (accounted reads over the leaf chain only —
     /// the descent to the leftmost leaf plus the chain).
-    pub fn scan_all(&self, f: impl FnMut(i64, Rid)) {
-        self.range_scan(None, None, f);
+    ///
+    /// # Errors
+    /// Stops at the first page-read failure and returns it.
+    pub fn scan_all(&self, f: impl FnMut(i64, Rid)) -> Result<(), StorageError> {
+        self.range_scan(None, None, f)
     }
 }
 
@@ -263,7 +280,9 @@ fn set_u32(page: &mut [u8], at: usize, v: u32) {
 }
 
 fn get_u32(page: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(page[at..at + 4].try_into().expect("4 bytes"))
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&page[at..at + 4]);
+    u32::from_le_bytes(b)
 }
 
 fn set_i64(page: &mut [u8], at: usize, v: i64) {
@@ -271,7 +290,9 @@ fn set_i64(page: &mut [u8], at: usize, v: i64) {
 }
 
 fn get_i64(page: &[u8], at: usize) -> i64 {
-    i64::from_le_bytes(page[at..at + 8].try_into().expect("8 bytes"))
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&page[at..at + 8]);
+    i64::from_le_bytes(b)
 }
 
 fn leaf_next(page: &[u8]) -> PageId {
@@ -396,8 +417,8 @@ mod tests {
         }
         assert_eq!(t.len(), 50);
         assert_eq!(t.height(), 1, "50 entries fit one leaf");
-        assert_eq!(t.lookup(10), vec![rid(5)]);
-        assert_eq!(t.lookup(11), vec![]);
+        assert_eq!(t.lookup(10).unwrap(), vec![rid(5)]);
+        assert_eq!(t.lookup(11).unwrap(), vec![]);
     }
 
     #[test]
@@ -415,7 +436,8 @@ mod tests {
         t.scan_all(|k, r| {
             keys.push(k);
             assert_eq!(r, rid(k as u32));
-        });
+        })
+        .unwrap();
         assert_eq!(keys.len(), n as usize);
         assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys sorted");
         assert_eq!(keys, (0..n).collect::<Vec<_>>());
@@ -429,9 +451,9 @@ mod tests {
         }
         t.insert(41, rid(999));
         t.insert(43, rid(998));
-        let hits = t.lookup(42);
+        let hits = t.lookup(42).unwrap();
         assert_eq!(hits.len(), 300);
-        assert_eq!(t.lookup(41), vec![rid(999)]);
+        assert_eq!(t.lookup(41).unwrap(), vec![rid(999)]);
     }
 
     #[test]
@@ -440,13 +462,13 @@ mod tests {
         for i in 0..1000i64 {
             t.insert(i, rid(i as u32));
         }
-        assert_eq!(t.range(Some(10), Some(19)).len(), 10);
-        assert_eq!(t.range(None, Some(4)).len(), 5);
-        assert_eq!(t.range(Some(995), None).len(), 5);
-        assert_eq!(t.range(Some(2000), None).len(), 0);
-        assert_eq!(t.range(None, None).len(), 1000);
+        assert_eq!(t.range(Some(10), Some(19)).unwrap().len(), 10);
+        assert_eq!(t.range(None, Some(4)).unwrap().len(), 5);
+        assert_eq!(t.range(Some(995), None).unwrap().len(), 5);
+        assert_eq!(t.range(Some(2000), None).unwrap().len(), 0);
+        assert_eq!(t.range(None, None).unwrap().len(), 1000);
         // Half-open sanity: inclusive bounds.
-        assert_eq!(t.range(Some(5), Some(5)), vec![rid(5)]);
+        assert_eq!(t.range(Some(5), Some(5)).unwrap(), vec![rid(5)]);
     }
 
     #[test]
@@ -457,7 +479,7 @@ mod tests {
             t.insert(i, rid(i as u32));
         }
         assert_eq!(disk.stats().total(), 0, "construction is unaccounted");
-        let _ = t.lookup(1234);
+        let _ = t.lookup(1234).unwrap();
         let s = disk.stats();
         assert!(s.total() >= t.height() as u64, "descent reads each level");
     }
@@ -475,7 +497,24 @@ mod tests {
             last_height = t.height();
         }
         assert!(t.height() >= 3, "30k entries need 3 levels (cap 145/170)");
-        assert_eq!(t.range(Some(29_990), None).len(), 10);
-        assert_eq!(t.lookup(15_000).len(), 1);
+        assert_eq!(t.range(Some(29_990), None).unwrap().len(), 10);
+        assert_eq!(t.lookup(15_000).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn faulted_descent_errors_but_insert_is_exempt() {
+        use crate::fault::FaultPlan;
+        let disk = SimDisk::new();
+        let mut t = BTree::new(disk.clone());
+        for i in 0..2000i64 {
+            t.insert(i, rid(i as u32));
+        }
+        disk.set_fault_plan(FaultPlan::nth_read(1));
+        let err = t.lookup(100).unwrap_err();
+        assert!(err.is_injected());
+        // The plan is one-shot; the next lookup succeeds, and inserts are
+        // never affected (unaccounted access).
+        t.insert(5000, rid(1));
+        assert_eq!(t.lookup(100).unwrap(), vec![rid(100)]);
     }
 }

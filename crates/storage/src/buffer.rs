@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use crate::disk::SimDisk;
+use crate::error::StorageError;
 use crate::page::{PageId, PAGE_SIZE};
 
 /// A least-recently-used page cache.
@@ -26,39 +27,44 @@ pub struct BufferPool {
 impl BufferPool {
     /// A pool of `capacity` pages over `disk`.
     ///
-    /// # Panics
-    /// Panics on zero capacity.
-    #[must_use]
-    pub fn new(disk: SimDisk, capacity: usize) -> BufferPool {
-        assert!(capacity > 0, "buffer pool needs at least one frame");
-        BufferPool {
+    /// # Errors
+    /// [`StorageError::ZeroCapacityPool`] on zero capacity.
+    pub fn new(disk: SimDisk, capacity: usize) -> Result<BufferPool, StorageError> {
+        if capacity == 0 {
+            return Err(StorageError::ZeroCapacityPool);
+        }
+        Ok(BufferPool {
             disk,
             capacity,
             frames: HashMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,
-        }
+        })
     }
 
     /// Reads a page through the pool.
-    pub fn read(&mut self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
+    ///
+    /// # Errors
+    /// Propagates the disk's failure on a miss (unallocated page or
+    /// injected fault); hits never fail.
+    pub fn read(&mut self, id: PageId) -> Result<Box<[u8; PAGE_SIZE]>, StorageError> {
         self.clock += 1;
         let clock = self.clock;
         if let Some((data, used)) = self.frames.get_mut(&id) {
             *used = clock;
             self.hits += 1;
-            return data.clone();
+            return Ok(data.clone());
         }
         self.misses += 1;
-        let data = self.disk.read(id);
+        let data = self.disk.read(id)?;
         if self.frames.len() >= self.capacity {
             if let Some((&victim, _)) = self.frames.iter().min_by_key(|(_, (_, used))| *used) {
                 self.frames.remove(&victim);
             }
         }
         self.frames.insert(id, (data.clone(), clock));
-        data
+        Ok(data)
     }
 
     /// Cache hits so far.
@@ -98,9 +104,9 @@ mod tests {
     #[test]
     fn caches_repeated_reads() {
         let (disk, ids) = disk_with(4);
-        let mut pool = BufferPool::new(disk.clone(), 4);
+        let mut pool = BufferPool::new(disk.clone(), 4).unwrap();
         for _ in 0..10 {
-            let page = pool.read(ids[2]);
+            let page = pool.read(ids[2]).unwrap();
             assert_eq!(page[0], 2);
         }
         assert_eq!(pool.misses(), 1);
@@ -111,23 +117,36 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let (disk, ids) = disk_with(3);
-        let mut pool = BufferPool::new(disk.clone(), 2);
-        let _ = pool.read(ids[0]);
-        let _ = pool.read(ids[1]);
-        let _ = pool.read(ids[0]); // refresh 0; 1 is now LRU
-        let _ = pool.read(ids[2]); // evicts 1
+        let mut pool = BufferPool::new(disk.clone(), 2).unwrap();
+        let _ = pool.read(ids[0]).unwrap();
+        let _ = pool.read(ids[1]).unwrap();
+        let _ = pool.read(ids[0]).unwrap(); // refresh 0; 1 is now LRU
+        let _ = pool.read(ids[2]).unwrap(); // evicts 1
         assert_eq!(pool.resident(), 2);
         let before = disk.stats().total();
-        let _ = pool.read(ids[0]); // still cached
+        let _ = pool.read(ids[0]).unwrap(); // still cached
         assert_eq!(disk.stats().total(), before);
-        let _ = pool.read(ids[1]); // was evicted: miss
+        let _ = pool.read(ids[1]).unwrap(); // was evicted: miss
         assert_eq!(disk.stats().total(), before + 1);
     }
 
     #[test]
-    #[should_panic(expected = "at least one frame")]
     fn zero_capacity_rejected() {
         let (disk, _) = disk_with(1);
-        let _ = BufferPool::new(disk, 0);
+        assert_eq!(
+            BufferPool::new(disk, 0).unwrap_err(),
+            StorageError::ZeroCapacityPool
+        );
+    }
+
+    #[test]
+    fn hits_do_not_consult_fault_plan() {
+        use crate::fault::FaultPlan;
+        let (disk, ids) = disk_with(2);
+        let mut pool = BufferPool::new(disk.clone(), 2).unwrap();
+        let _ = pool.read(ids[0]).unwrap(); // cached before faults start
+        disk.set_fault_plan(FaultPlan::page_range(0, 1));
+        assert!(pool.read(ids[0]).is_ok(), "cache hit needs no disk access");
+        assert!(pool.read(ids[1]).is_err(), "miss reads through and fails");
     }
 }

@@ -1,10 +1,13 @@
-//! The simulated disk: an in-memory page store with I/O accounting.
+//! The simulated disk: an in-memory page store with I/O accounting and
+//! deterministic fault injection.
 
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 use dqep_catalog::SystemConfig;
 
+use crate::error::StorageError;
+use crate::fault::FaultPlan;
 use crate::page::{PageId, PAGE_SIZE};
 
 /// Access counters, classified the way the cost model charges them: a read
@@ -48,9 +51,17 @@ impl IoStats {
 
 #[derive(Debug)]
 struct DiskInner {
+    // Boxed so growing the page vector moves 8-byte pointers, not 2 KiB
+    // pages.
+    #[allow(clippy::vec_box)]
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
     stats: IoStats,
     last_read: Option<PageId>,
+    faults: FaultPlan,
+    /// 1-based ordinal of the next accounted read, for fault matching.
+    read_ordinal: u64,
+    /// 1-based ordinal of the next accounted write, for fault matching.
+    write_ordinal: u64,
 }
 
 /// A shared, thread-safe simulated disk.
@@ -58,6 +69,14 @@ struct DiskInner {
 /// All storage structures ([`crate::HeapFile`], [`crate::BTree`],
 /// [`crate::BufferPool`]) allocate and access pages through one `SimDisk`,
 /// so a query's total I/O is read off a single [`IoStats`].
+///
+/// # Fault injection
+///
+/// A [`FaultPlan`] installed with [`SimDisk::set_fault_plan`] fails
+/// matching **accounted** accesses with
+/// [`StorageError::InjectedFault`]. Unaccounted (load-time) access is
+/// exempt by design, so a database can always be generated and then
+/// queried under faults.
 #[derive(Debug, Clone)]
 pub struct SimDisk {
     inner: Arc<Mutex<DiskInner>>,
@@ -72,8 +91,27 @@ impl SimDisk {
                 pages: Vec::new(),
                 stats: IoStats::default(),
                 last_read: None,
+                faults: FaultPlan::none(),
+                read_ordinal: 0,
+                write_ordinal: 0,
             })),
         }
+    }
+
+    /// Installs a fault plan and resets the access ordinals it matches
+    /// against, so "fail the 3rd read" means the 3rd read *after*
+    /// installation.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut inner = self.inner.lock();
+        inner.faults = plan;
+        inner.read_ordinal = 0;
+        inner.write_ordinal = 0;
+    }
+
+    /// The currently installed fault plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.inner.lock().faults.clone()
     }
 
     /// Allocates a zeroed page; not charged as I/O (allocation happens at
@@ -93,11 +131,16 @@ impl SimDisk {
 
     /// Reads a page, charging sequential or random I/O.
     ///
-    /// # Panics
-    /// Panics on an unallocated page id.
-    #[must_use]
-    pub fn read(&self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
+    /// # Errors
+    /// [`StorageError::UnallocatedPage`] for an id outside the allocated
+    /// range; [`StorageError::InjectedFault`] when the installed fault
+    /// plan fails this read. Failed reads are still charged — the I/O was
+    /// attempted — and still advance the read ordinal.
+    pub fn read(&self, id: PageId) -> Result<Box<[u8; PAGE_SIZE]>, StorageError> {
         let mut inner = self.inner.lock();
+        if id.0 as usize >= inner.pages.len() {
+            return Err(StorageError::UnallocatedPage(id));
+        }
         let sequential = matches!(inner.last_read, Some(prev) if prev.0 + 1 == id.0);
         if sequential {
             inner.stats.seq_reads += 1;
@@ -105,25 +148,45 @@ impl SimDisk {
             inner.stats.random_reads += 1;
         }
         inner.last_read = Some(id);
-        inner.pages[id.0 as usize].clone()
+        inner.read_ordinal += 1;
+        if inner.faults.read_fails(id, inner.read_ordinal) {
+            return Err(StorageError::InjectedFault { page: id, write: false });
+        }
+        Ok(inner.pages[id.0 as usize].clone())
     }
 
     /// Writes a page, charging one write.
     ///
-    /// # Panics
-    /// Panics on an unallocated page id or wrong buffer length.
-    pub fn write(&self, id: PageId, data: &[u8]) {
-        assert_eq!(data.len(), PAGE_SIZE, "page writes are whole pages");
+    /// # Errors
+    /// [`StorageError::BadPageLength`] unless `data` is exactly one page;
+    /// [`StorageError::UnallocatedPage`] for an id outside the allocated
+    /// range; [`StorageError::InjectedFault`] when the installed fault
+    /// plan fails this write (charged, nothing stored).
+    pub fn write(&self, id: PageId, data: &[u8]) -> Result<(), StorageError> {
+        if data.len() != PAGE_SIZE {
+            return Err(StorageError::BadPageLength { got: data.len(), expected: PAGE_SIZE });
+        }
         let mut inner = self.inner.lock();
+        if id.0 as usize >= inner.pages.len() {
+            return Err(StorageError::UnallocatedPage(id));
+        }
         inner.stats.writes += 1;
+        inner.write_ordinal += 1;
+        if inner.faults.write_fails(inner.write_ordinal) {
+            return Err(StorageError::InjectedFault { page: id, write: true });
+        }
         inner.pages[id.0 as usize].copy_from_slice(data);
+        Ok(())
     }
 
     /// Reads a page **without** charging I/O — used by loaders (e.g.
     /// B-tree construction) whose effort the experiments do not account.
+    /// Exempt from fault plans.
     ///
     /// # Panics
-    /// Panics on an unallocated page id.
+    /// Panics on an unallocated page id: loaders only touch pages they
+    /// allocated themselves, so an out-of-range id here is a bug, not a
+    /// runtime fault.
     #[must_use]
     pub fn read_unaccounted(&self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
         self.inner.lock().pages[id.0 as usize].clone()
@@ -131,6 +194,11 @@ impl SimDisk {
 
     /// Writes a page **without** charging I/O — used by loaders building
     /// the initial database, which the experiments do not account.
+    /// Exempt from fault plans.
+    ///
+    /// # Panics
+    /// Panics on an unallocated page id or wrong buffer length (loader
+    /// bugs, not runtime faults).
     pub fn write_unaccounted(&self, id: PageId, data: &[u8]) {
         assert_eq!(data.len(), PAGE_SIZE, "page writes are whole pages");
         let mut inner = self.inner.lock();
@@ -139,8 +207,18 @@ impl SimDisk {
 
     /// Charges one write without transferring data — used by temp heap
     /// files that buffer a page in memory and account it when sealed.
-    pub fn note_write(&self) {
-        self.inner.lock().stats.writes += 1;
+    ///
+    /// # Errors
+    /// [`StorageError::InjectedFault`] when the installed fault plan fails
+    /// this (accounted) write.
+    pub fn note_write(&self) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        inner.stats.writes += 1;
+        inner.write_ordinal += 1;
+        if inner.faults.write_fails(inner.write_ordinal) {
+            return Err(StorageError::InjectedFault { page: PageId::INVALID, write: true });
+        }
+        Ok(())
     }
 
     /// Current counters.
@@ -150,6 +228,8 @@ impl SimDisk {
     }
 
     /// Resets counters (e.g. between the load phase and a measured query).
+    /// Fault-plan ordinals are left alone; use [`SimDisk::set_fault_plan`]
+    /// to restart those.
     pub fn reset_stats(&self) {
         let mut inner = self.inner.lock();
         inner.stats = IoStats::default();
@@ -171,11 +251,11 @@ mod tests {
     fn sequential_vs_random_classification() {
         let disk = SimDisk::new();
         let ids: Vec<PageId> = (0..4).map(|_| disk.allocate()).collect();
-        let _ = disk.read(ids[0]); // first read: random
-        let _ = disk.read(ids[1]); // sequential
-        let _ = disk.read(ids[2]); // sequential
-        let _ = disk.read(ids[0]); // random (backwards)
-        let _ = disk.read(ids[3]); // random (skip)
+        let _ = disk.read(ids[0]).unwrap(); // first read: random
+        let _ = disk.read(ids[1]).unwrap(); // sequential
+        let _ = disk.read(ids[2]).unwrap(); // sequential
+        let _ = disk.read(ids[0]).unwrap(); // random (backwards)
+        let _ = disk.read(ids[3]).unwrap(); // random (skip)
         let s = disk.stats();
         assert_eq!(s.seq_reads, 2);
         assert_eq!(s.random_reads, 3);
@@ -189,8 +269,8 @@ mod tests {
         let mut buf = [0u8; PAGE_SIZE];
         buf[0] = 42;
         buf[PAGE_SIZE - 1] = 7;
-        disk.write(id, &buf);
-        let back = disk.read(id);
+        disk.write(id, &buf).unwrap();
+        let back = disk.read(id).unwrap();
         assert_eq!(back[0], 42);
         assert_eq!(back[PAGE_SIZE - 1], 7);
         assert_eq!(disk.stats().writes, 1);
@@ -225,18 +305,84 @@ mod tests {
         let disk = SimDisk::new();
         let a = disk.allocate();
         let b = disk.allocate();
-        let _ = disk.read(a);
+        let _ = disk.read(a).unwrap();
         disk.reset_stats();
         assert_eq!(disk.stats(), IoStats::default());
         // After reset, even the "next" page counts as random.
-        let _ = disk.read(b);
+        let _ = disk.read(b).unwrap();
         assert_eq!(disk.stats().random_reads, 1);
     }
 
     #[test]
-    #[should_panic]
-    fn reading_unallocated_page_panics() {
+    fn reading_unallocated_page_errors() {
         let disk = SimDisk::new();
-        let _ = disk.read(PageId(5));
+        assert_eq!(
+            disk.read(PageId(5)).unwrap_err(),
+            StorageError::UnallocatedPage(PageId(5))
+        );
+        assert_eq!(
+            disk.write(PageId(5), &[0u8; PAGE_SIZE]).unwrap_err(),
+            StorageError::UnallocatedPage(PageId(5))
+        );
+    }
+
+    #[test]
+    fn short_write_errors() {
+        let disk = SimDisk::new();
+        let id = disk.allocate();
+        assert_eq!(
+            disk.write(id, &[0u8; 7]).unwrap_err(),
+            StorageError::BadPageLength { got: 7, expected: PAGE_SIZE }
+        );
+        assert_eq!(disk.stats().writes, 0, "rejected before being charged");
+    }
+
+    #[test]
+    fn nth_read_fault_fires_once() {
+        let disk = SimDisk::new();
+        let id = disk.allocate();
+        disk.set_fault_plan(FaultPlan::nth_read(2));
+        assert!(disk.read(id).is_ok());
+        let err = disk.read(id).unwrap_err();
+        assert!(err.is_injected());
+        assert!(disk.read(id).is_ok(), "fault is one-shot by ordinal");
+        // Failed reads are still charged.
+        assert_eq!(disk.stats().seq_reads + disk.stats().random_reads, 3);
+    }
+
+    #[test]
+    fn page_range_fault_spares_unaccounted_access() {
+        let disk = SimDisk::new();
+        let a = disk.allocate();
+        let b = disk.allocate();
+        disk.set_fault_plan(FaultPlan::page_range(1, 1));
+        assert!(disk.read(a).is_ok());
+        assert!(disk.read(b).is_err());
+        // Loaders bypass the plan entirely.
+        let _ = disk.read_unaccounted(b);
+        disk.write_unaccounted(b, &[1u8; PAGE_SIZE]);
+    }
+
+    #[test]
+    fn write_faults_hit_note_write_too() {
+        let disk = SimDisk::new();
+        let id = disk.allocate();
+        let mut plan = FaultPlan::none();
+        plan.fail_nth_writes = vec![2];
+        disk.set_fault_plan(plan);
+        assert!(disk.write(id, &[0u8; PAGE_SIZE]).is_ok());
+        let err = disk.note_write().unwrap_err();
+        assert_eq!(err, StorageError::InjectedFault { page: PageId::INVALID, write: true });
+        assert!(disk.note_write().is_ok());
+    }
+
+    #[test]
+    fn set_fault_plan_resets_ordinals() {
+        let disk = SimDisk::new();
+        let id = disk.allocate();
+        let _ = disk.read(id).unwrap();
+        let _ = disk.read(id).unwrap();
+        disk.set_fault_plan(FaultPlan::nth_read(1));
+        assert!(disk.read(id).is_err(), "ordinal restarted at installation");
     }
 }

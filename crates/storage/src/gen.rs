@@ -49,7 +49,9 @@ pub fn decode_record(record: &[u8], n_attrs: usize) -> Vec<i64> {
     (0..n_attrs)
         .map(|i| {
             let at = i * 8;
-            i64::from_le_bytes(record[at..at + 8].try_into().expect("8 bytes"))
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&record[at..at + 8]);
+            i64::from_le_bytes(b)
         })
         .collect()
 }
@@ -91,7 +93,7 @@ fn sample(dist: ValueDistribution, domain: i64, rng: &mut StdRng, cdf: &[f64]) -
         ValueDistribution::Zipf { .. } => {
             let u: f64 = rng.gen();
             // Binary search the precomputed CDF.
-            match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            match cdf.binary_search_by(|p| p.total_cmp(&u)) {
                 Ok(i) | Err(i) => (i as i64).min(domain - 1),
             }
         }
@@ -114,14 +116,22 @@ fn zipf_cdf(domain: i64, exponent: f64) -> Vec<f64> {
 /// of every stored table and installs them in the catalog. After this,
 /// the selectivity model's *bound* estimates reflect the actual value
 /// distribution instead of the uniform assumption.
-pub fn install_histograms(db: &StoredDatabase, catalog: &mut Catalog, buckets: usize) {
+///
+/// # Errors
+/// Propagates scan failures — possible only when a fault plan is already
+/// installed on the database's disk.
+pub fn install_histograms(
+    db: &StoredDatabase,
+    catalog: &mut Catalog,
+    buckets: usize,
+) -> Result<(), crate::StorageError> {
     let rel_ids: Vec<RelationId> = catalog.relations().iter().map(|r| r.id).collect();
     for rel_id in rel_ids {
         let table = db.table(rel_id);
         let n_attrs = table.n_attrs;
         let mut columns: Vec<Vec<i64>> = vec![Vec::new(); n_attrs];
         for record in table.heap.scan() {
-            for (i, v) in decode_record(&record, n_attrs).into_iter().enumerate() {
+            for (i, v) in decode_record(&record?, n_attrs).into_iter().enumerate() {
                 columns[i].push(v);
             }
         }
@@ -138,6 +148,7 @@ pub fn install_histograms(db: &StoredDatabase, catalog: &mut Catalog, buckets: u
         }
     }
     db.disk.reset_stats();
+    Ok(())
 }
 
 /// A fully loaded synthetic database.
@@ -205,7 +216,11 @@ impl StoredDatabase {
                     })
                     .collect();
                 let record = encode_record(&values, rel.stats.record_len as usize);
-                let rid = heap.append(&record);
+                // A fresh disk has no fault plan and base-table appends are
+                // unaccounted, so loading cannot fail.
+                let rid = heap.append(&record).unwrap_or_else(|e| {
+                    unreachable!("load-time append on a fresh disk failed: {e}")
+                });
                 for (&idx_id, tree) in &mut indexes {
                     let key_attr = catalog.index(idx_id).attr.index as usize;
                     tree.insert(values[key_attr], rid);
@@ -276,7 +291,7 @@ mod tests {
         let db = StoredDatabase::generate(&cat, 7);
         let r = db.table(cat.relation_by_name("r").unwrap().id);
         for record in r.heap.scan() {
-            let v = r.decode(&record);
+            let v = r.decode(&record.unwrap());
             assert_eq!(v.len(), 2);
             assert!((0..500).contains(&v[0]), "a in domain");
             assert!((0..100).contains(&v[1]), "j in domain");
@@ -295,17 +310,17 @@ mod tests {
 
         // Every indexed rid fetches a record whose key matches.
         for target in [0i64, 100, 499] {
-            for rid in tree.lookup(target) {
+            for rid in tree.lookup(target).unwrap() {
                 let rec = table.heap.fetch(rid).unwrap();
                 assert_eq!(table.decode(&rec)[0], target);
             }
         }
         // Range count equals heap filter count.
-        let via_index = tree.range(None, Some(99)).len();
+        let via_index = tree.range(None, Some(99)).unwrap().len();
         let via_scan = table
             .heap
             .scan()
-            .filter(|r| table.decode(r)[0] < 100)
+            .filter(|r| table.decode(r.as_ref().unwrap())[0] < 100)
             .count();
         assert_eq!(via_index, via_scan);
     }
@@ -316,11 +331,11 @@ mod tests {
         let a = StoredDatabase::generate(&cat, 9);
         let b = StoredDatabase::generate(&cat, 9);
         let rel = cat.relation_by_name("r").unwrap().id;
-        let ra: Vec<Vec<u8>> = a.table(rel).heap.scan().collect();
-        let rb: Vec<Vec<u8>> = b.table(rel).heap.scan().collect();
+        let ra: Vec<Vec<u8>> = a.table(rel).heap.scan().map(Result::unwrap).collect();
+        let rb: Vec<Vec<u8>> = b.table(rel).heap.scan().map(Result::unwrap).collect();
         assert_eq!(ra, rb);
         let c = StoredDatabase::generate(&cat, 10);
-        let rc: Vec<Vec<u8>> = c.table(rel).heap.scan().collect();
+        let rc: Vec<Vec<u8>> = c.table(rel).heap.scan().map(Result::unwrap).collect();
         assert_ne!(ra, rc);
     }
 

@@ -1,6 +1,7 @@
 //! Heap files: unordered record storage over slotted pages.
 
 use crate::disk::SimDisk;
+use crate::error::StorageError;
 use crate::page::PageId;
 use crate::slotted::SlottedPage;
 
@@ -60,28 +61,33 @@ impl HeapFile {
     /// Appends a record, returning its rid. Unaccounted for base tables;
     /// temp files ([`HeapFile::new_temp`]) charge one write per filled
     /// page (plus the tail page at [`HeapFile::finish`]).
-    pub fn append(&mut self, record: &[u8]) -> Rid {
+    ///
+    /// # Errors
+    /// Only temp files can fail, and only via an injected write fault;
+    /// load-time appends to unaccounted files always succeed.
+    pub fn append(&mut self, record: &[u8]) -> Result<Rid, StorageError> {
         loop {
-            if self.tail.is_none() {
-                let id = self.disk.allocate();
-                self.pages.push(id);
-                self.tail = Some(SlottedPage::new());
-                let _ = id;
-            }
-            let tail = self.tail.as_mut().expect("just ensured");
+            let mut tail = match self.tail.take() {
+                Some(t) => t,
+                None => {
+                    let id = self.disk.allocate();
+                    self.pages.push(id);
+                    SlottedPage::new()
+                }
+            };
             if let Some(slot) = tail.insert(record) {
-                let page = *self.pages.last().expect("page exists");
+                let page = self.pages.last().copied().unwrap_or(PageId::INVALID);
                 self.disk
                     .write_unaccounted(page, tail.as_bytes().as_slice());
                 self.records += 1;
-                return Rid { page, slot };
+                self.tail = Some(tail);
+                return Ok(Rid { page, slot });
             }
-            // Tail full: charge the finished page once for temp files.
+            // Tail full: charge the finished page once for temp files,
+            // then start a new page on the next iteration.
             if self.accounted {
-                self.disk.note_write();
+                self.disk.note_write()?;
             }
-            // Tail full: start a new page.
-            self.tail = None;
         }
     }
 
@@ -104,28 +110,44 @@ impl HeapFile {
     }
 
     /// Fetches a single record by rid (one accounted page read).
-    #[must_use]
-    pub fn fetch(&self, rid: Rid) -> Option<Vec<u8>> {
-        let page = SlottedPage::from_bytes(self.disk.read(rid.page));
-        page.get(rid.slot).map(<[u8]>::to_vec)
+    ///
+    /// # Errors
+    /// Propagates page-read failures (unallocated page, injected fault);
+    /// [`StorageError::RecordNotFound`] if the slot is empty.
+    pub fn fetch(&self, rid: Rid) -> Result<Vec<u8>, StorageError> {
+        let page = SlottedPage::from_bytes(self.disk.read(rid.page)?);
+        page.get(rid.slot)
+            .map(<[u8]>::to_vec)
+            .ok_or(StorageError::RecordNotFound { page: rid.page, slot: rid.slot })
     }
 
     /// Full scan: iterates all records in page order (accounted as
-    /// sequential reads).
-    pub fn scan(&self) -> impl Iterator<Item = Vec<u8>> + '_ {
-        self.pages.iter().flat_map(move |&pid| {
-            let page = SlottedPage::from_bytes(self.disk.read(pid));
-            let records: Vec<Vec<u8>> = page.iter().map(<[u8]>::to_vec).collect();
-            records
+    /// sequential reads). A page whose read fails yields one `Err` and the
+    /// scan moves on to the next page; callers typically stop at the first
+    /// error.
+    pub fn scan(&self) -> impl Iterator<Item = Result<Vec<u8>, StorageError>> + '_ {
+        self.pages.iter().flat_map(move |&pid| match self.disk.read(pid) {
+            Ok(page) => {
+                let records: Vec<Result<Vec<u8>, StorageError>> = SlottedPage::from_bytes(page)
+                    .iter()
+                    .map(|r| Ok(r.to_vec()))
+                    .collect();
+                records
+            }
+            Err(e) => vec![Err(e)],
         })
     }
 
     /// Flushes accounting for the partially filled tail page of a temp
     /// file. Idempotent; a no-op for unaccounted files.
-    pub fn finish(&mut self) {
+    ///
+    /// # Errors
+    /// An injected write fault can fail the flush of a temp file's tail.
+    pub fn finish(&mut self) -> Result<(), StorageError> {
         if self.accounted && self.tail.take().is_some() {
-            self.disk.note_write();
+            self.disk.note_write()?;
         }
+        Ok(())
     }
 
     /// The disk this file lives on.
@@ -144,12 +166,12 @@ mod tests {
         let disk = SimDisk::new();
         let mut heap = HeapFile::new(disk.clone());
         for i in 0..100u64 {
-            heap.append(&i.to_le_bytes());
+            heap.append(&i.to_le_bytes()).unwrap();
         }
         assert_eq!(heap.record_count(), 100);
         let values: Vec<u64> = heap
             .scan()
-            .map(|r| u64::from_le_bytes(r.as_slice().try_into().unwrap()))
+            .map(|r| u64::from_le_bytes(r.unwrap().as_slice().try_into().unwrap()))
             .collect();
         assert_eq!(values, (0..100).collect::<Vec<_>>());
     }
@@ -160,7 +182,7 @@ mod tests {
         let mut heap = HeapFile::new(disk);
         let record = [9u8; 512];
         for _ in 0..10 {
-            heap.append(&record);
+            heap.append(&record).unwrap();
         }
         // 3 × 512-byte records per 2 KB slotted page → 4 pages for 10.
         assert_eq!(heap.page_count(), 4);
@@ -173,13 +195,16 @@ mod tests {
         let mut heap = HeapFile::new(disk.clone());
         let mut rids = Vec::new();
         for i in 0..10u8 {
-            rids.push(heap.append(&[i; 512]));
+            rids.push(heap.append(&[i; 512]).unwrap());
         }
         disk.reset_stats();
         let rec = heap.fetch(rids[7]).unwrap();
         assert_eq!(rec[0], 7);
         assert_eq!(disk.stats().random_reads, 1);
-        assert!(heap.fetch(Rid { page: rids[0].page, slot: 99 }).is_none());
+        assert_eq!(
+            heap.fetch(Rid { page: rids[0].page, slot: 99 }).unwrap_err(),
+            StorageError::RecordNotFound { page: rids[0].page, slot: 99 }
+        );
     }
 
     #[test]
@@ -187,7 +212,7 @@ mod tests {
         let disk = SimDisk::new();
         let mut heap = HeapFile::new(disk.clone());
         for _ in 0..12 {
-            heap.append(&[1u8; 512]);
+            heap.append(&[1u8; 512]).unwrap();
         }
         disk.reset_stats();
         let n = heap.scan().count();
@@ -203,8 +228,41 @@ mod tests {
         let disk = SimDisk::new();
         let mut heap = HeapFile::new(disk.clone());
         for _ in 0..50 {
-            heap.append(&[0u8; 100]);
+            heap.append(&[0u8; 100]).unwrap();
         }
         assert_eq!(disk.stats().total(), 0);
+    }
+
+    #[test]
+    fn scan_surfaces_injected_faults_as_errors() {
+        use crate::fault::FaultPlan;
+        let disk = SimDisk::new();
+        let mut heap = HeapFile::new(disk.clone());
+        for _ in 0..10 {
+            heap.append(&[1u8; 512]).unwrap();
+        }
+        disk.set_fault_plan(FaultPlan::nth_read(2));
+        let outcomes: Vec<_> = heap.scan().collect();
+        assert_eq!(outcomes.iter().filter(|r| r.is_err()).count(), 1);
+        assert!(outcomes[3].is_err(), "second page read (records 3..6) fails");
+    }
+
+    #[test]
+    fn temp_append_fails_on_injected_write_fault() {
+        use crate::fault::FaultPlan;
+        let disk = SimDisk::new();
+        let mut plan = FaultPlan::none();
+        plan.fail_nth_writes = vec![1];
+        disk.set_fault_plan(plan);
+        let mut heap = HeapFile::new_temp(disk);
+        let record = [9u8; 512];
+        let mut failed = false;
+        for _ in 0..10 {
+            if heap.append(&record).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "first page-seal write should fail");
     }
 }

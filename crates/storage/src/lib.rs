@@ -22,12 +22,22 @@
 //! * [`BufferPool`] — LRU page cache with hit/miss statistics.
 //! * [`gen`] — synthetic table generation mirroring the catalog's schema
 //!   and statistics (uniform integer attributes over their domains).
+//! * [`StorageError`] / [`FaultPlan`] — fallible access APIs and
+//!   deterministic fault injection for robustness testing. Accounted
+//!   (query-time) reads and writes can fail; unaccounted (load-time)
+//!   access is exempt, so a database can always be generated and then
+//!   queried under faults.
 
 #![warn(missing_docs)]
+// Runtime storage code must propagate errors, not panic: unwrap/expect
+// are reserved for tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod btree;
 mod buffer;
 mod disk;
+mod error;
+mod fault;
 pub mod gen;
 mod heap;
 mod page;
@@ -36,6 +46,8 @@ mod slotted;
 pub use btree::BTree;
 pub use buffer::BufferPool;
 pub use disk::{IoStats, SimDisk};
+pub use error::StorageError;
+pub use fault::FaultPlan;
 pub use gen::{install_histograms, StoredDatabase, StoredTable, ValueDistribution};
 pub use heap::{HeapFile, Rid};
 pub use page::{PageId, PAGE_SIZE};

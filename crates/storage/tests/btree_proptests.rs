@@ -27,13 +27,13 @@ proptest! {
         prop_assert_eq!(tree.len(), keys.len() as u64);
 
         let mut scanned: Vec<(i64, Rid)> = Vec::new();
-        tree.scan_all(|k, r| scanned.push((k, r)));
+        tree.scan_all(|k, r| scanned.push((k, r))).unwrap();
         prop_assert_eq!(scanned.len(), keys.len());
         // Keys in non-decreasing order.
         prop_assert!(scanned.windows(2).all(|w| w[0].0 <= w[1].0));
         // Per-key rid multisets match the reference.
         for (k, rids) in &reference {
-            let mut got = tree.lookup(*k);
+            let mut got = tree.lookup(*k).unwrap();
             let mut want = rids.clone();
             got.sort();
             want.sort();
@@ -53,17 +53,17 @@ proptest! {
         for (i, &k) in keys.iter().enumerate() {
             tree.insert(k, rid(i));
         }
-        let got = tree.range(Some(lo), Some(hi)).len();
+        let got = tree.range(Some(lo), Some(hi)).unwrap().len();
         let want = keys.iter().filter(|&&k| (lo..=hi).contains(&k)).count();
         prop_assert_eq!(got, want);
 
         // Unbounded variants.
         prop_assert_eq!(
-            tree.range(Some(lo), None).len(),
+            tree.range(Some(lo), None).unwrap().len(),
             keys.iter().filter(|&&k| k >= lo).count()
         );
         prop_assert_eq!(
-            tree.range(None, Some(hi)).len(),
+            tree.range(None, Some(hi)).unwrap().len(),
             keys.iter().filter(|&&k| k <= hi).count()
         );
     }
@@ -80,9 +80,9 @@ proptest! {
             }
         }
         for k in 0..unique {
-            prop_assert_eq!(tree.lookup(k as i64).len(), copies, "key {}", k);
+            prop_assert_eq!(tree.lookup(k as i64).unwrap().len(), copies, "key {}", k);
         }
-        prop_assert_eq!(tree.range(None, None).len(), unique * copies);
+        prop_assert_eq!(tree.range(None, None).unwrap().len(), unique * copies);
     }
 }
 

@@ -66,7 +66,7 @@ fn main() {
     );
 
     let mut hist_catalog = catalog.clone();
-    install_histograms(&db, &mut hist_catalog, 32);
+    install_histograms(&db, &mut hist_catalog, 32).expect("histograms");
     let hist_plan = Optimizer::new(&hist_catalog, &env)
         .optimize(&query)
         .expect("optimize")

@@ -1,0 +1,265 @@
+//! Offline shim for `bytes`.
+//!
+//! See `shims/README.md`. Implements the subset the workspace uses:
+//! [`BytesMut`] as an append-only builder with big-endian `put_*`
+//! methods, [`Bytes`] as a cheaply-cloneable immutable view with
+//! consuming big-endian `get_*` methods, and [`Buf`]/[`BufMut`] traits
+//! naming those capabilities (the real crate's wire-compatible
+//! big-endian encoding is preserved).
+
+use std::sync::Arc;
+
+/// Read-side byte cursor operations (big-endian).
+pub trait Buf {
+    /// Bytes remaining ahead of the cursor.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes and returns a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Consumes and returns a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consumes and returns a big-endian `i64`.
+    fn get_i64(&mut self) -> i64;
+    /// Consumes and returns a big-endian `f64`.
+    fn get_f64(&mut self) -> f64;
+}
+
+/// Write-side byte sink operations (big-endian).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64);
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.data.into_boxed_slice()),
+            start: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_i64(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable, cheaply-cloneable byte sequence with an internal read
+/// cursor (advanced by the [`Buf`] `get_*` methods).
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+}
+
+impl Bytes {
+    /// A view over a static slice.
+    #[must_use]
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(s),
+            start: 0,
+        }
+    }
+
+    /// Copies a slice into a new `Bytes`.
+    #[must_use]
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(s),
+            start: 0,
+        }
+    }
+
+    /// Remaining length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether no bytes remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view of the remaining bytes.
+    #[must_use]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        let abs = (self.start + range.start)..(self.start + range.end);
+        assert!(abs.end <= self.data.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::from(&self.data[abs]),
+            start: 0,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow");
+        let s = &self.data[self.start..self.start + n];
+        self.start += n;
+        s
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+macro_rules! get_be {
+    ($self:ident, $ty:ty) => {{
+        let n = std::mem::size_of::<$ty>();
+        let mut a = [0u8; std::mem::size_of::<$ty>()];
+        a.copy_from_slice($self.take(n));
+        <$ty>::from_be_bytes(a)
+    }};
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u16(&mut self) -> u16 {
+        get_be!(self, u16)
+    }
+    fn get_u32(&mut self) -> u32 {
+        get_be!(self, u32)
+    }
+    fn get_i64(&mut self) -> i64 {
+        get_be!(self, i64)
+    }
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(get_be!(self, u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_is_big_endian() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(0xAB);
+        b.put_u16(0x0102);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_i64(-5);
+        b.put_f64(1.5);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 8);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 23);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i64(), -5);
+        assert_eq!(r.get_f64(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_and_views() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert_eq!(Bytes::from_static(&[9, 9]).len(), 2);
+        let mut c = b.clone();
+        let _ = c.get_u8();
+        assert_eq!(c.len(), 4);
+        assert_eq!(b.len(), 5, "clones advance independently");
+    }
+}

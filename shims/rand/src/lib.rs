@@ -1,0 +1,232 @@
+//! Offline shim for `rand` 0.8.
+//!
+//! See `shims/README.md`. Implements the API subset the workspace uses —
+//! `StdRng::seed_from_u64`, `Rng::gen_range` over integer/float ranges,
+//! and `Rng::gen` — on top of xoshiro256++ seeded via SplitMix64.
+//! Streams are deterministic per seed but differ from the real crate's,
+//! which only reshuffles the synthetic data the experiments generate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Derives a full seed from one `u64` (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A sample from the "standard" distribution of `T` (uniform bits for
+    /// integers, uniform `[0, 1)` for floats, fair coin for `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::gen_standard(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            // SplitMix64 seed expansion, as rand does for small seeds.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types sampleable uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from `[lo, hi]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// The largest value strictly below `self` (for half-open ranges);
+    /// for floats this is `self` itself (measure-zero endpoint).
+    fn below(self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                // Rejection-free modulo; bias is negligible for spans far
+                // below 2^64 (all workspace uses).
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $ty
+            }
+            fn below(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo <= hi, "gen_range: empty range");
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+    fn below(self) -> Self {
+        self
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        f64::sample_inclusive(f64::from(lo), f64::from(hi), rng) as f32
+    }
+    fn below(self) -> Self {
+        self
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// A single uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(self.start, self.end.below(), rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// The "standard" distribution of a type.
+pub trait Standard: Sized {
+    /// One standard sample.
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for bool {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!((0..16).any(|_| c.next_u64() != 0));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            let v: i64 = rng.gen_range(-50..50);
+            assert!((-50..50).contains(&v));
+            let w: u64 = rng.gen_range(10..=20);
+            assert!((10..=20).contains(&w));
+            let f: f64 = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+}

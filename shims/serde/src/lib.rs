@@ -1,0 +1,8 @@
+//! Offline shim for `serde`.
+//!
+//! See `shims/README.md`. The workspace uses serde purely as derive
+//! decoration on plain-old-data types; no code path serializes. The shim
+//! therefore re-exports no-op derive macros and nothing else.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no network access to the crates registry, so
+//! the workspace vendors a minimal stand-in (see `shims/README.md`). The
+//! repo only *annotates* types with `#[derive(Serialize, Deserialize)]`
+//! and never serializes, so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,193 @@
+//! Top-level error type for embedders and the command-line tool.
+//!
+//! Every layer of the workspace reports failures through its own typed
+//! error (`ParseError`, `OptimizerError`, `ExecError`, `StorageError`),
+//! each implementing [`std::error::Error`] with `source` chaining.
+//! [`DqepError`] unifies them at the crate boundary and maps each failure
+//! class to a stable process exit code, so scripts driving the CLI can
+//! distinguish "bad query" from "resource budget exhausted" from "storage
+//! fault" without parsing stderr.
+
+use std::fmt;
+
+use dqep_core::OptimizerError;
+use dqep_executor::ExecError;
+use dqep_sql::ParseError;
+use dqep_storage::StorageError;
+
+/// Unified top-level error: everything that can go wrong between a query
+/// string arriving and its last row being produced.
+#[derive(Debug)]
+pub enum DqepError {
+    /// Invalid invocation: bad flags, malformed bindings, unparsable
+    /// fault-plan or limit specs.
+    Usage(String),
+    /// The query text failed to parse or validate.
+    Sql(ParseError),
+    /// The optimizer rejected or failed to plan the query.
+    Optimizer(OptimizerError),
+    /// Execution failed (includes resource exhaustion, cancellation, and
+    /// storage faults surfaced through the pipeline).
+    Exec(ExecError),
+    /// A storage operation outside the executor failed (e.g. building
+    /// histogram statistics).
+    Storage(StorageError),
+    /// An operating-system I/O failure (e.g. writing a `--dot` file).
+    Io(std::io::Error),
+}
+
+impl DqepError {
+    /// Maps the failure class to a stable process exit code.
+    ///
+    /// | code | meaning |
+    /// |---|---|
+    /// | 0 | success |
+    /// | 1 | OS I/O or internal failure |
+    /// | 2 | usage / argument error |
+    /// | 3 | query error (SQL parse or optimizer) |
+    /// | 4 | execution failed (fatal) |
+    /// | 5 | a resource budget was exhausted |
+    /// | 6 | storage fault |
+    /// | 7 | cancelled |
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            DqepError::Usage(_) => 2,
+            DqepError::Sql(_) | DqepError::Optimizer(_) => 3,
+            DqepError::Exec(e) => match e {
+                ExecError::Storage(_) => 6,
+                ExecError::ResourceExhausted(_) => 5,
+                ExecError::Cancelled => 7,
+                _ => 4,
+            },
+            DqepError::Storage(_) => 6,
+            DqepError::Io(_) => 1,
+        }
+    }
+
+    /// True when retrying the same invocation could succeed (transient
+    /// storage faults, under-provisioned memory grants).
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            DqepError::Exec(e) => e.is_retryable(),
+            DqepError::Storage(_) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DqepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DqepError::Usage(m) => write!(f, "{m}"),
+            DqepError::Sql(e) => write!(f, "sql: {e}"),
+            DqepError::Optimizer(e) => write!(f, "optimizer: {e}"),
+            DqepError::Exec(e) => write!(f, "execution: {e}"),
+            DqepError::Storage(e) => write!(f, "storage: {e}"),
+            DqepError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DqepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DqepError::Usage(_) => None,
+            DqepError::Sql(e) => Some(e),
+            DqepError::Optimizer(e) => Some(e),
+            DqepError::Exec(e) => Some(e),
+            DqepError::Storage(e) => Some(e),
+            DqepError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for DqepError {
+    fn from(e: ParseError) -> Self {
+        DqepError::Sql(e)
+    }
+}
+
+impl From<OptimizerError> for DqepError {
+    fn from(e: OptimizerError) -> Self {
+        DqepError::Optimizer(e)
+    }
+}
+
+impl From<ExecError> for DqepError {
+    fn from(e: ExecError) -> Self {
+        DqepError::Exec(e)
+    }
+}
+
+impl From<StorageError> for DqepError {
+    fn from(e: StorageError) -> Self {
+        DqepError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for DqepError {
+    fn from(e: std::io::Error) -> Self {
+        DqepError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqep_executor::Resource;
+    use dqep_storage::PageId;
+    use std::error::Error as _;
+
+    #[test]
+    fn exit_codes_partition_the_failure_classes() {
+        assert_eq!(DqepError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(
+            DqepError::from(OptimizerError::NoPlanFound).exit_code(),
+            3
+        );
+        assert_eq!(
+            DqepError::from(ExecError::Internal("x".into())).exit_code(),
+            4
+        );
+        assert_eq!(
+            DqepError::from(ExecError::ResourceExhausted(Resource::Rows { limit: 1 }))
+                .exit_code(),
+            5
+        );
+        assert_eq!(
+            DqepError::from(ExecError::Storage(StorageError::ZeroCapacityPool)).exit_code(),
+            6
+        );
+        assert_eq!(DqepError::Exec(ExecError::Cancelled).exit_code(), 7);
+        assert_eq!(
+            DqepError::from(StorageError::ZeroCapacityPool).exit_code(),
+            6
+        );
+        assert_eq!(
+            DqepError::from(std::io::Error::other("x")).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn source_chains_to_the_layer_error() {
+        let e = DqepError::from(ExecError::Storage(StorageError::UnallocatedPage(PageId(9))));
+        let exec = e.source().expect("exec source");
+        assert!(exec.to_string().contains("storage"));
+        let storage = exec.source().expect("storage source");
+        assert!(storage.to_string().contains("p9"));
+        assert!(DqepError::Usage("u".into()).source().is_none());
+    }
+
+    #[test]
+    fn retryability_follows_the_executor_classification() {
+        assert!(
+            DqepError::from(ExecError::Storage(StorageError::UnallocatedPage(PageId(1))))
+                .is_retryable()
+        );
+        assert!(!DqepError::Exec(ExecError::Cancelled).is_retryable());
+        assert!(!DqepError::Usage("u".into()).is_retryable());
+    }
+}

@@ -65,6 +65,10 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
+
+pub use error::DqepError;
+
 /// Interval arithmetic and partial cost ordering (re-export of
 /// `dqep-interval`).
 pub mod interval {

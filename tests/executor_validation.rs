@@ -2,7 +2,7 @@
 //! optimizer's decisions and predictions.
 
 use dqep::cost::{Bindings, Environment};
-use dqep::executor::{compile_plan, execute_plan, ExecSummary, SharedCounters};
+use dqep::executor::{compile_plan, execute_plan, ExecContext, ExecSummary, SharedCounters};
 use dqep::harness::{paper_query, BindingSampler};
 use dqep::optimizer::Optimizer;
 use dqep::plan::evaluate_startup;
@@ -14,20 +14,21 @@ fn drain_rows(
     catalog: &dqep::catalog::Catalog,
     bindings: &Bindings,
 ) -> (u64, f64) {
-    let counters = SharedCounters::new();
+    let ctx = ExecContext::new(SharedCounters::new());
     let before = db.disk.stats();
-    let mut op = compile_plan(plan, db, catalog, bindings, 64 * 2048, &counters).unwrap();
-    op.open();
+    let mut op = compile_plan(plan, db, catalog, bindings, 64 * 2048, &ctx).unwrap();
+    op.open().unwrap();
     let mut rows = 0;
-    while op.next().is_some() {
+    while op.next().unwrap().is_some() {
         rows += 1;
     }
     op.close();
     let io = db.disk.stats().since(&before);
     let summary = ExecSummary {
         rows,
-        cpu: counters.snapshot(),
+        cpu: ctx.counters.snapshot(),
         io,
+        fallbacks: 0,
     };
     (rows, summary.simulated_seconds(&catalog.config))
 }

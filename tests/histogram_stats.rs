@@ -27,7 +27,7 @@ fn skewed_fixture() -> (Catalog, StoredDatabase) {
 fn true_fraction(cat: &Catalog, db: &StoredDatabase, v: i64) -> f64 {
     let rel = cat.relation_by_name("r").unwrap();
     let t = db.table(rel.id);
-    let below = t.heap.scan().filter(|rec| t.decode(rec)[0] < v).count();
+    let below = t.heap.scan().filter(|rec| t.decode(rec.as_ref().unwrap())[0] < v).count();
     below as f64 / t.heap.record_count() as f64
 }
 
@@ -51,7 +51,7 @@ fn histograms_repair_skewed_estimates() {
     );
 
     // Histogram model: close to the truth.
-    install_histograms(&db, &mut catalog, 32);
+    install_histograms(&db, &mut catalog, 32).expect("histograms");
     let hist_est = {
         let m = SelectivityModel::new(&catalog);
         m.value_selectivity(&pred, 50)
@@ -85,7 +85,7 @@ fn histograms_fix_startup_decisions_on_skewed_data() {
     let (naive_exec, _) = execute_plan(&plan, &db, &catalog, &env, &bindings).unwrap();
 
     // With histograms: the decision sees the real fraction and switches.
-    install_histograms(&db, &mut catalog, 32);
+    install_histograms(&db, &mut catalog, 32).expect("histograms");
     let informed_plan = Optimizer::new(&catalog, &env).optimize(&query).unwrap().plan;
     let informed = evaluate_startup(&informed_plan, &catalog, &env, &bindings);
     let (informed_exec, _) =
@@ -117,7 +117,7 @@ fn histograms_are_neutral_on_uniform_data() {
         .unwrap();
     let db = StoredDatabase::generate(&catalog, 11);
     let mut with_stats = catalog.clone();
-    install_histograms(&db, &mut with_stats, 32);
+    install_histograms(&db, &mut with_stats, 32).expect("histograms");
 
     let rel = catalog.relation_by_name("r").unwrap();
     let attr = rel.attr_id("a").unwrap();

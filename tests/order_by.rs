@@ -58,19 +58,19 @@ fn ordered_execution_is_sorted_for_all_bindings() {
         assert_eq!(startup.resolved.order, SortOrder::Asc(q.order_by.unwrap()));
 
         // Execute and verify the stream really is sorted on `a`.
-        let counters = dqep::executor::SharedCounters::new();
+        let ctx = dqep::executor::ExecContext::new(dqep::executor::SharedCounters::new());
         let mut op = dqep::executor::compile_plan(
             &startup.resolved,
             &db,
             &cat,
             &bindings,
             64 * 2048,
-            &counters,
+            &ctx,
         )
         .unwrap();
-        op.open();
+        op.open().unwrap();
         let mut values = Vec::new();
-        while let Some(t) = op.next() {
+        while let Some(t) = op.next().unwrap() {
             values.push(t[0]);
         }
         op.close();
@@ -100,23 +100,23 @@ fn ordered_join_works() {
     let db = StoredDatabase::generate(&cat, 32);
     let bindings = q.bindings(&[("x", 200)]).unwrap();
     let startup = dqep::plan::evaluate_startup(&plan, &cat, &env, &bindings);
-    let counters = dqep::executor::SharedCounters::new();
+    let ctx = dqep::executor::ExecContext::new(dqep::executor::SharedCounters::new());
     let mut op = dqep::executor::compile_plan(
         &startup.resolved,
         &db,
         &cat,
         &bindings,
         64 * 2048,
-        &counters,
+        &ctx,
     )
     .unwrap();
-    op.open();
+    op.open().unwrap();
     let key = op
         .layout()
         .position(q.order_by.unwrap())
         .expect("order attribute in output");
     let mut keys = Vec::new();
-    while let Some(t) = op.next() {
+    while let Some(t) = op.next().unwrap() {
         keys.push(t[key]);
     }
     op.close();
