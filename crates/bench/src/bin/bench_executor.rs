@@ -1,0 +1,92 @@
+//! Executor benchmark runner: measures tuple vs batch execution and
+//! writes `BENCH_executor.json`.
+//!
+//! Usage: `bench_executor [--quick] [OUT_PATH]`
+//!
+//! `--quick` shrinks the tables and iteration count for CI smoke runs;
+//! `OUT_PATH` defaults to `BENCH_executor.json` in the current
+//! directory. The JSON is one object per (benchmark, mode) with
+//! rows/sec and ns/row, plus a batch-over-tuple speedup per benchmark.
+
+use std::fmt::Write as _;
+
+use dqep_bench::executor_bench::{standard_cases, Measurement};
+use dqep_executor::ExecMode;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_executor.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (scale, iters) = if quick { (10_000, 2) } else { (100_000, 5) };
+
+    println!("executor benchmark: scale={scale} rows, {iters} iterations per mode\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14} {:>9}",
+        "benchmark", "tuple rows/s", "batch rows/s", "tuple ns/row", "batch ns/row", "speedup"
+    );
+
+    let mut entries: Vec<(String, Measurement, Measurement)> = Vec::new();
+    for case in standard_cases(scale, 11) {
+        let tuple = case.measure(ExecMode::Tuple, iters);
+        let batch = case.measure(ExecMode::Batch, iters);
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>14.1} {:>14.1} {:>8.2}x",
+            case.name,
+            tuple.rows_per_sec,
+            batch.rows_per_sec,
+            tuple.ns_per_row,
+            batch.ns_per_row,
+            batch.rows_per_sec / tuple.rows_per_sec,
+        );
+        entries.push((case.name.to_string(), tuple, batch));
+    }
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, tuple, batch)) in entries.iter().enumerate() {
+        let speedup = batch.rows_per_sec / tuple.rows_per_sec;
+        let _ = write!(
+            json,
+            "    {{\"benchmark\": \"{name}\", \"rows\": {}, \
+             \"tuple\": {{\"rows_per_sec\": {:.0}, \"ns_per_row\": {:.2}}}, \
+             \"batch\": {{\"rows_per_sec\": {:.0}, \"ns_per_row\": {:.2}}}, \
+             \"batch_speedup\": {speedup:.3}}}",
+            tuple.rows,
+            tuple.rows_per_sec,
+            tuple.ns_per_row,
+            batch.rows_per_sec,
+            batch.ns_per_row,
+        );
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"scale\": {scale},\n  \"iterations\": {iters},\n  \"unit_note\": \
+         \"ns_per_row normalizes wall time by result rows; simulated-time \
+         accounting is identical between modes\"\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    // The scan-filter case is the vectorization headline: the batch path
+    // must clear 2x or the engine has regressed.
+    let scan_filter = entries
+        .iter()
+        .find(|(name, _, _)| name == "scan_filter")
+        .expect("scan_filter case present");
+    let speedup = scan_filter.2.rows_per_sec / scan_filter.1.rows_per_sec;
+    if speedup < 2.0 {
+        eprintln!("WARNING: scan_filter batch speedup {speedup:.2}x is below the 2x target");
+        if !quick {
+            std::process::exit(2);
+        }
+    }
+}

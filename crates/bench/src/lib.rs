@@ -1,5 +1,7 @@
 //! Shared helpers for the benchmark suite and the `reproduce` binary.
 
+pub mod executor_bench;
+
 use std::sync::OnceLock;
 
 use dqep_harness::experiments::{run_all, QueryResults};

@@ -190,6 +190,17 @@ impl Operator for ChoosePlanExec<'_> {
         }
     }
 
+    /// Batches pass straight through to the chosen alternative, so the
+    /// vectorized path keeps the identical fallback-at-`open` semantics —
+    /// by the time batches flow, the decision (and any fallbacks) already
+    /// happened.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<crate::RowBatch>, ExecError> {
+        match self.chosen.as_mut() {
+            Some(op) => op.next_batch(max_rows),
+            None => Err(ExecError::Internal("choose-plan next_batch() before open()".into())),
+        }
+    }
+
     fn close(&mut self) {
         if let Some(mut op) = self.chosen.take() {
             op.close();
@@ -198,6 +209,10 @@ impl Operator for ChoosePlanExec<'_> {
 
     fn layout(&self) -> &TupleLayout {
         &self.layout
+    }
+
+    fn estimated_rows(&self) -> Option<u64> {
+        self.chosen.as_ref().and_then(|op| op.estimated_rows())
     }
 }
 

@@ -8,9 +8,10 @@ use dqep_cost::{Bindings, Environment};
 use dqep_plan::{evaluate_startup, PlanNode, StartupResult};
 use dqep_storage::StoredDatabase;
 
+use crate::batch::BATCH_CAPACITY;
 use crate::error::ExecError;
 use crate::filter::{FilterExec, ResolvedPred};
-use crate::governor::{ExecContext, ResourceGovernor, ResourceLimits};
+use crate::governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
 use crate::hash_join::HashJoinExec;
 use crate::index_join::IndexJoinExec;
 use crate::merge_join::MergeJoinExec;
@@ -186,19 +187,36 @@ pub fn compile_plan<'a>(
     })
 }
 
-/// Opens and drains `op`, charging each produced row against the row
-/// budget; closes the operator on success and on error.
-fn drain_root(op: &mut dyn Operator, governor: &ResourceGovernor) -> Result<u64, ExecError> {
-    fn run(op: &mut dyn Operator, governor: &ResourceGovernor) -> Result<u64, ExecError> {
+/// Opens and drains `op`, charging produced rows against the row budget;
+/// closes the operator on success and on error. In batch mode the root
+/// pulls [`crate::RowBatch`]es and charges the row budget once per batch —
+/// the budget trips at the same cumulative counts as the per-row charge.
+fn drain_root(
+    op: &mut dyn Operator,
+    governor: &ResourceGovernor,
+    mode: ExecMode,
+) -> Result<u64, ExecError> {
+    fn run(op: &mut dyn Operator, governor: &ResourceGovernor, mode: ExecMode) -> Result<u64, ExecError> {
         let mut rows = 0u64;
         op.open()?;
-        while op.next()?.is_some() {
-            governor.charge_rows(1)?;
-            rows += 1;
+        match mode {
+            ExecMode::Tuple => {
+                while op.next()?.is_some() {
+                    governor.charge_rows(1)?;
+                    rows += 1;
+                }
+            }
+            ExecMode::Batch => {
+                while let Some(batch) = op.next_batch(BATCH_CAPACITY)? {
+                    let n = batch.len() as u64;
+                    governor.charge_rows(n)?;
+                    rows += n;
+                }
+            }
         }
         Ok(rows)
     }
-    let result = run(op, governor);
+    let result = run(op, governor, mode);
     op.close();
     result
 }
@@ -226,7 +244,8 @@ pub fn execute_plan(
 
 /// [`execute_plan`] with resource governance: the query runs under a
 /// [`ResourceGovernor`] enforcing `limits` (memory grant, row / I/O
-/// budgets, wall-clock deadline).
+/// budgets, wall-clock deadline). Uses the default (batch) execution
+/// mode; see [`execute_plan_mode`] to pick explicitly.
 ///
 /// # Errors
 /// Any [`ExecError`], including [`ExecError::ResourceExhausted`] when a
@@ -239,16 +258,39 @@ pub fn execute_plan_with(
     bindings: &Bindings,
     limits: ResourceLimits,
 ) -> Result<(ExecSummary, StartupResult), ExecError> {
+    execute_plan_mode(plan, db, catalog, env, bindings, limits, ExecMode::default())
+}
+
+/// [`execute_plan_with`] with an explicit [`ExecMode`]: `Tuple` runs the
+/// classic Volcano `next()` pipeline, `Batch` the vectorized one. Both
+/// produce identical rows, identical simulated-cost accounting, and
+/// identical choose-plan fallback behavior — the batch-parity tests pin
+/// this down, and the executor benchmarks measure the difference that is
+/// left: wall-clock interpretation overhead.
+///
+/// # Errors
+/// Any [`ExecError`], including [`ExecError::ResourceExhausted`] when a
+/// budget is exceeded.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_mode(
+    plan: &Arc<PlanNode>,
+    db: &StoredDatabase,
+    catalog: &Catalog,
+    env: &Environment,
+    bindings: &Bindings,
+    limits: ResourceLimits,
+    mode: ExecMode,
+) -> Result<(ExecSummary, StartupResult), ExecError> {
     let startup = evaluate_startup(plan, catalog, env, bindings);
     let memory_pages = bindings
         .memory_pages
         .unwrap_or_else(|| env.memory.expected());
     let memory_bytes = (memory_pages * catalog.config.page_size as f64) as usize;
-    let ctx = ExecContext::with_limits(SharedCounters::new(), limits);
+    let ctx = ExecContext::with_limits(SharedCounters::new(), limits).with_mode(mode);
     let io_before = db.disk.stats();
     let mut op =
         crate::choose::compile_dynamic_plan(plan, db, catalog, env, bindings, memory_bytes, &ctx)?;
-    let rows = drain_root(op.as_mut(), &ctx.governor)?;
+    let rows = drain_root(op.as_mut(), &ctx.governor, mode)?;
     let io = db.disk.stats().since(&io_before);
     Ok((
         ExecSummary {

@@ -1,5 +1,6 @@
-//! The Volcano iterator interface.
+//! The Volcano iterator interface, tuple-at-a-time and batched.
 
+use crate::batch::RowBatch;
 use crate::error::ExecError;
 use crate::tuple::{Tuple, TupleLayout};
 
@@ -13,6 +14,14 @@ use crate::tuple::{Tuple, TupleLayout};
 /// a choose-plan operator can catch a retryable `open` failure and fall
 /// back to another alternative. `close` stays infallible — teardown must
 /// always succeed so errors propagate without leaking operator state.
+///
+/// Operators additionally transport rows in batches through
+/// [`Operator::next_batch`]. The default implementation loops `next()`, so
+/// every operator works in a batched pipeline unchanged; hot operators
+/// (scans, filter, hash join, sort) override it natively to amortize
+/// per-row costs. One pipeline must stick to one interface between `open`
+/// and `close` — interleaving `next` and `next_batch` calls on the same
+/// operator is unsupported.
 pub trait Operator {
     /// Prepares the operator; must be called before `next`.
     ///
@@ -28,14 +37,52 @@ pub trait Operator {
     /// unspecified; callers should `close` it and not call `next` again.
     fn next(&mut self) -> Result<Option<Tuple>, ExecError>;
 
+    /// Produces the next batch of up to roughly `max_rows` rows, or
+    /// `Ok(None)` when exhausted. A returned batch is never empty of
+    /// physical rows, but a native filter may return a batch whose
+    /// selection vector is empty — callers iterate live rows and pull
+    /// again.
+    ///
+    /// The default implementation loops [`Operator::next`]; it is
+    /// *correct* for every operator but pays the tuple path's per-row
+    /// costs.
+    ///
+    /// # Errors
+    /// Any [`ExecError`], as for `next`.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>, ExecError> {
+        let mut batch = RowBatch::with_capacity(self.layout().width(), max_rows);
+        while batch.rows() < max_rows {
+            match self.next()? {
+                Some(t) => batch.push_row(&t),
+                None => break,
+            }
+        }
+        Ok(if batch.rows() == 0 { None } else { Some(batch) })
+    }
+
     /// Releases resources; the operator may not be reopened.
     fn close(&mut self);
 
     /// The layout of produced tuples.
     fn layout(&self) -> &TupleLayout;
+
+    /// A hint of how many rows this operator will still produce, when it
+    /// knows (a file scan knows its table's record count; a sort knows its
+    /// buffered output exactly after `open`). `None` when unknown —
+    /// operators whose output depends on predicate selectivity do not
+    /// guess. Callers use this to pre-size result buffers only; it has no
+    /// correctness weight.
+    fn estimated_rows(&self) -> Option<u64> {
+        None
+    }
 }
 
-/// Drains an operator to completion, returning all tuples.
+/// Caps speculative `Vec` pre-sizing from [`Operator::estimated_rows`], so
+/// a bad hint cannot ask for unbounded memory up front.
+const MAX_PRESIZE_ROWS: u64 = 1 << 20;
+
+/// Drains an operator to completion, returning all tuples. The output is
+/// pre-sized from the operator's [`Operator::estimated_rows`] hint.
 ///
 /// The operator is closed on success *and* on error, so buffered state
 /// and memory reservations are released either way.
@@ -45,8 +92,34 @@ pub trait Operator {
 pub fn drain(op: &mut dyn Operator) -> Result<Vec<Tuple>, ExecError> {
     fn run(op: &mut dyn Operator, out: &mut Vec<Tuple>) -> Result<(), ExecError> {
         op.open()?;
+        if let Some(n) = op.estimated_rows() {
+            out.reserve(n.min(MAX_PRESIZE_ROWS) as usize);
+        }
         while let Some(t) = op.next()? {
             out.push(t);
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    let result = run(op, &mut out);
+    op.close();
+    result.map(|()| out)
+}
+
+/// Drains an operator to completion through the **batch** interface,
+/// returning all tuples (materialized row by row for interop). The
+/// batched analogue of [`drain`], with the same close-on-error contract.
+///
+/// # Errors
+/// The first [`ExecError`] raised by `open` or `next_batch`.
+pub fn drain_batch(op: &mut dyn Operator) -> Result<Vec<Tuple>, ExecError> {
+    fn run(op: &mut dyn Operator, out: &mut Vec<Tuple>) -> Result<(), ExecError> {
+        op.open()?;
+        if let Some(n) = op.estimated_rows() {
+            out.reserve(n.min(MAX_PRESIZE_ROWS) as usize);
+        }
+        while let Some(batch) = op.next_batch(crate::batch::BATCH_CAPACITY)? {
+            out.extend(batch.iter().map(<[i64]>::to_vec));
         }
         Ok(())
     }

@@ -2,6 +2,7 @@
 
 use dqep_algebra::CompareOp;
 
+use crate::batch::RowBatch;
 use crate::error::ExecError;
 use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
@@ -71,6 +72,34 @@ impl Operator for FilterExec<'_> {
                 self.ctx.counters.add_records(1);
                 return Ok(Some(t));
             }
+        }
+    }
+
+    /// Native batch filter: evaluates the predicate into the batch's
+    /// selection vector — qualifying rows are never copied, and the
+    /// comparison/record counters are charged once per batch. Batches
+    /// whose rows all fail are skipped internally so callers always make
+    /// progress per call.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>, ExecError> {
+        loop {
+            let Some(mut batch) = self.input.next_batch(max_rows)? else {
+                return Ok(None);
+            };
+            let mut sel: Vec<u32> = Vec::new();
+            let mut examined = 0u64;
+            for idx in batch.selected_indices() {
+                examined += 1;
+                if self.pred.matches(batch.row(idx)) {
+                    sel.push(idx as u32);
+                }
+            }
+            self.ctx.counters.add_compares(examined);
+            if sel.is_empty() {
+                continue;
+            }
+            self.ctx.counters.add_records(sel.len() as u64);
+            batch.set_selection(sel);
+            return Ok(Some(batch));
         }
     }
 

@@ -126,6 +126,32 @@ impl ResourceGovernor {
         self.inner.memory_peak.load(Ordering::SeqCst)
     }
 
+    /// Bytes still reservable before the limit refuses a grant, or `None`
+    /// when memory is unlimited.
+    #[must_use]
+    pub fn memory_remaining(&self) -> Option<u64> {
+        self.inner
+            .limits
+            .memory_bytes
+            .map(|limit| limit.saturating_sub(self.inner.memory_used.load(Ordering::SeqCst)))
+    }
+
+    /// How many rows of `row_bytes` each a buffering operator should
+    /// request per ingest batch: at most one row past what the memory
+    /// limit can still cover (so a refused reservation trips at exactly
+    /// the same input row as the tuple path's per-row reservations — the
+    /// producer never over-produces past the first refusable row), capped
+    /// at [`crate::BATCH_CAPACITY`].
+    #[must_use]
+    pub fn ingest_batch_rows(&self, row_bytes: usize) -> usize {
+        match self.memory_remaining() {
+            Some(remaining) => (remaining as usize / row_bytes.max(1))
+                .saturating_add(1)
+                .min(crate::batch::BATCH_CAPACITY),
+            None => crate::batch::BATCH_CAPACITY,
+        }
+    }
+
     /// Charges `n` result rows against the row budget.
     ///
     /// # Errors
@@ -177,14 +203,32 @@ impl ResourceGovernor {
     /// [`ExecError::ResourceExhausted`] with [`Resource::WallClock`] past
     /// the deadline.
     pub fn check(&self) -> Result<(), ExecError> {
+        self.check_batch(1)
+    }
+
+    /// [`Self::check`] amortized over a batch of `n` rows: one
+    /// cancellation read and one tick update for the whole batch. The
+    /// wall-clock stride advances by `n`, so deadline detection stays as
+    /// frequent *per row processed* as the tuple path's — a batched
+    /// pipeline reads the clock at the same row counts, just from fewer
+    /// call sites.
+    ///
+    /// # Errors
+    /// As [`Self::check`].
+    pub fn check_batch(&self, n: u64) -> Result<(), ExecError> {
         if self.inner.cancelled.load(Ordering::Relaxed) {
             return Err(ExecError::Cancelled);
         }
+        if n == 0 {
+            return Ok(());
+        }
         if let Some(limit_ms) = self.inner.limits.wall_clock_ms {
-            let ticks = self.inner.clock_ticks.fetch_add(1, Ordering::Relaxed);
-            if ticks.is_multiple_of(CLOCK_STRIDE)
-                && self.inner.started.elapsed().as_millis() as u64 > limit_ms
-            {
+            let start = self.inner.clock_ticks.fetch_add(n, Ordering::Relaxed);
+            // Read the clock iff the window [start, start+n) contains a
+            // stride boundary (tick 0 counts: the first check always reads).
+            let crosses =
+                start.is_multiple_of(CLOCK_STRIDE) || start % CLOCK_STRIDE + n > CLOCK_STRIDE;
+            if crosses && self.inner.started.elapsed().as_millis() as u64 > limit_ms {
                 return Err(ExecError::ResourceExhausted(Resource::WallClock { limit_ms }));
             }
         }
@@ -192,23 +236,45 @@ impl ResourceGovernor {
     }
 }
 
-/// Everything a compiled operator needs from its query: CPU accounting
-/// plus resource governance. Cloning shares both.
+/// How tuples flow between operators: one at a time through `next()`, or
+/// in [`crate::RowBatch`]es through `next_batch()`. Both produce identical
+/// results and identical fallback behavior (the batch-parity tests enforce
+/// this); batch mode amortizes per-row interpretation overhead and is the
+/// default for end-to-end execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Volcano tuple-at-a-time iteration.
+    Tuple,
+    /// Vectorized batch-at-a-time iteration.
+    #[default]
+    Batch,
+}
+
+/// Everything a compiled operator needs from its query: CPU accounting,
+/// resource governance, and the execution mode stop-and-go operators
+/// consume their inputs with. Cloning shares the first two.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
     /// Simulated-CPU and fallback counters for the query.
     pub counters: SharedCounters,
     /// The query's resource governor.
     pub governor: ResourceGovernor,
+    /// Whether blocking operators (hash-join build, sort ingest) pull
+    /// their inputs tuple-at-a-time or batched. Streaming operators follow
+    /// whichever interface the root drain drives; this field lets the ones
+    /// that consume inputs *inside `open()`* batch too.
+    pub mode: ExecMode,
 }
 
 impl ExecContext {
-    /// A context around `counters` with an unlimited governor.
+    /// A context around `counters` with an unlimited governor and the
+    /// default (batch) mode.
     #[must_use]
     pub fn new(counters: SharedCounters) -> ExecContext {
         ExecContext {
             counters,
             governor: ResourceGovernor::unlimited(),
+            mode: ExecMode::default(),
         }
     }
 
@@ -218,7 +284,15 @@ impl ExecContext {
         ExecContext {
             counters,
             governor: ResourceGovernor::new(limits),
+            mode: ExecMode::default(),
         }
+    }
+
+    /// The same context with `mode` overridden.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecMode) -> ExecContext {
+        self.mode = mode;
+        self
     }
 }
 

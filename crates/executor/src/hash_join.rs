@@ -21,8 +21,9 @@ use std::hash::{Hash, Hasher};
 use dqep_storage::gen::{decode_record, encode_record};
 use dqep_storage::{HeapFile, SimDisk};
 
+use crate::batch::RowBatch;
 use crate::error::ExecError;
-use crate::governor::ExecContext;
+use crate::governor::{ExecContext, ExecMode};
 use crate::metrics::SharedCounters;
 use crate::tuple::{Tuple, TupleLayout};
 use crate::Operator;
@@ -147,11 +148,32 @@ impl Operator for HashJoinExec<'_> {
         self.build.open()?;
         let build_row_bytes = self.build.layout().row_bytes;
         let mut build_rows = Vec::new();
-        loop {
-            self.ctx.governor.check()?;
-            let Some(t) = self.build.next()? else { break };
-            self.reserve(build_row_bytes as u64)?;
-            build_rows.push(t);
+        if self.ctx.mode == ExecMode::Batch {
+            // Batched build: drain whole batches, reserving and checking
+            // once per batch. The reservation total and failure condition
+            // are identical to the per-row path — only the charge
+            // granularity changes.
+            if let Some(n) = self.build.estimated_rows() {
+                build_rows.reserve(n.min(1 << 20) as usize);
+            }
+            loop {
+                // Bounded so a refused batch reservation trips with the
+                // same cumulative row count as the per-row path: the
+                // request never extends past the first refusable row.
+                let req = self.ctx.governor.ingest_batch_rows(build_row_bytes);
+                let Some(batch) = self.build.next_batch(req)? else { break };
+                let n = batch.len();
+                self.ctx.governor.check_batch(n as u64)?;
+                self.reserve((n * build_row_bytes) as u64)?;
+                build_rows.extend(batch.iter().map(<[i64]>::to_vec));
+            }
+        } else {
+            loop {
+                self.ctx.governor.check()?;
+                let Some(t) = self.build.next()? else { break };
+                self.reserve(build_row_bytes as u64)?;
+                build_rows.push(t);
+            }
         }
         self.build.close();
         self.probe.open()?;
@@ -182,6 +204,9 @@ impl Operator for HashJoinExec<'_> {
         let mut probe_parts: Vec<HeapFile> = (0..PARTITIONS)
             .map(|_| HeapFile::new_temp(self.disk.clone()))
             .collect();
+        // Probe spill stays tuple-wise in both modes: its cost is
+        // partition I/O, and interleaving reads and spill writes
+        // identically keeps fault-plan ordinals mode-independent.
         loop {
             self.ctx.governor.check()?;
             let Some(row) = self.probe.next()? else { break };
@@ -250,6 +275,63 @@ impl Operator for HashJoinExec<'_> {
                 }
             }
         }
+    }
+
+    /// Native batch probe for the in-memory strategy: pulls probe batches
+    /// and probes every live row against the resident table, emitting
+    /// joined rows contiguously. Grace mode falls back to tuple-looping —
+    /// its cost is dominated by partition I/O, not interpretation.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>, ExecError> {
+        if !matches!(self.state, State::InMemory(_)) {
+            // Grace mode / closed: the default tuple-looping behavior.
+            let mut batch = RowBatch::with_capacity(self.layout.width(), max_rows);
+            while batch.rows() < max_rows {
+                match self.next()? {
+                    Some(t) => batch.push_row(&t),
+                    None => break,
+                }
+            }
+            return Ok(if batch.rows() == 0 { None } else { Some(batch) });
+        }
+        let State::InMemory(table) = &self.state else {
+            return Err(ExecError::Internal("hash join state changed".into()));
+        };
+        let mut out = RowBatch::with_capacity(self.layout.width(), max_rows);
+        // Stashed matches first: from earlier tuple-path calls, or from a
+        // previous batch whose last probe row out-produced the request.
+        while out.rows() < max_rows {
+            let Some(t) = self.pending.pop() else { break };
+            out.push_row(&t);
+        }
+        while out.rows() < max_rows {
+            let Some(probe_batch) = self.probe.next_batch(max_rows)? else {
+                break;
+            };
+            self.ctx.governor.check_batch(probe_batch.len() as u64)?;
+            let mut matches = 0u64;
+            let mut overflow: Vec<Tuple> = Vec::new();
+            for row in &probe_batch {
+                if let Some(candidates) = table.get(&hash_key(&self.keys, row, false)) {
+                    for b in candidates {
+                        if keys_match(&self.keys, b, row) {
+                            matches += 1;
+                            if out.rows() < max_rows {
+                                out.push_concat(b, row);
+                            } else {
+                                let mut joined = b.clone();
+                                joined.extend_from_slice(row);
+                                overflow.push(joined);
+                            }
+                        }
+                    }
+                }
+            }
+            self.ctx.counters.add_hashes(probe_batch.len() as u64);
+            self.ctx.counters.add_records(matches);
+            // `pending` pops from the back; reversed extend keeps order.
+            self.pending.extend(overflow.into_iter().rev());
+        }
+        Ok(if out.rows() == 0 { None } else { Some(out) })
     }
 
     fn close(&mut self) {

@@ -23,13 +23,24 @@
 //! ([`execute_plan_with`]). A choose-plan whose chosen alternative fails
 //! *retryably* at `open` falls back to the next alternative in cost order,
 //! recording the fallback in [`ExecSummary::fallbacks`].
+//!
+//! Execution is **vectorized by default**: operators exchange
+//! [`RowBatch`]es of ~[`BATCH_CAPACITY`] rows through
+//! [`Operator::next_batch`], with native batch implementations for the
+//! hot operators (scans, filter, hash join, sort) and a tuple-looping
+//! default for the rest. The tuple path remains fully supported
+//! ([`ExecMode::Tuple`], [`execute_plan_mode`]) and the two paths produce
+//! identical results, accounting, and fallback behavior.
 
 #![warn(missing_docs)]
 // Runtime executor code must propagate errors, not panic: unwrap/expect
 // are reserved for tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// The executor is the hot path; keep the perf lint group clean.
+#![deny(clippy::perf)]
 
 pub mod adaptive;
+mod batch;
 mod choose;
 mod compile;
 mod error;
@@ -45,10 +56,11 @@ mod sort;
 mod tuple;
 
 pub use adaptive::{execute_adaptive, AdaptiveResult};
+pub use batch::{RowBatch, RowBatchIter, BATCH_CAPACITY};
 pub use choose::{compile_dynamic_plan, ChoosePlanExec};
-pub use compile::{compile_plan, execute_plan, execute_plan_with};
+pub use compile::{compile_plan, execute_plan, execute_plan_mode, execute_plan_with};
 pub use error::{ExecError, Resource};
-pub use exec::{drain, Operator};
-pub use governor::{ExecContext, ResourceGovernor, ResourceLimits};
+pub use exec::{drain, drain_batch, Operator};
+pub use governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
 pub use metrics::{CpuCounters, ExecSummary, SharedCounters};
 pub use tuple::{Tuple, TupleLayout};

@@ -2,6 +2,7 @@
 
 use dqep_storage::{Rid, SlottedPage, StoredTable};
 
+use crate::batch::RowBatch;
 use crate::error::ExecError;
 use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
@@ -15,6 +16,10 @@ pub struct FileScanExec<'a> {
     page_idx: usize,
     buffer: Vec<Tuple>,
     buffer_pos: usize,
+    /// Error hit while a batch already held decoded rows; surfaced on the
+    /// next call so the partial batch is delivered (and counted) first —
+    /// exactly where the tuple path would deliver those rows.
+    pending_err: Option<ExecError>,
 }
 
 impl<'a> FileScanExec<'a> {
@@ -28,6 +33,7 @@ impl<'a> FileScanExec<'a> {
             page_idx: 0,
             buffer: Vec::new(),
             buffer_pos: 0,
+            pending_err: None,
         }
     }
 }
@@ -37,10 +43,14 @@ impl Operator for FileScanExec<'_> {
         self.page_idx = 0;
         self.buffer.clear();
         self.buffer_pos = 0;
+        self.pending_err = None;
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if let Some(e) = self.pending_err.take() {
+            return Err(e);
+        }
         loop {
             self.ctx.governor.check()?;
             if self.buffer_pos < self.buffer.len() {
@@ -61,12 +71,76 @@ impl Operator for FileScanExec<'_> {
         }
     }
 
+    /// Native batch scan: decodes whole pages straight into the batch's
+    /// contiguous storage — no per-row allocation, one governor check and
+    /// one record-counter update per batch, I/O charged per page exactly
+    /// as the tuple path charges it (so fault injection and I/O budgets
+    /// trip at identical points).
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>, ExecError> {
+        if let Some(e) = self.pending_err.take() {
+            return Err(e);
+        }
+        let mut batch = RowBatch::with_capacity(self.layout.width(), max_rows);
+        // Leftover rows first: a partially drained page buffer, from an
+        // earlier tuple-wise call or a previous batch's page tail.
+        while self.buffer_pos < self.buffer.len() && batch.rows() < max_rows {
+            batch.push_row(&self.buffer[self.buffer_pos]);
+            self.buffer_pos += 1;
+        }
+        if self.buffer_pos >= self.buffer.len() {
+            self.buffer.clear();
+            self.buffer_pos = 0;
+        }
+        while batch.rows() < max_rows && self.buffer.is_empty() {
+            let pages = self.table.heap.pages();
+            if self.page_idx >= pages.len() {
+                break;
+            }
+            let read = self
+                .ctx
+                .governor
+                .charge_io(1)
+                .and_then(|()| Ok(self.table.heap.disk().read(pages[self.page_idx])?));
+            let bytes = match read {
+                Ok(bytes) => bytes,
+                Err(e) if batch.rows() > 0 => {
+                    self.pending_err = Some(e);
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            let page = SlottedPage::from_bytes(bytes);
+            self.page_idx += 1;
+            for record in page.iter() {
+                if batch.rows() < max_rows {
+                    self.table.decode_into(record, batch.values_mut());
+                } else {
+                    // Page tail past the request: deliver it next call.
+                    self.buffer.push(self.table.decode(record));
+                }
+            }
+        }
+        let rows = batch.rows();
+        if rows == 0 {
+            return Ok(None);
+        }
+        self.ctx.governor.check_batch(rows as u64)?;
+        self.ctx.counters.add_records(rows as u64);
+        Ok(Some(batch))
+    }
+
     fn close(&mut self) {
         self.buffer.clear();
+        self.buffer_pos = 0;
+        self.pending_err = None;
     }
 
     fn layout(&self) -> &TupleLayout {
         &self.layout
+    }
+
+    fn estimated_rows(&self) -> Option<u64> {
+        Some(self.table.heap.record_count())
     }
 }
 
@@ -127,6 +201,11 @@ impl Operator for BtreeScanExec<'_> {
     fn layout(&self) -> &TupleLayout {
         &self.layout
     }
+
+    fn estimated_rows(&self) -> Option<u64> {
+        // Exact after `open` (remaining rids); zero before.
+        Some(self.rids.len() as u64)
+    }
 }
 
 /// Combined retrieval + selection through a B-tree range probe
@@ -186,5 +265,10 @@ impl Operator for FilterBtreeScanExec<'_> {
 
     fn layout(&self) -> &TupleLayout {
         &self.layout
+    }
+
+    fn estimated_rows(&self) -> Option<u64> {
+        // Exact after `open` (remaining qualifying rids); zero before.
+        Some(self.rids.len() as u64)
     }
 }

@@ -3,8 +3,9 @@
 use dqep_storage::gen::{decode_record, encode_record};
 use dqep_storage::{HeapFile, SimDisk};
 
+use crate::batch::RowBatch;
 use crate::error::ExecError;
-use crate::governor::ExecContext;
+use crate::governor::{ExecContext, ExecMode};
 use crate::tuple::{Tuple, TupleLayout};
 use crate::Operator;
 
@@ -72,6 +73,28 @@ impl<'a> SortExec<'a> {
         self.reserved -= bytes;
     }
 
+    /// Sorts `chunk` and spills it to a fresh accounted run, releasing its
+    /// memory reservation.
+    fn spill_chunk(
+        &mut self,
+        chunk: &mut Vec<Tuple>,
+        runs: &mut Vec<HeapFile>,
+        row_bytes: usize,
+    ) -> Result<(), ExecError> {
+        let key = self.key;
+        self.charge_sort_cpu(chunk.len());
+        chunk.sort_by_key(|t| t[key]);
+        let mut run = HeapFile::new_temp(self.disk.clone());
+        for row in chunk.iter() {
+            run.append(&encode_record(row, row_bytes))?;
+        }
+        run.finish()?;
+        runs.push(run);
+        self.release((chunk.len() * row_bytes) as u64);
+        chunk.clear();
+        Ok(())
+    }
+
     /// Consumes the (already open) input and leaves sorted rows in
     /// `self.output`.
     fn fill(&mut self) -> Result<(), ExecError> {
@@ -81,25 +104,38 @@ impl<'a> SortExec<'a> {
         let key = self.key;
 
         // Run formation: buffer up to one memory grant of rows; on
-        // overflow, sort the buffered chunk and spill it as a run.
+        // overflow, sort the buffered chunk and spill it as a run. Rows
+        // are *reserved* per row in both modes — the spill bound (never
+        // more than one grant of rows resident) is part of the memory
+        // contract, so batch ingest must not reserve a whole batch ahead.
         let mut chunk: Vec<Tuple> = Vec::new();
         let mut runs: Vec<HeapFile> = Vec::new();
-        while let Some(t) = self.input.next()? {
-            self.ctx.governor.check()?;
-            if chunk.len() >= budget_rows {
-                self.charge_sort_cpu(chunk.len());
-                chunk.sort_by_key(|t| t[key]);
-                let mut run = HeapFile::new_temp(self.disk.clone());
-                for row in &chunk {
-                    run.append(&encode_record(row, row_bytes))?;
+        if self.ctx.mode == ExecMode::Batch {
+            loop {
+                // Request at most one row past what the memory limit still
+                // covers, so a refused reservation trips at the same input
+                // row as the tuple path (the producer never over-produces
+                // past the first refusable row).
+                let req = self.ctx.governor.ingest_batch_rows(row_bytes);
+                let Some(batch) = self.input.next_batch(req)? else { break };
+                self.ctx.governor.check_batch(batch.len() as u64)?;
+                for row in &batch {
+                    if chunk.len() >= budget_rows {
+                        self.spill_chunk(&mut chunk, &mut runs, row_bytes)?;
+                    }
+                    self.reserve(row_bytes as u64)?;
+                    chunk.push(row.to_vec());
                 }
-                run.finish()?;
-                runs.push(run);
-                self.release((chunk.len() * row_bytes) as u64);
-                chunk.clear();
             }
-            self.reserve(row_bytes as u64)?;
-            chunk.push(t);
+        } else {
+            while let Some(t) = self.input.next()? {
+                self.ctx.governor.check()?;
+                if chunk.len() >= budget_rows {
+                    self.spill_chunk(&mut chunk, &mut runs, row_bytes)?;
+                }
+                self.reserve(row_bytes as u64)?;
+                chunk.push(t);
+            }
         }
 
         if runs.is_empty() {
@@ -113,16 +149,7 @@ impl<'a> SortExec<'a> {
 
         // The tail chunk becomes the final run.
         if !chunk.is_empty() {
-            self.charge_sort_cpu(chunk.len());
-            chunk.sort_by_key(|t| t[key]);
-            let mut run = HeapFile::new_temp(self.disk.clone());
-            for row in &chunk {
-                run.append(&encode_record(row, row_bytes))?;
-            }
-            run.finish()?;
-            runs.push(run);
-            self.release((chunk.len() * row_bytes) as u64);
-            chunk.clear();
+            self.spill_chunk(&mut chunk, &mut runs, row_bytes)?;
         }
 
         // Merge pass: read runs back (accounted) and k-way merge.
@@ -175,6 +202,23 @@ impl Operator for SortExec<'_> {
         Ok(Some(t))
     }
 
+    /// Native batch emission from the sorted buffer: one governor check
+    /// and one counter update per batch.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>, ExecError> {
+        let mut batch = RowBatch::with_capacity(self.input.layout().width(), max_rows);
+        while batch.rows() < max_rows {
+            let Some(t) = self.output.next() else { break };
+            batch.push_row(&t);
+        }
+        let rows = batch.rows();
+        if rows == 0 {
+            return Ok(None);
+        }
+        self.ctx.governor.check_batch(rows as u64)?;
+        self.ctx.counters.add_records(rows as u64);
+        Ok(Some(batch))
+    }
+
     fn close(&mut self) {
         if self.reserved > 0 {
             self.ctx.governor.release_memory(self.reserved);
@@ -185,5 +229,10 @@ impl Operator for SortExec<'_> {
 
     fn layout(&self) -> &TupleLayout {
         self.input.layout()
+    }
+
+    fn estimated_rows(&self) -> Option<u64> {
+        // Exact after `open`: the sorted buffer's remaining length.
+        Some(self.output.len() as u64)
     }
 }

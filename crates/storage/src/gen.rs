@@ -41,19 +41,32 @@ impl StoredTable {
     pub fn decode(&self, record: &[u8]) -> Vec<i64> {
         decode_record(record, self.n_attrs)
     }
+
+    /// Decodes a stored record by appending its attribute values to `out`
+    /// — the allocation-free path batch scans fill contiguous buffers
+    /// with.
+    pub fn decode_into(&self, record: &[u8], out: &mut Vec<i64>) {
+        decode_record_into(record, self.n_attrs, out);
+    }
 }
 
 /// Decodes `n_attrs` little-endian `i64`s from the front of a record.
 #[must_use]
 pub fn decode_record(record: &[u8], n_attrs: usize) -> Vec<i64> {
-    (0..n_attrs)
-        .map(|i| {
-            let at = i * 8;
-            let mut b = [0u8; 8];
-            b.copy_from_slice(&record[at..at + 8]);
-            i64::from_le_bytes(b)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(n_attrs);
+    decode_record_into(record, n_attrs, &mut out);
+    out
+}
+
+/// Appends `n_attrs` little-endian `i64`s from the front of a record to
+/// `out` without allocating a fresh vector per record.
+pub fn decode_record_into(record: &[u8], n_attrs: usize, out: &mut Vec<i64>) {
+    out.extend((0..n_attrs).map(|i| {
+        let at = i * 8;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&record[at..at + 8]);
+        i64::from_le_bytes(b)
+    }));
 }
 
 /// Encodes attribute values as a fixed-width record of `record_len` bytes.

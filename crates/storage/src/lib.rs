@@ -32,6 +32,8 @@
 // Runtime storage code must propagate errors, not panic: unwrap/expect
 // are reserved for tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// Storage sits under every scan; keep the perf lint group clean.
+#![deny(clippy::perf)]
 
 mod btree;
 mod buffer;

@@ -189,6 +189,36 @@ where
     }
 }
 
+/// A uniform choice among boxed strategies; built by [`prop_oneof!`].
+/// (Real proptest supports per-branch weights; the shim picks uniformly.)
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options`; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_inclusive(0, self.options.len() - 1);
+        self.options[i].generate(rng)
+    }
+}
+
+/// Picks one of the listed strategies per case, uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
 /// A constant strategy.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -440,8 +470,8 @@ macro_rules! prop_assume {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, TestRunner,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, TestRunner, Union,
     };
 }
 
