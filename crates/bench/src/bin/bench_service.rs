@@ -1,0 +1,78 @@
+//! Prepared-query service benchmark runner: measures concurrent-session
+//! throughput at 1, 4, and 8 workers on a repeated-statement workload and
+//! writes `BENCH_service.json`.
+//!
+//! Usage: `bench_service [--quick] [OUT_PATH]`
+//!
+//! `--quick` shrinks the session count for CI smoke runs (gates are
+//! warnings only); the full run exits 2 if the 4-worker speedup is below
+//! 2x or the statement-cache hit rate below 90%.
+
+use std::process::ExitCode;
+
+use dqep_bench::service_bench::{render_json, throughput, ServiceBenchConfig, ThroughputPoint};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_service.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let cfg = ServiceBenchConfig::standard(quick);
+
+    println!(
+        "service benchmark: {} sessions of chain_q{} per point, {}us/page-io\n",
+        cfg.sessions, cfg.relations, cfg.io_latency_micros
+    );
+    println!("{:<9} {:>12} {:>12} {:>9}", "workers", "sessions/s", "wall (s)", "speedup");
+
+    let mut points: Vec<ThroughputPoint> = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let point = throughput(&cfg, workers);
+        let speedup = points.first().map_or(1.0, |base| point.qps / base.qps);
+        println!(
+            "{:<9} {:>12.1} {:>12.3} {:>8.2}x",
+            point.workers, point.qps, point.wall_seconds, speedup
+        );
+        points.push(point);
+    }
+
+    let speedup_4 = points
+        .iter()
+        .find(|p| p.workers == 4)
+        .map_or(0.0, |p| p.qps / points[0].qps.max(1e-9));
+    let cache = points[points.len() - 1].stats;
+    println!(
+        "\n4-worker speedup: {speedup_4:.2}x; statement cache {:.1}% hit, decision cache {:.1}% hit",
+        cache.registry.hit_rate() * 100.0,
+        cache.decision_hit_rate() * 100.0
+    );
+
+    let json = render_json(&cfg, &points);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_service: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    let scaling_ok = speedup_4 >= 2.0;
+    let cache_ok = cache.registry.hit_rate() >= 0.9;
+    if !scaling_ok || !cache_ok {
+        let msg = format!(
+            "gates: 4-worker speedup {speedup_4:.2}x (need >= 2.0), \
+             statement hit rate {:.1}% (need >= 90%)",
+            cache.registry.hit_rate() * 100.0
+        );
+        if quick {
+            eprintln!("bench_service (quick): {msg} — warning only");
+        } else {
+            eprintln!("bench_service: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -24,6 +24,16 @@
 //!   --max-rows N        abort after N result rows
 //!   --max-io N          abort after N accounted page I/Os
 //!   --timeout-ms MS     wall-clock deadline
+//!
+//! Serving (instead of --sql):
+//!   --serve FILE        run a workload file through the prepared-query
+//!                       service: one `SQL @ var=value,...` per line
+//!                       (`memory=PAGES` sets the grant; `#` comments)
+//!   --workers N         concurrent session workers (default 4)
+//!   --repeat N          run the workload file N times (default 1)
+//!   --service-memory B  global admission memory pool in bytes
+//!   --queue-timeout-ms  admission timeout per session
+//!   --io-latency-us U   simulated device latency per page I/O
 //! ```
 //!
 //! Exit codes distinguish failure classes — see [`dqep::DqepError`].
@@ -36,6 +46,7 @@ use dqep_core::Optimizer;
 use dqep_cost::{Bindings, Environment};
 use dqep_executor::{execute_adaptive, execute_plan_with, ResourceLimits};
 use dqep_plan::{evaluate_startup, render_plan, to_dot};
+use dqep_service::{QueryService, Request, ServiceConfig};
 use dqep_sql::parse_query;
 use dqep_storage::{install_histograms, FaultPlan, StoredDatabase, ValueDistribution};
 
@@ -57,6 +68,12 @@ struct Args {
     max_rows: Option<u64>,
     max_io: Option<u64>,
     timeout_ms: Option<u64>,
+    serve: Option<String>,
+    workers: usize,
+    repeat: usize,
+    service_memory: u64,
+    queue_timeout_ms: u64,
+    io_latency_us: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +99,12 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         max_rows: None,
         max_io: None,
         timeout_ms: None,
+        serve: None,
+        workers: 4,
+        repeat: 1,
+        service_memory: 64 << 20,
+        queue_timeout_ms: 10_000,
+        io_latency_us: 0,
     };
     let mut i = 0;
     let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -198,14 +221,51 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
                 );
                 i += 2;
             }
+            "--serve" => {
+                args.serve = Some(value(argv, i, "--serve")?);
+                i += 2;
+            }
+            "--workers" => {
+                args.workers = value(argv, i, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                i += 2;
+            }
+            "--repeat" => {
+                args.repeat = value(argv, i, "--repeat")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?;
+                i += 2;
+            }
+            "--service-memory" => {
+                args.service_memory = value(argv, i, "--service-memory")?
+                    .parse()
+                    .map_err(|e| format!("--service-memory: {e}"))?;
+                i += 2;
+            }
+            "--queue-timeout-ms" => {
+                args.queue_timeout_ms = value(argv, i, "--queue-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--queue-timeout-ms: {e}"))?;
+                i += 2;
+            }
+            "--io-latency-us" => {
+                args.io_latency_us = value(argv, i, "--io-latency-us")?
+                    .parse()
+                    .map_err(|e| format!("--io-latency-us: {e}"))?;
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Err("usage: see `dqep` module docs (or the README)".to_string());
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.sql.is_empty() {
-        return Err("--sql is required".to_string());
+    if args.sql.is_empty() && args.serve.is_none() {
+        return Err("--sql (or --serve FILE) is required".to_string());
+    }
+    if !args.sql.is_empty() && args.serve.is_some() {
+        return Err("--sql and --serve are mutually exclusive".to_string());
     }
     if args.mode != "dynamic" && args.mode != "static" {
         return Err(format!("--mode must be dynamic or static, got `{}`", args.mode));
@@ -233,6 +293,9 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), DqepError> {
     let args = parse_args().map_err(DqepError::Usage)?;
+    if args.serve.is_some() {
+        return serve(&args);
+    }
     let mut catalog = make_chain_catalog(
         &SyntheticSpec::paper(args.relations, args.seed),
         SystemConfig::paper_1994(),
@@ -346,6 +409,9 @@ fn run() -> Result<(), DqepError> {
                         summary.fallbacks
                     );
                 }
+                // Single-shot runs bypass the prepared-query service, so
+                // both caches report "-"; `--serve` reports hits/misses.
+                println!("-- plan cache: {}", summary.plan_cache.describe());
             }
         }
     } else if args.run {
@@ -354,6 +420,162 @@ fn run() -> Result<(), DqepError> {
         ));
     }
     Ok(())
+}
+
+/// Parses a workload file: one statement per line, optional
+/// `@ name=value,...` binding suffix (`memory=PAGES` sets the grant),
+/// `#` comments and blank lines skipped.
+fn parse_workload(text: &str) -> Result<Vec<Request>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (sql, binds) = match line.rsplit_once('@') {
+            Some((s, b)) => (s.trim(), b.trim()),
+            None => (line, ""),
+        };
+        let mut req = Request::new(sql, &[]);
+        for pair in binds.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: binding `{pair}` is not NAME=VALUE", idx + 1))?;
+            let (name, v) = (name.trim(), v.trim());
+            if name == "memory" {
+                req.memory_pages =
+                    Some(v.parse().map_err(|e| format!("line {}: memory: {e}", idx + 1))?);
+            } else {
+                req.binds.push((
+                    name.to_string(),
+                    v.parse().map_err(|e| format!("line {}: {name}: {e}", idx + 1))?,
+                ));
+            }
+        }
+        out.push(req);
+    }
+    Ok(out)
+}
+
+/// Runs a workload file through the prepared-query service and prints
+/// per-session results plus the service's cache and throughput summary.
+fn serve(args: &Args) -> Result<(), DqepError> {
+    let path = args.serve.as_ref().expect("checked by run()");
+    let text = std::fs::read_to_string(path)?;
+    let workload = parse_workload(&text).map_err(DqepError::Usage)?;
+    if workload.is_empty() {
+        return Err(DqepError::Usage(format!("{path}: no statements")));
+    }
+
+    let mut catalog = make_chain_catalog(
+        &SyntheticSpec::paper(args.relations, args.seed),
+        SystemConfig::paper_1994(),
+    );
+    let dist = match args.skew {
+        Some(z) => ValueDistribution::Zipf { exponent: z },
+        None => ValueDistribution::Uniform,
+    };
+    if let Some(buckets) = args.histograms {
+        // Histograms are harvested from a throwaway replica; the service
+        // workers regenerate identical data from the same seed.
+        let db = StoredDatabase::generate_with(&catalog, args.seed, dist);
+        install_histograms(&db, &mut catalog, buckets)?;
+        eprintln!("built {buckets}-bucket histograms over all attributes");
+    }
+
+    let config = ServiceConfig {
+        workers: args.workers.max(1),
+        global_memory_bytes: args.service_memory,
+        queue_timeout_ms: args.queue_timeout_ms,
+        session_limits: ResourceLimits {
+            memory_bytes: args.memory_limit,
+            max_rows: args.max_rows,
+            max_io: args.max_io,
+            wall_clock_ms: args.timeout_ms,
+        },
+        data_seed: args.seed,
+        skew: args.skew,
+        io_latency_micros: args.io_latency_us,
+        ..ServiceConfig::default()
+    };
+    let service = QueryService::new(catalog, config);
+    let system = service.catalog().config.clone();
+    let config = &system;
+
+    let sessions: Vec<Request> = std::iter::repeat_with(|| workload.clone())
+        .take(args.repeat.max(1))
+        .flatten()
+        .collect();
+    let total = sessions.len();
+    println!(
+        "-- serving {total} session(s) ({} statement(s) x {} repeat(s)) on {} worker(s)",
+        workload.len(),
+        args.repeat.max(1),
+        service.workers()
+    );
+    let started = std::time::Instant::now();
+    let results = service.run_batch(sessions);
+    let wall = started.elapsed();
+
+    let mut failed = 0usize;
+    let mut first_error: Option<DqepError> = None;
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(s) => println!(
+                "[{i:>4}] {} rows, {:.4}s simulated, worker {}, cache: {}{}",
+                s.summary.rows,
+                s.summary.simulated_seconds(config),
+                s.worker,
+                s.summary.plan_cache.describe(),
+                if s.summary.fallbacks > 0 {
+                    format!(", {} fallback(s)", s.summary.fallbacks)
+                } else {
+                    String::new()
+                }
+            ),
+            Err(e) => {
+                failed += 1;
+                if first_error.is_none() {
+                    first_error = Some(e.clone().into());
+                }
+                println!("[{i:>4}] FAILED: {e}");
+            }
+        }
+    }
+
+    let stats = service.stats();
+    println!(
+        "\n-- {} ok, {failed} failed in {:.3}s wall ({:.1} sessions/s)",
+        stats.completed,
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "-- plan cache: statement {:.1}% hit ({} hit / {} miss, {} evicted), \
+         decision {:.1}% hit ({} hit / {} miss)",
+        stats.registry.hit_rate() * 100.0,
+        stats.registry.hits,
+        stats.registry.misses,
+        stats.registry.evictions,
+        stats.decision_hit_rate() * 100.0,
+        stats.decision_hits,
+        stats.decision_misses,
+    );
+    println!(
+        "-- feedback: {} invalidation(s), {} cached-plan retr{}, totals: {} rows, {:.4}s simulated",
+        stats.feedback_invalidations,
+        stats.cached_plan_retries,
+        if stats.cached_plan_retries == 1 { "y" } else { "ies" },
+        stats.totals.rows,
+        stats.totals.simulated_seconds(config),
+    );
+
+    match first_error {
+        // Partial failure is reported per session but the service ran:
+        // only a fully failed workload fails the process.
+        Some(e) if failed == total => Err(e),
+        _ => Ok(()),
+    }
 }
 
 #[cfg(test)]

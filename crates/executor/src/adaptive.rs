@@ -147,6 +147,7 @@ pub fn execute_adaptive(
             cpu: ctx.counters.snapshot(),
             io,
             fallbacks: ctx.counters.fallbacks(),
+            ..ExecSummary::default()
         });
         observations.insert(pilot.id, rows as f64);
         observed = Some(pilot.id);
@@ -169,6 +170,7 @@ pub fn execute_adaptive(
             cpu: ctx.counters.snapshot(),
             io,
             fallbacks: ctx.counters.fallbacks(),
+            ..ExecSummary::default()
         },
     })
 }

@@ -187,6 +187,51 @@ pub fn compile_plan<'a>(
     })
 }
 
+/// Compiles a **resolved** (choose-plan-free) plan under the caller's
+/// [`ExecContext`] and drains it, returning the produced row count. The
+/// caller owns the context — counters accumulate into `ctx.counters`, the
+/// governor's budgets and cancellation apply, and `ctx.mode` selects the
+/// tuple or batch pipeline. This is the serving-layer entry point for
+/// running a cached resolved plan without re-arbitration.
+///
+/// # Errors
+/// Any [`ExecError`] from compilation or execution, including
+/// [`ExecError::UnresolvedChoosePlan`] for dynamic plans (use
+/// [`run_dynamic`] for those).
+pub fn run_compiled(
+    plan: &Arc<PlanNode>,
+    db: &StoredDatabase,
+    catalog: &Catalog,
+    bindings: &Bindings,
+    memory_bytes: usize,
+    ctx: &ExecContext,
+) -> Result<u64, ExecError> {
+    let mut op = compile_plan(plan, db, catalog, bindings, memory_bytes, ctx)?;
+    drain_root(op.as_mut(), &ctx.governor, ctx.mode)
+}
+
+/// Compiles a (possibly dynamic) plan under the caller's [`ExecContext`] —
+/// mapping choose-plan nodes to the run-time [`crate::ChoosePlanExec`], so
+/// arbitration happens at `open()` and retryable failures fall back to the
+/// next-cheapest alternative — and drains it, returning the produced row
+/// count. Fallbacks taken are recorded in `ctx.counters`.
+///
+/// # Errors
+/// Any [`ExecError`] from compilation or execution.
+pub fn run_dynamic(
+    plan: &Arc<PlanNode>,
+    db: &StoredDatabase,
+    catalog: &Catalog,
+    env: &Environment,
+    bindings: &Bindings,
+    memory_bytes: usize,
+    ctx: &ExecContext,
+) -> Result<u64, ExecError> {
+    let mut op =
+        crate::choose::compile_dynamic_plan(plan, db, catalog, env, bindings, memory_bytes, ctx)?;
+    drain_root(op.as_mut(), &ctx.governor, ctx.mode)
+}
+
 /// Opens and drains `op`, charging produced rows against the row budget;
 /// closes the operator on success and on error. In batch mode the root
 /// pulls [`crate::RowBatch`]es and charges the row budget once per batch —
@@ -288,9 +333,7 @@ pub fn execute_plan_mode(
     let memory_bytes = (memory_pages * catalog.config.page_size as f64) as usize;
     let ctx = ExecContext::with_limits(SharedCounters::new(), limits).with_mode(mode);
     let io_before = db.disk.stats();
-    let mut op =
-        crate::choose::compile_dynamic_plan(plan, db, catalog, env, bindings, memory_bytes, &ctx)?;
-    let rows = drain_root(op.as_mut(), &ctx.governor, mode)?;
+    let rows = run_dynamic(plan, db, catalog, env, bindings, memory_bytes, &ctx)?;
     let io = db.disk.stats().since(&io_before);
     Ok((
         ExecSummary {
@@ -298,6 +341,7 @@ pub fn execute_plan_mode(
             cpu: ctx.counters.snapshot(),
             io,
             fallbacks: ctx.counters.fallbacks(),
+            ..ExecSummary::default()
         },
         startup,
     ))
@@ -403,7 +447,7 @@ mod tests {
                     rows: 0,
                     cpu: ctx.counters.snapshot(),
                     io,
-                    fallbacks: 0,
+                    ..ExecSummary::default()
                 };
                 times.push(summary.simulated_seconds(&cat.config));
             }

@@ -58,9 +58,11 @@ mod tuple;
 pub use adaptive::{execute_adaptive, AdaptiveResult};
 pub use batch::{RowBatch, RowBatchIter, BATCH_CAPACITY};
 pub use choose::{compile_dynamic_plan, ChoosePlanExec};
-pub use compile::{compile_plan, execute_plan, execute_plan_mode, execute_plan_with};
+pub use compile::{
+    compile_plan, execute_plan, execute_plan_mode, execute_plan_with, run_compiled, run_dynamic,
+};
 pub use error::{ExecError, Resource};
 pub use exec::{drain, drain_batch, Operator};
 pub use governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
-pub use metrics::{CpuCounters, ExecSummary, SharedCounters};
+pub use metrics::{CpuCounters, ExecSummary, PlanCacheInfo, SharedCounters};
 pub use tuple::{Tuple, TupleLayout};

@@ -28,6 +28,48 @@ impl CpuCounters {
     }
 }
 
+/// Merging per-session counters into service-level totals. Each session
+/// owns a private [`SharedCounters`]; a serving layer snapshots them at
+/// completion and accumulates the snapshots, so concurrent queries never
+/// bleed work into each other's accounting.
+impl std::ops::AddAssign for CpuCounters {
+    fn add_assign(&mut self, rhs: CpuCounters) {
+        self.records += rhs.records;
+        self.compares += rhs.compares;
+        self.hashes += rhs.hashes;
+    }
+}
+
+/// How an execution interacted with a prepared-query service's caches.
+/// `None` in both fields means the query ran outside a service (the CLI's
+/// single-shot path, the experiment harness, direct embedding).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheInfo {
+    /// Whether the statement was found in the prepared-statement registry
+    /// (`Some(true)`: parse + optimize were skipped entirely).
+    pub statement_hit: Option<bool>,
+    /// Whether the bind-time choose-plan arbitration was served from the
+    /// decision cache (`Some(true)`: no cost functions were re-evaluated).
+    pub decision_hit: Option<bool>,
+}
+
+impl PlanCacheInfo {
+    /// Renders `hit`/`miss`/`-` per cache, for summary lines.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let word = |o: Option<bool>| match o {
+            Some(true) => "hit",
+            Some(false) => "miss",
+            None => "-",
+        };
+        format!(
+            "statement {}, decision {}",
+            word(self.statement_hit),
+            word(self.decision_hit)
+        )
+    }
+}
+
 #[derive(Debug, Default)]
 struct CountersInner {
     cpu: CpuCounters,
@@ -82,7 +124,7 @@ impl SharedCounters {
 }
 
 /// The result of executing one plan.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ExecSummary {
     /// Result rows produced.
     pub rows: u64,
@@ -92,6 +134,9 @@ pub struct ExecSummary {
     pub io: IoStats,
     /// Choose-plan fallbacks taken (0 when the preferred alternative ran).
     pub fallbacks: u64,
+    /// Plan-cache provenance when executed through a prepared-query
+    /// service (defaults to "not via a service").
+    pub plan_cache: PlanCacheInfo,
 }
 
 impl ExecSummary {
@@ -100,6 +145,15 @@ impl ExecSummary {
     #[must_use]
     pub fn simulated_seconds(&self, config: &SystemConfig) -> f64 {
         self.cpu.seconds(config) + self.io.seconds(config)
+    }
+
+    /// Folds another summary's work into this one (rows, CPU, I/O,
+    /// fallbacks). Cache provenance is per-execution and not merged.
+    pub fn accumulate(&mut self, other: &ExecSummary) {
+        self.rows += other.rows;
+        self.cpu += other.cpu;
+        self.io += other.io;
+        self.fallbacks += other.fallbacks;
     }
 }
 
@@ -138,9 +192,35 @@ mod tests {
             rows: 5,
             cpu: CpuCounters { records: 10, compares: 0, hashes: 0 },
             io: IoStats { seq_reads: 100, random_reads: 0, writes: 0 },
-            fallbacks: 0,
+            ..ExecSummary::default()
         };
         let expected = 10.0 * cfg.cpu_per_record + 100.0 * cfg.seq_page_io;
         assert!((s.simulated_seconds(&cfg) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summaries_accumulate_without_merging_provenance() {
+        let mut total = ExecSummary::default();
+        let a = ExecSummary {
+            rows: 5,
+            cpu: CpuCounters { records: 10, compares: 2, hashes: 1 },
+            io: IoStats { seq_reads: 3, random_reads: 1, writes: 0 },
+            fallbacks: 1,
+            plan_cache: PlanCacheInfo { statement_hit: Some(true), decision_hit: Some(false) },
+        };
+        total.accumulate(&a);
+        total.accumulate(&a);
+        assert_eq!(total.rows, 10);
+        assert_eq!(total.cpu, CpuCounters { records: 20, compares: 4, hashes: 2 });
+        assert_eq!(total.io.total(), 8);
+        assert_eq!(total.fallbacks, 2);
+        assert_eq!(total.plan_cache, PlanCacheInfo::default(), "provenance not merged");
+    }
+
+    #[test]
+    fn plan_cache_info_describes_states() {
+        assert_eq!(PlanCacheInfo::default().describe(), "statement -, decision -");
+        let info = PlanCacheInfo { statement_hit: Some(true), decision_hit: Some(false) };
+        assert_eq!(info.describe(), "statement hit, decision miss");
     }
 }

@@ -1,0 +1,178 @@
+//! Admission control: a global memory grant pool shared by all sessions.
+//!
+//! Each session's [`dqep_executor::ResourceGovernor`] enforces its *own*
+//! grant; the pool bounds the **sum** of grants across concurrent
+//! sessions, so the service never promises more memory than it has. A
+//! session that cannot be admitted immediately queues on a condition
+//! variable until capacity frees up or its deadline passes.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::error::ServiceError;
+
+#[derive(Debug, Default)]
+struct PoolState {
+    used: u64,
+}
+
+/// A fixed-capacity memory grant pool. Cheap to share via `Arc`; grants
+/// release automatically on drop.
+#[derive(Debug)]
+pub struct MemoryPool {
+    state: Mutex<PoolState>,
+    freed: Condvar,
+    capacity: u64,
+}
+
+impl MemoryPool {
+    /// A pool of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: u64) -> Arc<MemoryPool> {
+        Arc::new(MemoryPool {
+            state: Mutex::new(PoolState::default()),
+            freed: Condvar::new(),
+            capacity,
+        })
+    }
+
+    /// Pool capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently granted.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.lock().used
+    }
+
+    // A poisoned mutex only means another session panicked while holding
+    // the lock; the pool counter itself is always consistent (updated in
+    // single statements), so recover the guard instead of propagating.
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Blocks until `bytes` can be granted or `deadline` passes.
+    ///
+    /// # Errors
+    /// [`ServiceError::GrantTooLarge`] if `bytes` exceeds capacity (would
+    /// never be admitted); [`ServiceError::AdmissionTimeout`] if the
+    /// deadline passes first.
+    pub fn acquire(
+        self: &Arc<Self>,
+        bytes: u64,
+        deadline: Instant,
+    ) -> Result<MemoryGrant, ServiceError> {
+        if bytes > self.capacity {
+            return Err(ServiceError::GrantTooLarge {
+                requested: bytes,
+                capacity: self.capacity,
+            });
+        }
+        let started = Instant::now();
+        let mut state = self.lock();
+        loop {
+            if state.used + bytes <= self.capacity {
+                state.used += bytes;
+                return Ok(MemoryGrant {
+                    pool: Arc::clone(self),
+                    bytes,
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServiceError::AdmissionTimeout {
+                    waited_ms: started.elapsed().as_millis() as u64,
+                });
+            }
+            let wait = deadline.saturating_duration_since(now).min(Duration::from_millis(50));
+            state = match self.freed.wait_timeout(state, wait) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+}
+
+/// A live memory grant; returns its bytes to the pool on drop.
+#[derive(Debug)]
+pub struct MemoryGrant {
+    pool: Arc<MemoryPool>,
+    bytes: u64,
+}
+
+impl MemoryGrant {
+    /// Granted bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for MemoryGrant {
+    fn drop(&mut self) {
+        let mut state = self.pool.lock();
+        state.used = state.used.saturating_sub(self.bytes);
+        drop(state);
+        self.pool.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_millis(50)
+    }
+
+    #[test]
+    fn grants_within_capacity_and_releases_on_drop() {
+        let pool = MemoryPool::new(100);
+        let a = pool.acquire(60, soon()).unwrap();
+        let b = pool.acquire(40, soon()).unwrap();
+        assert_eq!(pool.used(), 100);
+        drop(a);
+        assert_eq!(pool.used(), 40);
+        drop(b);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn oversized_grant_fails_fast() {
+        let pool = MemoryPool::new(100);
+        let err = pool.acquire(101, soon()).unwrap_err();
+        assert!(matches!(err, ServiceError::GrantTooLarge { requested: 101, capacity: 100 }));
+    }
+
+    #[test]
+    fn full_pool_times_out() {
+        let pool = MemoryPool::new(100);
+        let _held = pool.acquire(100, soon()).unwrap();
+        let err = pool.acquire(1, Instant::now() + Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, ServiceError::AdmissionTimeout { .. }));
+    }
+
+    #[test]
+    fn waiter_is_admitted_when_capacity_frees() {
+        let pool = MemoryPool::new(100);
+        let held = pool.acquire(100, soon()).unwrap();
+        let pool2 = Arc::clone(&pool);
+        let waiter =
+            thread::spawn(move || pool2.acquire(50, Instant::now() + Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(30));
+        drop(held);
+        let grant = waiter.join().unwrap().unwrap();
+        assert_eq!(grant.bytes(), 50);
+        assert_eq!(pool.used(), 50);
+        drop(grant);
+        assert_eq!(pool.used(), 0);
+    }
+}

@@ -49,6 +49,18 @@ impl IoStats {
     }
 }
 
+/// Merging per-session deltas into service-level totals. Only meaningful
+/// for *deltas* (from [`IoStats::since`]) measured on disks no other
+/// session touches concurrently; a shared disk's raw counters would bleed
+/// other sessions' I/O into the sum.
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.seq_reads += rhs.seq_reads;
+        self.random_reads += rhs.random_reads;
+        self.writes += rhs.writes;
+    }
+}
+
 #[derive(Debug)]
 struct DiskInner {
     // Boxed so growing the page vector moves 8-byte pointers, not 2 KiB
@@ -62,6 +74,8 @@ struct DiskInner {
     read_ordinal: u64,
     /// 1-based ordinal of the next accounted write, for fault matching.
     write_ordinal: u64,
+    /// Real-time pacing per accounted access, in microseconds (0 = off).
+    latency_micros: u64,
 }
 
 /// A shared, thread-safe simulated disk.
@@ -94,8 +108,20 @@ impl SimDisk {
                 faults: FaultPlan::none(),
                 read_ordinal: 0,
                 write_ordinal: 0,
+                latency_micros: 0,
             })),
         }
+    }
+
+    /// Paces every **accounted** read and write by sleeping `micros`
+    /// real-time microseconds (0 disables pacing, the default). Simulated
+    /// cost accounting is unchanged — pacing only makes the wall-clock
+    /// shape of a query resemble a device with latency, so concurrent
+    /// sessions can demonstrably overlap their I/O stalls. The sleep
+    /// happens *outside* the disk lock; concurrent accessors of other
+    /// disks (or unaccounted loads) are never serialized behind it.
+    pub fn set_io_latency_micros(&self, micros: u64) {
+        self.inner.lock().latency_micros = micros;
     }
 
     /// Installs a fault plan and resets the access ordinals it matches
@@ -137,22 +163,36 @@ impl SimDisk {
     /// plan fails this read. Failed reads are still charged — the I/O was
     /// attempted — and still advance the read ordinal.
     pub fn read(&self, id: PageId) -> Result<Box<[u8; PAGE_SIZE]>, StorageError> {
-        let mut inner = self.inner.lock();
-        if id.0 as usize >= inner.pages.len() {
-            return Err(StorageError::UnallocatedPage(id));
+        let (result, latency) = {
+            let mut inner = self.inner.lock();
+            if id.0 as usize >= inner.pages.len() {
+                return Err(StorageError::UnallocatedPage(id));
+            }
+            let sequential = matches!(inner.last_read, Some(prev) if prev.0 + 1 == id.0);
+            if sequential {
+                inner.stats.seq_reads += 1;
+            } else {
+                inner.stats.random_reads += 1;
+            }
+            inner.last_read = Some(id);
+            inner.read_ordinal += 1;
+            let result = if inner.faults.read_fails(id, inner.read_ordinal) {
+                Err(StorageError::InjectedFault { page: id, write: false })
+            } else {
+                Ok(inner.pages[id.0 as usize].clone())
+            };
+            (result, inner.latency_micros)
+        };
+        Self::pace(latency);
+        result
+    }
+
+    /// Sleeps for one paced access (the I/O was attempted and charged, so
+    /// faulted accesses pace too). Called with the disk lock released.
+    fn pace(latency_micros: u64) {
+        if latency_micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(latency_micros));
         }
-        let sequential = matches!(inner.last_read, Some(prev) if prev.0 + 1 == id.0);
-        if sequential {
-            inner.stats.seq_reads += 1;
-        } else {
-            inner.stats.random_reads += 1;
-        }
-        inner.last_read = Some(id);
-        inner.read_ordinal += 1;
-        if inner.faults.read_fails(id, inner.read_ordinal) {
-            return Err(StorageError::InjectedFault { page: id, write: false });
-        }
-        Ok(inner.pages[id.0 as usize].clone())
     }
 
     /// Writes a page, charging one write.
@@ -166,17 +206,23 @@ impl SimDisk {
         if data.len() != PAGE_SIZE {
             return Err(StorageError::BadPageLength { got: data.len(), expected: PAGE_SIZE });
         }
-        let mut inner = self.inner.lock();
-        if id.0 as usize >= inner.pages.len() {
-            return Err(StorageError::UnallocatedPage(id));
-        }
-        inner.stats.writes += 1;
-        inner.write_ordinal += 1;
-        if inner.faults.write_fails(inner.write_ordinal) {
-            return Err(StorageError::InjectedFault { page: id, write: true });
-        }
-        inner.pages[id.0 as usize].copy_from_slice(data);
-        Ok(())
+        let (result, latency) = {
+            let mut inner = self.inner.lock();
+            if id.0 as usize >= inner.pages.len() {
+                return Err(StorageError::UnallocatedPage(id));
+            }
+            inner.stats.writes += 1;
+            inner.write_ordinal += 1;
+            let result = if inner.faults.write_fails(inner.write_ordinal) {
+                Err(StorageError::InjectedFault { page: id, write: true })
+            } else {
+                inner.pages[id.0 as usize].copy_from_slice(data);
+                Ok(())
+            };
+            (result, inner.latency_micros)
+        };
+        Self::pace(latency);
+        result
     }
 
     /// Reads a page **without** charging I/O — used by loaders (e.g.
@@ -212,13 +258,19 @@ impl SimDisk {
     /// [`StorageError::InjectedFault`] when the installed fault plan fails
     /// this (accounted) write.
     pub fn note_write(&self) -> Result<(), StorageError> {
-        let mut inner = self.inner.lock();
-        inner.stats.writes += 1;
-        inner.write_ordinal += 1;
-        if inner.faults.write_fails(inner.write_ordinal) {
-            return Err(StorageError::InjectedFault { page: PageId::INVALID, write: true });
-        }
-        Ok(())
+        let (result, latency) = {
+            let mut inner = self.inner.lock();
+            inner.stats.writes += 1;
+            inner.write_ordinal += 1;
+            let result = if inner.faults.write_fails(inner.write_ordinal) {
+                Err(StorageError::InjectedFault { page: PageId::INVALID, write: true })
+            } else {
+                Ok(())
+            };
+            (result, inner.latency_micros)
+        };
+        Self::pace(latency);
+        result
     }
 
     /// Current counters.
@@ -384,5 +436,30 @@ mod tests {
         let _ = disk.read(id).unwrap();
         disk.set_fault_plan(FaultPlan::nth_read(1));
         assert!(disk.read(id).is_err(), "ordinal restarted at installation");
+    }
+
+    #[test]
+    fn stats_deltas_merge() {
+        let mut total = IoStats::default();
+        total += IoStats { seq_reads: 3, random_reads: 1, writes: 2 };
+        total += IoStats { seq_reads: 1, random_reads: 4, writes: 0 };
+        assert_eq!(total, IoStats { seq_reads: 4, random_reads: 5, writes: 2 });
+        assert_eq!(total.total(), 11);
+    }
+
+    #[test]
+    fn io_pacing_slows_accounted_reads_only() {
+        let disk = SimDisk::new();
+        let id = disk.allocate();
+        disk.set_io_latency_micros(2_000);
+        let start = std::time::Instant::now();
+        let _ = disk.read(id).unwrap();
+        assert!(start.elapsed().as_micros() >= 2_000, "accounted read paced");
+        let start = std::time::Instant::now();
+        let _ = disk.read_unaccounted(id);
+        assert!(start.elapsed().as_micros() < 2_000, "unaccounted read not paced");
+        disk.set_io_latency_micros(0);
+        // Accounting is identical with pacing on or off.
+        assert_eq!(disk.stats().total(), 1);
     }
 }

@@ -12,6 +12,7 @@ use std::fmt;
 
 use dqep_core::OptimizerError;
 use dqep_executor::ExecError;
+use dqep_service::ServiceError;
 use dqep_sql::ParseError;
 use dqep_storage::StorageError;
 
@@ -34,6 +35,9 @@ pub enum DqepError {
     Storage(StorageError),
     /// An operating-system I/O failure (e.g. writing a `--dot` file).
     Io(std::io::Error),
+    /// A prepared-query service session failed outside execution proper
+    /// (admission timeout, oversized grant, shutdown).
+    Service(ServiceError),
 }
 
 impl DqepError {
@@ -49,6 +53,7 @@ impl DqepError {
     /// | 5 | a resource budget was exhausted |
     /// | 6 | storage fault |
     /// | 7 | cancelled |
+    /// | 8 | service admission failure |
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -62,6 +67,12 @@ impl DqepError {
             },
             DqepError::Storage(_) => 6,
             DqepError::Io(_) => 1,
+            DqepError::Service(e) => match e {
+                ServiceError::Sql(_) | ServiceError::Optimizer(_) | ServiceError::Bind(_) => 3,
+                ServiceError::Exec(e) => DqepError::Exec(e.clone()).exit_code(),
+                ServiceError::AdmissionTimeout { .. } | ServiceError::GrantTooLarge { .. } => 8,
+                ServiceError::Shutdown => 1,
+            },
         }
     }
 
@@ -72,6 +83,8 @@ impl DqepError {
         match self {
             DqepError::Exec(e) => e.is_retryable(),
             DqepError::Storage(_) => true,
+            DqepError::Service(ServiceError::Exec(e)) => e.is_retryable(),
+            DqepError::Service(ServiceError::AdmissionTimeout { .. }) => true,
             _ => false,
         }
     }
@@ -86,6 +99,7 @@ impl fmt::Display for DqepError {
             DqepError::Exec(e) => write!(f, "execution: {e}"),
             DqepError::Storage(e) => write!(f, "storage: {e}"),
             DqepError::Io(e) => write!(f, "io: {e}"),
+            DqepError::Service(e) => write!(f, "service: {e}"),
         }
     }
 }
@@ -99,6 +113,7 @@ impl std::error::Error for DqepError {
             DqepError::Exec(e) => Some(e),
             DqepError::Storage(e) => Some(e),
             DqepError::Io(e) => Some(e),
+            DqepError::Service(e) => Some(e),
         }
     }
 }
@@ -124,6 +139,17 @@ impl From<ExecError> for DqepError {
 impl From<StorageError> for DqepError {
     fn from(e: StorageError) -> Self {
         DqepError::Storage(e)
+    }
+}
+
+impl From<ServiceError> for DqepError {
+    fn from(e: ServiceError) -> Self {
+        // Execution failures keep their executor classification (and so
+        // their exit codes); everything else is service-level.
+        match e {
+            ServiceError::Exec(e) => DqepError::Exec(e),
+            other => DqepError::Service(other),
+        }
     }
 }
 

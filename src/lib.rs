@@ -28,6 +28,7 @@
 //! | [`executor`] | `dqep-executor` | Volcano iterators incl. run-time choose-plan |
 //! | [`harness`] | `dqep-harness` | The paper's five queries & figure experiments |
 //! | [`sql`] | `dqep-sql` | Embedded-SQL parser (`SELECT … WHERE a < :x`) |
+//! | [`service`] | `dqep-service` | Prepared-statement registry, decision cache, concurrent sessions |
 //!
 //! ## Quickstart
 //!
@@ -120,4 +121,11 @@ pub mod harness {
 /// Embedded-SQL front end (re-export of `dqep-sql`).
 pub mod sql {
     pub use dqep_sql::*;
+}
+
+/// Prepared-query serving layer: statement registry, bind-time decision
+/// cache, concurrent sessions with admission control (re-export of
+/// `dqep-service`).
+pub mod service {
+    pub use dqep_service::*;
 }

@@ -28,7 +28,7 @@ fn drain_rows(
         rows,
         cpu: ctx.counters.snapshot(),
         io,
-        fallbacks: 0,
+        ..ExecSummary::default()
     };
     (rows, summary.simulated_seconds(&catalog.config))
 }
