@@ -1,0 +1,108 @@
+//! Emits `BENCH_parallel.json`: wall-clock speedups of intra-query
+//! parallel execution (DOP 2 and 4 vs serial) on an I/O-paced simulated
+//! disk.
+//!
+//! Usage: `bench_parallel [--quick] [OUT_PATH]` (default
+//! `BENCH_parallel.json`).
+//!
+//! Exits non-zero if the hash-join speedup at DOP 4 falls below 2x —
+//! the acceptance gate for the exchange operator — unless the host has
+//! fewer than 4 logical cores *and* `--quick` was not passed with enough
+//! headroom; on such hosts the gate is skipped (the workers still overlap
+//! simulated I/O stalls, but CI only enforces the bound where the
+//! scheduler has real parallelism to give).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use dqep_bench::parallel_bench::{parallel_cases, DopMeasurement, DOPS};
+
+/// Gate: hash join at DOP 4 must be at least this much faster than serial.
+const GATE_CASE: &str = "hash_join";
+const GATE_DOP: usize = 4;
+const GATE_SPEEDUP: f64 = 2.0;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_parallel.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let (scale, latency_us, iters) = if quick { (4_000, 20, 2) } else { (12_000, 50, 3) };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!(
+        "parallel bench: scale={scale} io_latency={latency_us}us iters={iters} cores={cores}"
+    );
+
+    let cases = parallel_cases(scale, 7, latency_us);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"io_latency_micros\": {latency_us},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"cases\": {{");
+
+    let mut gate_speedup: Option<f64> = None;
+    println!("{:<12} {:>6} {:>10} {:>9}", "case", "dop", "millis", "speedup");
+    for (ci, case) in cases.iter().enumerate() {
+        let results: Vec<DopMeasurement> =
+            DOPS.iter().map(|&dop| case.measure(dop, iters)).collect();
+        let serial_ms = results[0].millis;
+        let _ = writeln!(json, "    \"{}\": {{", case.name);
+        let _ = writeln!(json, "      \"rows\": {},", results[0].rows);
+        for (i, m) in results.iter().enumerate() {
+            let speedup = serial_ms / m.millis;
+            println!("{:<12} {:>6} {:>10.2} {:>8.2}x", case.name, m.dop, m.millis, speedup);
+            if case.name == GATE_CASE && m.dop == GATE_DOP {
+                gate_speedup = Some(speedup);
+            }
+            let comma = if i + 1 < results.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      \"dop{}\": {{ \"millis\": {:.3}, \"speedup\": {:.3} }}{comma}",
+                m.dop, m.millis, speedup
+            );
+        }
+        let comma = if ci + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{ \"case\": \"{GATE_CASE}\", \"dop\": {GATE_DOP}, \
+         \"required_speedup\": {GATE_SPEEDUP}, \"measured_speedup\": {:.3} }}",
+        gate_speedup.unwrap_or(0.0)
+    );
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::from(1);
+    }
+    println!("wrote {out_path}");
+
+    let Some(speedup) = gate_speedup else {
+        eprintln!("gate case {GATE_CASE} missing from results");
+        return ExitCode::from(2);
+    };
+    if cores < GATE_DOP {
+        println!(
+            "gate skipped: host has {cores} cores (< {GATE_DOP}); \
+             measured {GATE_CASE} dop{GATE_DOP} speedup {speedup:.2}x"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if speedup < GATE_SPEEDUP {
+        eprintln!(
+            "GATE FAILED: {GATE_CASE} at dop {GATE_DOP} achieved {speedup:.2}x, \
+             required {GATE_SPEEDUP:.1}x"
+        );
+        return ExitCode::from(2);
+    }
+    println!("gate passed: {GATE_CASE} dop{GATE_DOP} speedup {speedup:.2}x >= {GATE_SPEEDUP:.1}x");
+    ExitCode::SUCCESS
+}

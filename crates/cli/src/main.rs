@@ -16,6 +16,8 @@
 //!   --explain           print the compile-time plan (default)
 //!   --run               execute on generated data and report simulated time
 //!   --adaptive          run with one pilot-observation round (§7)
+//!   --dop N             intra-query parallelism: N worker threads for the
+//!                       parallel scan / hash join / sort (default 1)
 //!   --dot PATH          write the plan DAG as Graphviz
 //!
 //! Robustness (with --run):
@@ -34,6 +36,8 @@
 //!   --service-memory B  global admission memory pool in bytes
 //!   --queue-timeout-ms  admission timeout per session
 //!   --io-latency-us U   simulated device latency per page I/O
+//!   --dop N             per-session parallelism cap (bounded by each
+//!                       session's admitted memory grant)
 //! ```
 //!
 //! Exit codes distinguish failure classes — see [`dqep::DqepError`].
@@ -44,7 +48,7 @@ use dqep::DqepError;
 use dqep_catalog::{make_chain_catalog, SyntheticSpec, SystemConfig};
 use dqep_core::Optimizer;
 use dqep_cost::{Bindings, Environment};
-use dqep_executor::{execute_adaptive, execute_plan_with, ResourceLimits};
+use dqep_executor::{execute_adaptive, execute_plan_dop, ExecMode, ResourceLimits};
 use dqep_plan::{evaluate_startup, render_plan, to_dot};
 use dqep_service::{QueryService, Request, ServiceConfig};
 use dqep_sql::parse_query;
@@ -69,6 +73,7 @@ struct Args {
     max_io: Option<u64>,
     timeout_ms: Option<u64>,
     serve: Option<String>,
+    dop: usize,
     workers: usize,
     repeat: usize,
     service_memory: u64,
@@ -100,6 +105,7 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         max_io: None,
         timeout_ms: None,
         serve: None,
+        dop: 1,
         workers: 4,
         repeat: 1,
         service_memory: 64 << 20,
@@ -223,6 +229,15 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
             }
             "--serve" => {
                 args.serve = Some(value(argv, i, "--serve")?);
+                i += 2;
+            }
+            "--dop" => {
+                args.dop = value(argv, i, "--dop")?
+                    .parse()
+                    .map_err(|e| format!("--dop: {e}"))?;
+                if args.dop == 0 {
+                    return Err("--dop must be at least 1".to_string());
+                }
                 i += 2;
             }
             "--workers" => {
@@ -392,8 +407,19 @@ fn run() -> Result<(), DqepError> {
                     max_io: args.max_io,
                     wall_clock_ms: args.timeout_ms,
                 };
-                let (summary, _) =
-                    execute_plan_with(&result.plan, db, &catalog, &env, &bindings, limits)?;
+                let (summary, _) = execute_plan_dop(
+                    &result.plan,
+                    db,
+                    &catalog,
+                    &env,
+                    &bindings,
+                    limits,
+                    ExecMode::default(),
+                    args.dop,
+                )?;
+                if args.dop > 1 {
+                    println!("\n-- parallel execution at dop {}", args.dop);
+                }
                 println!(
                     "\n-- executed: {} rows, {:.4}s simulated ({} seq + {} random reads, {} writes)",
                     summary.rows,
@@ -496,6 +522,7 @@ fn serve(args: &Args) -> Result<(), DqepError> {
         data_seed: args.seed,
         skew: args.skew,
         io_latency_micros: args.io_latency_us,
+        dop: args.dop,
         ..ServiceConfig::default()
     };
     let service = QueryService::new(catalog, config);
@@ -612,6 +639,20 @@ mod tests {
     fn adaptive_implies_run() {
         let a = parse_argv(&argv(&["--sql", "q", "--adaptive"])).unwrap();
         assert!(a.adaptive && a.run);
+    }
+
+    #[test]
+    fn parses_dop() {
+        let a = parse_argv(&argv(&["--sql", "q", "--run", "--dop", "4"])).unwrap();
+        assert_eq!(a.dop, 4);
+        let a = parse_argv(&argv(&["--sql", "q"])).unwrap();
+        assert_eq!(a.dop, 1, "serial by default");
+        assert!(parse_argv(&argv(&["--sql", "q", "--dop", "0"]))
+            .unwrap_err()
+            .contains("--dop"));
+        assert!(parse_argv(&argv(&["--sql", "q", "--dop", "x"]))
+            .unwrap_err()
+            .contains("--dop"));
     }
 
     #[test]

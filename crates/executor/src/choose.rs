@@ -34,7 +34,7 @@ use crate::compile::compile_plan;
 use crate::error::ExecError;
 use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
-use crate::Operator;
+use crate::{BoxedOperator, Operator};
 
 /// The run-time choose-plan operator: decides at `open()`.
 pub struct ChoosePlanExec<'a> {
@@ -46,7 +46,7 @@ pub struct ChoosePlanExec<'a> {
     memory_bytes: usize,
     ctx: ExecContext,
     /// Filled at `open()`: the compiled winning alternative.
-    chosen: Option<Box<dyn Operator + 'a>>,
+    chosen: Option<BoxedOperator<'a>>,
     /// Index of the alternative actually running (for observability).
     chosen_index: Option<usize>,
     layout: TupleLayout,
@@ -232,7 +232,7 @@ pub fn compile_dynamic_plan<'a>(
     bindings: &Bindings,
     memory_bytes: usize,
     ctx: &ExecContext,
-) -> Result<Box<dyn Operator + 'a>, ExecError> {
+) -> Result<BoxedOperator<'a>, ExecError> {
     if node.is_choose_plan() {
         return Ok(Box::new(ChoosePlanExec::new(
             Arc::clone(node),
@@ -267,7 +267,7 @@ fn compile_interior<'a>(
     bindings: &Bindings,
     memory_bytes: usize,
     ctx: &ExecContext,
-) -> Result<Box<dyn Operator + 'a>, ExecError> {
+) -> Result<BoxedOperator<'a>, ExecError> {
     use dqep_algebra::PhysicalOp::*;
     // Strategy: rebuild a shallow copy of `node` whose dynamic children are
     // replaced by ChoosePlanExec at compile time. We reuse compile_plan's

@@ -19,7 +19,7 @@ use crate::metrics::{ExecSummary, SharedCounters};
 use crate::scan::{BtreeScanExec, FileScanExec, FilterBtreeScanExec};
 use crate::sort::SortExec;
 use crate::tuple::TupleLayout;
-use crate::Operator;
+use crate::{BoxedOperator, Operator};
 
 fn pred_value(pred: &SelectPred, bindings: &Bindings) -> Result<i64, ExecError> {
     match pred.rhs {
@@ -74,13 +74,27 @@ pub fn compile_plan<'a>(
     bindings: &Bindings,
     memory_bytes: usize,
     ctx: &ExecContext,
-) -> Result<Box<dyn Operator + 'a>, ExecError> {
+) -> Result<BoxedOperator<'a>, ExecError> {
     Ok(match &node.op {
-        PhysicalOp::FileScan { relation } => Box::new(FileScanExec::new(
-            db.table(*relation),
-            TupleLayout::base(catalog, *relation),
-            ctx.clone(),
-        )),
+        PhysicalOp::FileScan { relation } => {
+            let table = db.table(*relation);
+            // The one place parallelism enters a compiled tree: a DOP > 1
+            // file scan becomes an exchange over morsel-scan workers.
+            // Every other operator reads `ctx.dop` itself.
+            if ctx.dop > 1 && table.heap.page_count() >= 2 {
+                Box::new(crate::exchange::parallel_scan(
+                    table,
+                    TupleLayout::base(catalog, *relation),
+                    ctx,
+                ))
+            } else {
+                Box::new(FileScanExec::new(
+                    table,
+                    TupleLayout::base(catalog, *relation),
+                    ctx.clone(),
+                ))
+            }
+        }
         PhysicalOp::BtreeScan {
             relation, index, ..
         } => Box::new(BtreeScanExec::new(
@@ -326,12 +340,40 @@ pub fn execute_plan_mode(
     limits: ResourceLimits,
     mode: ExecMode,
 ) -> Result<(ExecSummary, StartupResult), ExecError> {
+    execute_plan_dop(plan, db, catalog, env, bindings, limits, mode, 1)
+}
+
+/// [`execute_plan_mode`] with an explicit degree of intra-query
+/// parallelism. `dop > 1` compiles exchange-parallel operators — the
+/// morsel-driven partition scan, the partitioned parallel hash join, and
+/// the parallel-run sort — all behind the ordinary [`Operator`]
+/// interface, so choose-plan fallback, resource governance, fault
+/// injection, and both execution modes compose unchanged. Results,
+/// counter totals, and fallback behavior are identical to `dop = 1`
+/// (rows up to multiset order); the parallel-parity tests pin this down.
+///
+/// # Errors
+/// Any [`ExecError`], including [`ExecError::ResourceExhausted`] when a
+/// budget is exceeded.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_dop(
+    plan: &Arc<PlanNode>,
+    db: &StoredDatabase,
+    catalog: &Catalog,
+    env: &Environment,
+    bindings: &Bindings,
+    limits: ResourceLimits,
+    mode: ExecMode,
+    dop: usize,
+) -> Result<(ExecSummary, StartupResult), ExecError> {
     let startup = evaluate_startup(plan, catalog, env, bindings);
     let memory_pages = bindings
         .memory_pages
         .unwrap_or_else(|| env.memory.expected());
     let memory_bytes = (memory_pages * catalog.config.page_size as f64) as usize;
-    let ctx = ExecContext::with_limits(SharedCounters::new(), limits).with_mode(mode);
+    let ctx = ExecContext::with_limits(SharedCounters::new(), limits)
+        .with_mode(mode)
+        .with_dop(dop);
     let io_before = db.disk.stats();
     let rows = run_dynamic(plan, db, catalog, env, bindings, memory_bytes, &ctx)?;
     let io = db.disk.stats().since(&io_before);

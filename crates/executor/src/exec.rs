@@ -77,6 +77,11 @@ pub trait Operator {
     }
 }
 
+/// A boxed operator as the compiler produces it. Operators are `Send` so
+/// a compiled subtree can be handed to an exchange worker thread; they are
+/// not `Sync` — each worker owns its subtree exclusively.
+pub type BoxedOperator<'a> = Box<dyn Operator + Send + 'a>;
+
 /// Caps speculative `Vec` pre-sizing from [`Operator::estimated_rows`], so
 /// a bad hint cannot ask for unbounded memory up front.
 const MAX_PRESIZE_ROWS: u64 = 1 << 20;

@@ -6,7 +6,7 @@ use crate::batch::RowBatch;
 use crate::error::ExecError;
 use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
-use crate::Operator;
+use crate::{BoxedOperator, Operator};
 
 /// A selection predicate with its attribute resolved to a tuple position
 /// and its right-hand side resolved to a concrete value (host variables
@@ -44,7 +44,7 @@ impl ResolvedPred {
 
 /// Predicate evaluation over any input (one comparison per input tuple).
 pub struct FilterExec<'a> {
-    input: Box<dyn Operator + 'a>,
+    input: BoxedOperator<'a>,
     pred: ResolvedPred,
     ctx: ExecContext,
 }
@@ -52,7 +52,7 @@ pub struct FilterExec<'a> {
 impl<'a> FilterExec<'a> {
     /// Creates a filter over `input`.
     #[must_use]
-    pub fn new(input: Box<dyn Operator + 'a>, pred: ResolvedPred, ctx: ExecContext) -> Self {
+    pub fn new(input: BoxedOperator<'a>, pred: ResolvedPred, ctx: ExecContext) -> Self {
         FilterExec { input, pred, ctx }
     }
 }

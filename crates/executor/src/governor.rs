@@ -264,6 +264,12 @@ pub struct ExecContext {
     /// whichever interface the root drain drives; this field lets the ones
     /// that consume inputs *inside `open()`* batch too.
     pub mode: ExecMode,
+    /// Degree of intra-query parallelism: how many worker threads an
+    /// exchange-parallel operator (morsel scan, partitioned hash join,
+    /// parallel sort) may use. `1` (the default) compiles the classic
+    /// serial operators; parallel workers always run their own subtrees
+    /// with `dop = 1`.
+    pub dop: usize,
 }
 
 impl ExecContext {
@@ -275,6 +281,7 @@ impl ExecContext {
             counters,
             governor: ResourceGovernor::unlimited(),
             mode: ExecMode::default(),
+            dop: 1,
         }
     }
 
@@ -285,6 +292,7 @@ impl ExecContext {
             counters,
             governor: ResourceGovernor::new(limits),
             mode: ExecMode::default(),
+            dop: 1,
         }
     }
 
@@ -293,6 +301,29 @@ impl ExecContext {
     pub fn with_mode(mut self, mode: ExecMode) -> ExecContext {
         self.mode = mode;
         self
+    }
+
+    /// The same context with the degree of parallelism overridden (clamped
+    /// to at least 1).
+    #[must_use]
+    pub fn with_dop(mut self, dop: usize) -> ExecContext {
+        self.dop = dop.max(1);
+        self
+    }
+
+    /// A clone of this context for one exchange worker: fresh private
+    /// counters (merged back by the coordinator when the worker finishes),
+    /// the *shared* governor (all workers draw on the one query grant and
+    /// see the same cancellation flag), the same mode, and `dop = 1` so a
+    /// worker's subtree never fans out again.
+    #[must_use]
+    pub fn worker(&self) -> ExecContext {
+        ExecContext {
+            counters: SharedCounters::new(),
+            governor: self.governor.clone(),
+            mode: self.mode,
+            dop: 1,
+        }
     }
 }
 

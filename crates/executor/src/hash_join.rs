@@ -1,5 +1,5 @@
 //! Hash join: in-memory when the build input fits the memory grant,
-//! Grace-partitioned otherwise.
+//! Grace-partitioned otherwise — serial or partition-parallel.
 //!
 //! The build side is the **left** input (the optimizer's convention; the
 //! commutativity rule generates the swapped variant). When the build input
@@ -13,32 +13,68 @@
 //! partition's rebuilt table — so a governor limit below what the chosen
 //! strategy needs surfaces as [`ExecError::ResourceExhausted`] instead of
 //! silently exceeding the grant.
+//!
+//! With `ctx.dop > 1` the join runs its partition work on worker threads:
+//! the in-memory strategy splits build and probe rows into `dop` hash
+//! partitions (each row hashed once, as in the serial join) and builds +
+//! probes each partition's table in parallel; the Grace strategy spills
+//! exactly as the serial join does (identical pages, identical write
+//! order) and then joins the spilled partition pairs concurrently, each
+//! pair's table reservation drawn from the shared governor through a
+//! wait-or-fail [`ReserveGate`] so concurrency never oversubscribes the
+//! grant. Work belonging to the serial join's `next()` phase (probe
+//! streaming, partition-pair joining) still runs eagerly inside `open()`,
+//! but its errors are *deferred* to the first `next()`/`next_batch()`
+//! call, so choose-plan fallback semantics stay identical to serial
+//! execution. Per-worker counters are merged back, making accounting
+//! totals independent of the degree of parallelism.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 use dqep_storage::gen::{decode_record, encode_record};
 use dqep_storage::{HeapFile, SimDisk};
 
-use crate::batch::RowBatch;
+use crate::batch::{RowBatch, BATCH_CAPACITY};
 use crate::error::ExecError;
-use crate::governor::{ExecContext, ExecMode};
+use crate::exchange::run_parallel;
+use crate::governor::{ExecContext, ExecMode, ResourceGovernor};
 use crate::metrics::SharedCounters;
 use crate::tuple::{Tuple, TupleLayout};
-use crate::Operator;
+use crate::{BoxedOperator, Operator};
 
 const PARTITIONS: usize = 8;
 
 /// (build position, probe position) pairs of the equi-join keys.
 type Keys = Vec<(usize, usize)>;
 
+/// Multiply-xor finalizer (splitmix64's): full avalanche in two
+/// multiplies, no per-row hasher state to construct.
+#[inline]
+fn mix(v: u64) -> u64 {
+    let mut x = v;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes the join-key columns of one tuple with an inline multiply-xor
+/// mix. The previous implementation constructed a `DefaultHasher` per
+/// row; setting up SipHash state per row dominates hashing one or two
+/// `i64`s. The hash is a pure function of the key *values*, so build and
+/// probe rows with equal keys hash identically and partition assignment
+/// (`hash % P`) stays stable across sides, modes, and degrees of
+/// parallelism.
+#[inline]
 fn hash_key(keys: &Keys, tuple: &[i64], side_build: bool) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = 0x9e37_79b9_7f4a_7c15_u64;
     for &(b, p) in keys {
-        tuple[if side_build { b } else { p }].hash(&mut h);
+        h = mix(h ^ tuple[if side_build { b } else { p }] as u64);
     }
-    h.finish()
+    h
 }
 
 fn keys_match(keys: &Keys, build: &[i64], probe: &[i64]) -> bool {
@@ -46,10 +82,22 @@ fn keys_match(keys: &Keys, build: &[i64], probe: &[i64]) -> bool {
 }
 
 fn build_table(keys: &Keys, counters: &SharedCounters, rows: Vec<Tuple>) -> HashMap<u64, Vec<Tuple>> {
-    let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
+    // Pre-sized to the exact row count: the build loop never rehashes.
+    let mut table: HashMap<u64, Vec<Tuple>> = HashMap::with_capacity(rows.len());
     for row in rows {
         counters.add_hashes(1);
         table.entry(hash_key(keys, &row, true)).or_default().push(row);
+    }
+    table
+}
+
+/// [`build_table`] over rows whose hashes were already computed (and
+/// charged) during partitioning — the parallel in-memory path hashes each
+/// row once, like the serial path, not once per phase.
+fn build_table_prehashed(rows: Vec<(u64, Tuple)>) -> HashMap<u64, Vec<Tuple>> {
+    let mut table: HashMap<u64, Vec<Tuple>> = HashMap::with_capacity(rows.len());
+    for (h, row) in rows {
+        table.entry(h).or_default().push(row);
     }
     table
 }
@@ -76,6 +124,59 @@ fn probe_into(
     }
 }
 
+/// Locks a mutex, absorbing poisoning (a worker panic propagates through
+/// the thread scope anyway; the gate's counter stays consistent).
+fn lock_gate<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait-or-fail admission for concurrent partition-table reservations: a
+/// worker that cannot reserve its partition's bytes *waits* while sibling
+/// partitions hold reservations (they will release), and only fails when
+/// it is alone — exactly the situation in which the serial join, holding
+/// no other partition's memory, would have been refused too.
+struct ReserveGate {
+    inflight: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ReserveGate {
+    fn new() -> ReserveGate {
+        ReserveGate {
+            inflight: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn reserve(&self, governor: &ResourceGovernor, bytes: u64) -> Result<(), ExecError> {
+        let mut inflight = lock_gate(&self.inflight);
+        loop {
+            match governor.try_reserve_memory(bytes) {
+                Ok(()) => {
+                    *inflight += 1;
+                    return Ok(());
+                }
+                Err(e) => {
+                    if *inflight == 0 {
+                        return Err(e);
+                    }
+                    inflight = self
+                        .cv
+                        .wait(inflight)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    fn release(&self, governor: &ResourceGovernor, bytes: u64) {
+        let mut inflight = lock_gate(&self.inflight);
+        *inflight -= 1;
+        governor.release_memory(bytes);
+        self.cv.notify_all();
+    }
+}
+
 enum State {
     Closed,
     /// Build table resident; probe streams.
@@ -86,12 +187,17 @@ enum State {
         probe_parts: Vec<HeapFile>,
         part: usize,
     },
+    /// Parallel mode: all partition work finished at `open`; the merged
+    /// result streams out.
+    Streamed(std::vec::IntoIter<Tuple>),
 }
 
-/// Hash join over equi-join keys.
+/// Hash join over equi-join keys. With `ctx.dop > 1` the partition work
+/// (in-memory or Grace) fans out across worker threads; see the module
+/// docs for the parity guarantees.
 pub struct HashJoinExec<'a> {
-    build: Box<dyn Operator + 'a>,
-    probe: Box<dyn Operator + 'a>,
+    build: BoxedOperator<'a>,
+    probe: BoxedOperator<'a>,
     keys: Keys,
     layout: TupleLayout,
     ctx: ExecContext,
@@ -102,14 +208,19 @@ pub struct HashJoinExec<'a> {
     reserved: u64,
     state: State,
     pending: Vec<Tuple>,
+    /// A failure from work the serial join performs in `next()` (probe
+    /// streaming, partition joining) that the parallel paths perform
+    /// eagerly at `open()`; surfaced on the first `next`/`next_batch`.
+    pending_err: Option<ExecError>,
 }
 
 impl<'a> HashJoinExec<'a> {
-    /// Creates a hash join building on `build`.
+    /// Creates a hash join building on `build`. The degree of parallelism
+    /// comes from `ctx.dop`; `1` compiles the classic serial join.
     #[must_use]
     pub fn new(
-        build: Box<dyn Operator + 'a>,
-        probe: Box<dyn Operator + 'a>,
+        build: BoxedOperator<'a>,
+        probe: BoxedOperator<'a>,
         keys: Keys,
         ctx: ExecContext,
         disk: SimDisk,
@@ -127,6 +238,7 @@ impl<'a> HashJoinExec<'a> {
             reserved: 0,
             state: State::Closed,
             pending: Vec::new(),
+            pending_err: None,
         }
     }
 
@@ -140,22 +252,206 @@ impl<'a> HashJoinExec<'a> {
         self.ctx.governor.release_memory(bytes);
         self.reserved -= bytes;
     }
+
+    /// Drains the probe input (mode-faithfully: batches in batch mode,
+    /// rows in tuple mode), hashing each row once into `dop` partitions.
+    /// Hash charges match the serial probe exactly: one per probe row.
+    fn partition_probe(&mut self, dop: usize) -> Result<Vec<Vec<(u64, Tuple)>>, ExecError> {
+        let mut parts: Vec<Vec<(u64, Tuple)>> = (0..dop).map(|_| Vec::new()).collect();
+        // Pre-size each partition vector from the input's row estimate.
+        if let Some(n) = self.probe.estimated_rows() {
+            let share = (n.min(1 << 20) as usize / dop).saturating_add(1);
+            for p in &mut parts {
+                p.reserve(share);
+            }
+        }
+        if self.ctx.mode == ExecMode::Batch {
+            while let Some(batch) = self.probe.next_batch(BATCH_CAPACITY)? {
+                self.ctx.governor.check_batch(batch.len() as u64)?;
+                self.ctx.counters.add_hashes(batch.len() as u64);
+                for row in &batch {
+                    let h = hash_key(&self.keys, row, false);
+                    parts[(h % dop as u64) as usize].push((h, row.to_vec()));
+                }
+            }
+        } else {
+            loop {
+                self.ctx.governor.check()?;
+                let Some(row) = self.probe.next()? else { break };
+                self.ctx.counters.add_hashes(1);
+                let h = hash_key(&self.keys, &row, false);
+                parts[(h % dop as u64) as usize].push((h, row));
+            }
+        }
+        Ok(parts)
+    }
+
+    /// Parallel in-memory strategy: hash-partition the (already reserved)
+    /// build rows and the probe input `dop` ways, then build + probe each
+    /// partition's table on its own worker thread.
+    fn open_parallel_in_memory(
+        &mut self,
+        build_rows: Vec<Tuple>,
+        dop: usize,
+    ) -> Result<(), ExecError> {
+        let share = build_rows.len() / dop + 1;
+        let mut build_parts: Vec<Vec<(u64, Tuple)>> =
+            (0..dop).map(|_| Vec::with_capacity(share)).collect();
+        for row in build_rows {
+            self.ctx.counters.add_hashes(1);
+            let h = hash_key(&self.keys, &row, true);
+            build_parts[(h % dop as u64) as usize].push((h, row));
+        }
+        // Probe-phase work starts here: the serial join performs it in
+        // `next()`, so failures defer to `next()`.
+        let probe_parts = match self.partition_probe(dop) {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.pending_err = Some(e);
+                self.state = State::Streamed(Vec::new().into_iter());
+                return Ok(());
+            }
+        };
+        let keys = &self.keys;
+        let tasks: Vec<_> = build_parts
+            .into_iter()
+            .zip(probe_parts)
+            .map(|(bpart, ppart)| {
+                let worker = self.ctx.worker();
+                move || {
+                    let table = build_table_prehashed(bpart);
+                    let mut out: Vec<Tuple> = Vec::new();
+                    for (h, row) in ppart {
+                        if let Some(candidates) = table.get(&h) {
+                            for b in candidates {
+                                if keys_match(keys, b, &row) {
+                                    let mut joined = b.clone();
+                                    joined.extend_from_slice(&row);
+                                    worker.counters.add_records(1);
+                                    out.push(joined);
+                                }
+                            }
+                        }
+                    }
+                    Ok((out, worker.counters))
+                }
+            })
+            .collect();
+        let mut merged: Vec<Tuple> = Vec::new();
+        for result in run_parallel(tasks) {
+            // Workers are pure CPU here; errors are impossible, but keep
+            // the merge defensive so the task signature stays uniform.
+            let (out, counters) = result?;
+            self.ctx.counters.merge_from(&counters);
+            merged.extend(out);
+        }
+        self.state = State::Streamed(merged.into_iter());
+        Ok(())
+    }
+
+    /// Parallel Grace strategy: the partitions were spilled exactly as
+    /// the serial join spills them; join the `PARTITIONS` pairs
+    /// concurrently on `dop` workers claiming partition indexes from an
+    /// atomic counter. Each pair's table reservation goes through a
+    /// [`ReserveGate`], so concurrent pairs never oversubscribe the query
+    /// grant.
+    fn open_parallel_grace(
+        &mut self,
+        build_parts: Vec<HeapFile>,
+        probe_parts: Vec<HeapFile>,
+        dop: usize,
+    ) -> Result<(), ExecError> {
+        let build_width = self.build.layout().width();
+        let probe_width = self.probe.layout().width();
+        let build_row_bytes = self.build.layout().row_bytes;
+        let keys = &self.keys;
+        let gate = ReserveGate::new();
+        let next_part = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..dop.min(PARTITIONS))
+            .map(|_| {
+                let worker = self.ctx.worker();
+                let gate = &gate;
+                let next_part = &next_part;
+                let build_parts = &build_parts;
+                let probe_parts = &probe_parts;
+                move || {
+                    let mut outs: Vec<(usize, Vec<Tuple>)> = Vec::new();
+                    loop {
+                        let p = next_part.fetch_add(1, Ordering::Relaxed);
+                        if p >= PARTITIONS {
+                            return Ok((outs, worker.counters));
+                        }
+                        worker.governor.check()?;
+                        let mut build_rows: Vec<Tuple> = Vec::new();
+                        for record in build_parts[p].scan() {
+                            build_rows.push(decode_record(&record?, build_width));
+                        }
+                        let mut probe_rows: Vec<Tuple> = Vec::new();
+                        for record in probe_parts[p].scan() {
+                            probe_rows.push(decode_record(&record?, probe_width));
+                        }
+                        let part_bytes = (build_rows.len() * build_row_bytes) as u64;
+                        gate.reserve(&worker.governor, part_bytes)?;
+                        let table = build_table(keys, &worker.counters, build_rows);
+                        let mut out: Vec<Tuple> = Vec::new();
+                        for row in &probe_rows {
+                            probe_into(keys, &worker.counters, &table, row, &mut out);
+                        }
+                        out.reverse();
+                        drop(table);
+                        gate.release(&worker.governor, part_bytes);
+                        outs.push((p, out));
+                    }
+                }
+            })
+            .collect();
+        let results = run_parallel(tasks);
+        let mut parts: Vec<(usize, Vec<Tuple>)> = Vec::new();
+        let mut first_err: Option<ExecError> = None;
+        for result in results {
+            match result {
+                Ok((outs, counters)) => {
+                    self.ctx.counters.merge_from(&counters);
+                    parts.extend(outs);
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            // Serial raises partition-phase failures from `next()`.
+            self.pending_err = Some(e);
+            self.state = State::Streamed(Vec::new().into_iter());
+            return Ok(());
+        }
+        parts.sort_by_key(|&(p, _)| p);
+        let merged: Vec<Tuple> = parts.into_iter().flat_map(|(_, out)| out).collect();
+        self.state = State::Streamed(merged.into_iter());
+        Ok(())
+    }
 }
 
 impl Operator for HashJoinExec<'_> {
     fn open(&mut self) -> Result<(), ExecError> {
         self.pending.clear();
+        self.pending_err = None;
+        let dop = self.ctx.dop.max(1);
         self.build.open()?;
         let build_row_bytes = self.build.layout().row_bytes;
         let mut build_rows = Vec::new();
+        // Pre-size the build buffer from the input's row estimate — the
+        // common in-memory case never reallocates mid-build.
+        if let Some(n) = self.build.estimated_rows() {
+            build_rows.reserve(n.min(1 << 20) as usize);
+        }
         if self.ctx.mode == ExecMode::Batch {
             // Batched build: drain whole batches, reserving and checking
             // once per batch. The reservation total and failure condition
             // are identical to the per-row path — only the charge
             // granularity changes.
-            if let Some(n) = self.build.estimated_rows() {
-                build_rows.reserve(n.min(1 << 20) as usize);
-            }
             loop {
                 // Bounded so a refused batch reservation trips with the
                 // same cumulative row count as the per-row path: the
@@ -180,6 +476,9 @@ impl Operator for HashJoinExec<'_> {
 
         let build_bytes = build_rows.len() * build_row_bytes;
         if build_bytes <= self.budget_bytes {
+            if dop > 1 {
+                return self.open_parallel_in_memory(build_rows, dop);
+            }
             // The reservation stays held while the table is resident;
             // `close` releases it.
             self.state = State::InMemory(build_table(&self.keys, &self.ctx.counters, build_rows));
@@ -188,6 +487,8 @@ impl Operator for HashJoinExec<'_> {
 
         // Grace partitioning: spill both inputs by key hash (accounted);
         // the buffered build rows move to disk, so release their grant.
+        // The spill is single-threaded at every DOP — identical pages in
+        // identical order — only the partition-pair joining fans out.
         let probe_row_bytes = self.probe.layout().row_bytes;
         let mut build_parts: Vec<HeapFile> = (0..PARTITIONS)
             .map(|_| HeapFile::new_temp(self.disk.clone()))
@@ -217,6 +518,9 @@ impl Operator for HashJoinExec<'_> {
         for part in &mut probe_parts {
             part.finish()?;
         }
+        if dop > 1 {
+            return self.open_parallel_grace(build_parts, probe_parts, dop);
+        }
         self.state = State::Partitioned {
             build_parts,
             probe_parts,
@@ -226,6 +530,9 @@ impl Operator for HashJoinExec<'_> {
     }
 
     fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if let Some(e) = self.pending_err.take() {
+            return Err(e);
+        }
         loop {
             self.ctx.governor.check()?;
             if let Some(t) = self.pending.pop() {
@@ -233,6 +540,7 @@ impl Operator for HashJoinExec<'_> {
             }
             match &mut self.state {
                 State::Closed => return Ok(None),
+                State::Streamed(out) => return Ok(out.next()),
                 State::InMemory(table) => {
                     let Some(probe_row) = self.probe.next()? else {
                         return Ok(None);
@@ -279,11 +587,14 @@ impl Operator for HashJoinExec<'_> {
 
     /// Native batch probe for the in-memory strategy: pulls probe batches
     /// and probes every live row against the resident table, emitting
-    /// joined rows contiguously. Grace mode falls back to tuple-looping —
-    /// its cost is dominated by partition I/O, not interpretation.
+    /// joined rows contiguously. Grace and parallel modes fall back to
+    /// tuple-looping — their cost is partition I/O / thread work, not
+    /// interpretation.
     fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>, ExecError> {
         if !matches!(self.state, State::InMemory(_)) {
-            // Grace mode / closed: the default tuple-looping behavior.
+            // Grace / parallel / closed: the default tuple-looping
+            // behavior (`next` also surfaces a deferred parallel-phase
+            // error first).
             let mut batch = RowBatch::with_capacity(self.layout.width(), max_rows);
             while batch.rows() < max_rows {
                 match self.next()? {
@@ -338,6 +649,7 @@ impl Operator for HashJoinExec<'_> {
         self.probe.close();
         self.state = State::Closed;
         self.pending.clear();
+        self.pending_err = None;
         if self.reserved > 0 {
             self.ctx.governor.release_memory(self.reserved);
             self.reserved = 0;
@@ -346,5 +658,77 @@ impl Operator for HashJoinExec<'_> {
 
     fn layout(&self) -> &TupleLayout {
         &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::ResourceLimits;
+
+    #[test]
+    fn hash_is_stable_across_sides_and_partitions() {
+        // Build position 1 and probe position 0 carry the key.
+        let keys: Keys = vec![(1, 0)];
+        let build = [10i64, 42];
+        let probe = [42i64, 99];
+        let hb = hash_key(&keys, &build, true);
+        let hp = hash_key(&keys, &probe, false);
+        assert_eq!(hb, hp, "equal key values hash identically on both sides");
+        for parts in [2usize, 4, 8] {
+            assert_eq!(
+                (hb as usize) % parts,
+                (hp as usize) % parts,
+                "partition assignment stable at {parts} partitions"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_spreads_small_sequential_keys() {
+        let keys: Keys = vec![(0, 0)];
+        let mut buckets = [0usize; PARTITIONS];
+        for v in 0..800i64 {
+            let h = hash_key(&keys, &[v], true);
+            buckets[(h as usize) % PARTITIONS] += 1;
+        }
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!(
+                count > 800 / PARTITIONS / 2,
+                "bucket {i} starved: {buckets:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reserve_gate_waits_for_siblings_then_succeeds() {
+        use std::sync::Arc;
+        let governor = ResourceGovernor::new(ResourceLimits {
+            memory_bytes: Some(100),
+            ..ResourceLimits::default()
+        });
+        let gate = Arc::new(ReserveGate::new());
+        // One "partition" holds most of the grant; a second must wait for
+        // the release instead of failing.
+        gate.reserve(&governor, 80).unwrap();
+        let gate2 = Arc::clone(&gate);
+        let governor2 = governor.clone();
+        let waiter = std::thread::spawn(move || gate2.reserve(&governor2, 60));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        gate.release(&governor, 80);
+        waiter.join().unwrap().unwrap();
+        gate.release(&governor, 60);
+        assert_eq!(governor.memory_used(), 0);
+    }
+
+    #[test]
+    fn reserve_gate_fails_when_alone() {
+        let governor = ResourceGovernor::new(ResourceLimits {
+            memory_bytes: Some(100),
+            ..ResourceLimits::default()
+        });
+        let gate = ReserveGate::new();
+        let err = gate.reserve(&governor, 200).unwrap_err();
+        assert!(matches!(err, ExecError::ResourceExhausted(_)));
     }
 }

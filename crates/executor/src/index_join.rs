@@ -8,7 +8,7 @@ use crate::error::ExecError;
 use crate::filter::ResolvedPred;
 use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
-use crate::Operator;
+use crate::{BoxedOperator, Operator};
 
 /// Index join: for each outer tuple, look up matching inner records
 /// through the inner relation's B-tree, fetch them, and apply the
@@ -20,7 +20,7 @@ use crate::Operator;
 /// the executable counterpart of the cost model's assumption that probe
 /// I/O is bounded by one leaf access plus the matching fetches.
 pub struct IndexJoinExec<'a> {
-    outer: Box<dyn Operator + 'a>,
+    outer: BoxedOperator<'a>,
     inner: &'a StoredTable,
     pool: BufferPool,
     index: IndexId,
@@ -43,7 +43,7 @@ impl<'a> IndexJoinExec<'a> {
     /// [`ExecError::Storage`] if the buffer pool cannot be created.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        outer: Box<dyn Operator + 'a>,
+        outer: BoxedOperator<'a>,
         inner: &'a StoredTable,
         inner_layout: &TupleLayout,
         index: IndexId,

@@ -44,6 +44,7 @@ mod batch;
 mod choose;
 mod compile;
 mod error;
+mod exchange;
 mod exec;
 mod filter;
 mod governor;
@@ -59,10 +60,12 @@ pub use adaptive::{execute_adaptive, AdaptiveResult};
 pub use batch::{RowBatch, RowBatchIter, BATCH_CAPACITY};
 pub use choose::{compile_dynamic_plan, ChoosePlanExec};
 pub use compile::{
-    compile_plan, execute_plan, execute_plan_mode, execute_plan_with, run_compiled, run_dynamic,
+    compile_plan, execute_plan, execute_plan_dop, execute_plan_mode, execute_plan_with,
+    run_compiled, run_dynamic,
 };
 pub use error::{ExecError, Resource};
-pub use exec::{drain, drain_batch, Operator};
+pub use exchange::{parallel_scan, ExchangeExec};
+pub use exec::{drain, drain_batch, BoxedOperator, Operator};
 pub use governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
 pub use metrics::{CpuCounters, ExecSummary, PlanCacheInfo, SharedCounters};
 pub use tuple::{Tuple, TupleLayout};

@@ -3,15 +3,15 @@
 use crate::error::ExecError;
 use crate::governor::ExecContext;
 use crate::tuple::{Tuple, TupleLayout};
-use crate::Operator;
+use crate::{BoxedOperator, Operator};
 
 /// Merge join on a single sort key (`predicates[0]`), with any further
 /// equi-join predicates applied as residual checks. Inputs must be sorted
 /// ascending on their respective key attributes — the optimizer guarantees
 /// this via required physical properties (B-tree scans or Sort enforcers).
 pub struct MergeJoinExec<'a> {
-    left: Box<dyn Operator + 'a>,
-    right: Box<dyn Operator + 'a>,
+    left: BoxedOperator<'a>,
+    right: BoxedOperator<'a>,
     left_key: usize,
     right_key: usize,
     /// Residual (build position, probe position) equality checks.
@@ -32,8 +32,8 @@ impl<'a> MergeJoinExec<'a> {
     /// sort attributes within each input's layout.
     #[must_use]
     pub fn new(
-        left: Box<dyn Operator + 'a>,
-        right: Box<dyn Operator + 'a>,
+        left: BoxedOperator<'a>,
+        right: BoxedOperator<'a>,
         left_key: usize,
         right_key: usize,
         residual: Vec<(usize, usize)>,

@@ -121,6 +121,20 @@ impl SharedCounters {
     pub fn snapshot(&self) -> CpuCounters {
         self.inner.lock().cpu
     }
+
+    /// Folds another counter set into this one — how an exchange
+    /// coordinator merges its workers' private counters back into the
+    /// query's counters after the parallel phase, so [`ExecSummary`]
+    /// totals are exact regardless of the degree of parallelism.
+    pub fn merge_from(&self, other: &SharedCounters) {
+        let (cpu, fallbacks) = {
+            let o = other.inner.lock();
+            (o.cpu, o.fallbacks)
+        };
+        let mut inner = self.inner.lock();
+        inner.cpu += cpu;
+        inner.fallbacks += fallbacks;
+    }
 }
 
 /// The result of executing one plan.

@@ -1,6 +1,10 @@
-//! Data-retrieval operators: File-Scan, B-tree-Scan, Filter-B-tree-Scan.
+//! Data-retrieval operators: File-Scan, B-tree-Scan, Filter-B-tree-Scan,
+//! and the morsel-driven scan worker backing the parallel file scan.
 
-use dqep_storage::{Rid, SlottedPage, StoredTable};
+use std::ops::Range;
+use std::sync::Arc;
+
+use dqep_storage::{PageClaims, Rid, SlottedPage, StoredTable};
 
 use crate::batch::RowBatch;
 use crate::error::ExecError;
@@ -141,6 +145,157 @@ impl Operator for FileScanExec<'_> {
 
     fn estimated_rows(&self) -> Option<u64> {
         Some(self.table.heap.record_count())
+    }
+}
+
+/// One worker of the partition-parallel file scan: claims page-range
+/// morsels from a shared [`PageClaims`] dispenser and scans only the pages
+/// it claims. The exchange operator runs `ctx.dop` of these over one
+/// dispenser; together they read each page exactly once, charging I/O and
+/// record counters exactly as the serial [`FileScanExec`] does — totals
+/// are independent of how threads interleave.
+pub struct MorselScanExec<'a> {
+    table: &'a StoredTable,
+    layout: TupleLayout,
+    ctx: ExecContext,
+    claims: Arc<PageClaims>,
+    /// Page indexes of the current morsel not yet read.
+    current: Range<usize>,
+    buffer: Vec<Tuple>,
+    buffer_pos: usize,
+    /// Error hit while a batch already held decoded rows; surfaced on the
+    /// next call (same deferral contract as [`FileScanExec`]).
+    pending_err: Option<ExecError>,
+}
+
+impl<'a> MorselScanExec<'a> {
+    /// Creates one scan worker over `table`, drawing morsels from `claims`.
+    #[must_use]
+    pub fn new(
+        table: &'a StoredTable,
+        layout: TupleLayout,
+        ctx: ExecContext,
+        claims: Arc<PageClaims>,
+    ) -> Self {
+        MorselScanExec {
+            table,
+            layout,
+            ctx,
+            claims,
+            current: 0..0,
+            buffer: Vec::new(),
+            buffer_pos: 0,
+            pending_err: None,
+        }
+    }
+
+    /// The next page index this worker should read, claiming a fresh
+    /// morsel when the current one is exhausted.
+    fn next_page(&mut self) -> Option<usize> {
+        loop {
+            if let Some(idx) = self.current.next() {
+                return Some(idx);
+            }
+            self.current = self.claims.claim()?;
+        }
+    }
+}
+
+impl Operator for MorselScanExec<'_> {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.buffer.clear();
+        self.buffer_pos = 0;
+        self.pending_err = None;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if let Some(e) = self.pending_err.take() {
+            return Err(e);
+        }
+        loop {
+            self.ctx.governor.check()?;
+            if self.buffer_pos < self.buffer.len() {
+                let t = self.buffer[self.buffer_pos].clone();
+                self.buffer_pos += 1;
+                self.ctx.counters.add_records(1);
+                return Ok(Some(t));
+            }
+            let Some(page_idx) = self.next_page() else {
+                return Ok(None);
+            };
+            let pages = self.table.heap.pages();
+            self.ctx.governor.charge_io(1)?;
+            let page = SlottedPage::from_bytes(self.table.heap.disk().read(pages[page_idx])?);
+            self.buffer = page.iter().map(|r| self.table.decode(r)).collect();
+            self.buffer_pos = 0;
+        }
+    }
+
+    /// Native batch fill, mirroring [`FileScanExec::next_batch`]: decodes
+    /// claimed pages straight into the batch, defers a mid-batch fault so
+    /// already-decoded rows are delivered (and counted) first.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<RowBatch>, ExecError> {
+        if let Some(e) = self.pending_err.take() {
+            return Err(e);
+        }
+        let mut batch = RowBatch::with_capacity(self.layout.width(), max_rows);
+        while self.buffer_pos < self.buffer.len() && batch.rows() < max_rows {
+            batch.push_row(&self.buffer[self.buffer_pos]);
+            self.buffer_pos += 1;
+        }
+        if self.buffer_pos >= self.buffer.len() {
+            self.buffer.clear();
+            self.buffer_pos = 0;
+        }
+        while batch.rows() < max_rows && self.buffer.is_empty() {
+            let Some(page_idx) = self.next_page() else { break };
+            let pages = self.table.heap.pages();
+            let read = self
+                .ctx
+                .governor
+                .charge_io(1)
+                .and_then(|()| Ok(self.table.heap.disk().read(pages[page_idx])?));
+            let bytes = match read {
+                Ok(bytes) => bytes,
+                Err(e) if batch.rows() > 0 => {
+                    self.pending_err = Some(e);
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            let page = SlottedPage::from_bytes(bytes);
+            for record in page.iter() {
+                if batch.rows() < max_rows {
+                    self.table.decode_into(record, batch.values_mut());
+                } else {
+                    self.buffer.push(self.table.decode(record));
+                }
+            }
+        }
+        let rows = batch.rows();
+        if rows == 0 {
+            return Ok(None);
+        }
+        self.ctx.governor.check_batch(rows as u64)?;
+        self.ctx.counters.add_records(rows as u64);
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) {
+        self.buffer.clear();
+        self.buffer_pos = 0;
+        self.pending_err = None;
+    }
+
+    fn layout(&self) -> &TupleLayout {
+        &self.layout
+    }
+
+    fn estimated_rows(&self) -> Option<u64> {
+        // Unknown: this worker produces only its share of the table, and
+        // the share depends on run-time claim racing.
+        None
     }
 }
 

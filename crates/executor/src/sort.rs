@@ -5,9 +5,39 @@ use dqep_storage::{HeapFile, SimDisk};
 
 use crate::batch::RowBatch;
 use crate::error::ExecError;
+use crate::exchange::run_parallel;
 use crate::governor::{ExecContext, ExecMode};
 use crate::tuple::{Tuple, TupleLayout};
-use crate::Operator;
+use crate::{BoxedOperator, Operator};
+
+/// Merges `rows`, consisting of consecutive sorted slices of length
+/// `share` (the last possibly shorter), into one sorted vector by moving
+/// tuples out (no clones). Used by the parallel chunk sort to combine the
+/// slices the workers sorted independently.
+fn merge_sorted_slices(rows: &mut [Tuple], share: usize, key: usize) -> Vec<Tuple> {
+    let n = rows.len();
+    let mut cursors: Vec<(usize, usize)> = (0..n)
+        .step_by(share)
+        .map(|s| (s, (s + share).min(n)))
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, &(pos, end)) in cursors.iter().enumerate() {
+            if pos < end {
+                best = match best {
+                    Some(b) if rows[cursors[b].0][key] <= rows[pos][key] => Some(b),
+                    _ => Some(i),
+                };
+            }
+        }
+        let Some(b) = best else { break };
+        let pos = cursors[b].0;
+        out.push(std::mem::take(&mut rows[pos]));
+        cursors[b].0 += 1;
+    }
+    out
+}
 
 /// Sorts its input ascending on one attribute position.
 ///
@@ -24,7 +54,7 @@ use crate::Operator;
 /// runs through fixed-size decode buffers the simulator does not charge
 /// (the classic "one page per run" merge assumption).
 pub struct SortExec<'a> {
-    input: Box<dyn Operator + 'a>,
+    input: BoxedOperator<'a>,
     key: usize,
     ctx: ExecContext,
     disk: SimDisk,
@@ -38,7 +68,7 @@ impl<'a> SortExec<'a> {
     /// Creates a sort on attribute position `key`.
     #[must_use]
     pub fn new(
-        input: Box<dyn Operator + 'a>,
+        input: BoxedOperator<'a>,
         key: usize,
         ctx: ExecContext,
         disk: SimDisk,
@@ -73,6 +103,37 @@ impl<'a> SortExec<'a> {
         self.reserved -= bytes;
     }
 
+    /// Sorts one buffered chunk, charging the cost model's `n·log₂(n)`
+    /// compare formula. `sort_unstable_by_key` (in-place pattern-defeating
+    /// quicksort): the key is a single `i64`, so stability buys nothing,
+    /// and the unstable sort avoids the stable sort's allocation and
+    /// merge passes. With `ctx.dop > 1` and a chunk worth splitting, the
+    /// chunk is cut into `dop` slices sorted on worker threads and merged
+    /// back — parallel run generation. Compare accounting is the same
+    /// formula either way, so counters stay DOP-independent.
+    fn sort_rows(&self, rows: &mut Vec<Tuple>) {
+        let key = self.key;
+        self.charge_sort_cpu(rows.len());
+        let dop = self.ctx.dop.max(1);
+        if dop <= 1 || rows.len() < dop * 2 {
+            rows.sort_unstable_by_key(|t| t[key]);
+            return;
+        }
+        let share = rows.len().div_ceil(dop);
+        let tasks: Vec<_> = rows
+            .chunks_mut(share)
+            .map(|slice| {
+                move || {
+                    slice.sort_unstable_by_key(|t| t[key]);
+                    Ok(())
+                }
+            })
+            .collect();
+        // Slice sorting is pure CPU: the tasks are infallible.
+        run_parallel::<(), _>(tasks);
+        *rows = merge_sorted_slices(rows, share, key);
+    }
+
     /// Sorts `chunk` and spills it to a fresh accounted run, releasing its
     /// memory reservation.
     fn spill_chunk(
@@ -81,9 +142,7 @@ impl<'a> SortExec<'a> {
         runs: &mut Vec<HeapFile>,
         row_bytes: usize,
     ) -> Result<(), ExecError> {
-        let key = self.key;
-        self.charge_sort_cpu(chunk.len());
-        chunk.sort_by_key(|t| t[key]);
+        self.sort_rows(chunk);
         let mut run = HeapFile::new_temp(self.disk.clone());
         for row in chunk.iter() {
             run.append(&encode_record(row, row_bytes))?;
@@ -141,8 +200,7 @@ impl<'a> SortExec<'a> {
         if runs.is_empty() {
             // Everything fit the grant: sort in place. The reservation is
             // held until `close` — the rows really are resident.
-            self.charge_sort_cpu(chunk.len());
-            chunk.sort_by_key(|t| t[key]);
+            self.sort_rows(&mut chunk);
             self.output = chunk.into_iter();
             return Ok(());
         }

@@ -59,6 +59,26 @@ pub struct ServiceConfig {
     /// Simulated per-page-I/O device latency, in microseconds, applied to
     /// every worker replica's disk. Zero disables pacing.
     pub io_latency_micros: u64,
+    /// Requested intra-query parallelism per session. The DOP a session
+    /// actually runs with is bounded by its admitted memory grant — see
+    /// [`ServiceConfig::effective_dop`].
+    pub dop: usize,
+}
+
+impl ServiceConfig {
+    /// The degree of intra-query parallelism a session admitted with
+    /// `memory_bytes` of grant may use: the configured `dop`, but never
+    /// more than one worker thread per 16 pages of admitted grant. Tying
+    /// DOP to the admission-controlled memory pool keeps `sessions × dop`
+    /// from oversubscribing what admission handed out — a session that
+    /// squeezed in with a tiny grant does not also get to fan out.
+    #[must_use]
+    pub fn effective_dop(&self, memory_bytes: u64) -> usize {
+        let bytes_per_worker = 16 * dqep_storage::PAGE_SIZE as u64;
+        self.dop
+            .max(1)
+            .min((memory_bytes / bytes_per_worker).max(1) as usize)
+    }
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +95,7 @@ impl Default for ServiceConfig {
             data_seed: 42,
             skew: None,
             io_latency_micros: 0,
+            dop: 1,
         }
     }
 }
@@ -405,6 +426,13 @@ impl Worker {
         // Admission: the grant is held for the whole execution and
         // returned on drop (including every error path below).
         let _grant = self.pool.acquire(memory_bytes, job.deadline)?;
+        // Intra-query parallelism is rationed by the admitted grant:
+        // the execution context shares the handle's counters and
+        // governor (cancellation still works), only the DOP differs.
+        let ctx = job
+            .ctx
+            .clone()
+            .with_dop(self.config.effective_dop(memory_bytes));
 
         let key = region_key(
             &stmt.query,
@@ -439,7 +467,7 @@ impl Worker {
         let outcome = self.execute_arbitrated(
             db,
             env,
-            job,
+            &ctx,
             &stmt,
             &key,
             &decision,
@@ -515,7 +543,7 @@ impl Worker {
         &self,
         db: &StoredDatabase,
         env: &Environment,
-        job: &Job,
+        ctx: &ExecContext,
         stmt: &PreparedStatement,
         key: &crate::decision::RegionKey,
         decision: &CachedDecision,
@@ -528,13 +556,13 @@ impl Worker {
             &self.catalog,
             bindings,
             memory_bytes,
-            &job.ctx,
+            ctx,
         ) {
             Ok(rows) => Ok(rows),
             Err(e) if e.is_retryable() => {
                 stmt.invalidate_decision(key);
                 self.stats.lock().cached_plan_retries += 1;
-                job.ctx.counters.add_fallbacks(1);
+                ctx.counters.add_fallbacks(1);
                 run_dynamic(
                     &stmt.plan,
                     db,
@@ -542,7 +570,7 @@ impl Worker {
                     env,
                     bindings,
                     memory_bytes,
-                    &job.ctx,
+                    ctx,
                 )
                 .map_err(ServiceError::Exec)
             }
@@ -631,6 +659,44 @@ mod tests {
         request.memory_pages = Some(1024.0);
         let err = svc.execute(request).unwrap_err();
         assert!(matches!(err, ServiceError::GrantTooLarge { .. }));
+    }
+
+    #[test]
+    fn effective_dop_is_bounded_by_the_admitted_grant() {
+        let config = ServiceConfig {
+            dop: 8,
+            ..ServiceConfig::default()
+        };
+        let page = dqep_storage::PAGE_SIZE as u64;
+        assert_eq!(config.effective_dop(1024 * page), 8, "big grant: full dop");
+        assert_eq!(config.effective_dop(32 * page), 2, "32 pages admit 2 workers");
+        assert_eq!(config.effective_dop(page), 1, "tiny grant runs serial");
+        let serial = ServiceConfig::default();
+        assert_eq!(serial.effective_dop(1024 * page), 1, "dop off by default");
+    }
+
+    #[test]
+    fn parallel_sessions_match_serial_results_and_accounting() {
+        let sql = chain_sql(2);
+        let binds = [("v1", 500i64), ("v2", 500i64)];
+        let serial = service(1).execute(Request::new(&sql, &binds)).unwrap();
+        let catalog =
+            make_chain_catalog(&SyntheticSpec::paper(2, 7), SystemConfig::paper_1994());
+        let svc = QueryService::new(
+            catalog,
+            ServiceConfig {
+                workers: 2,
+                dop: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let par = svc.execute(Request::new(&sql, &binds)).unwrap();
+        assert_eq!(par.summary.rows, serial.summary.rows);
+        assert_eq!(
+            par.summary.cpu.records, serial.summary.cpu.records,
+            "worker counters merge to the serial totals"
+        );
+        assert_eq!(par.summary.io.total(), serial.summary.io.total());
     }
 
     #[test]

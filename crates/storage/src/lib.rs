@@ -42,6 +42,7 @@ mod error;
 mod fault;
 pub mod gen;
 mod heap;
+mod morsel;
 mod page;
 mod slotted;
 
@@ -52,5 +53,6 @@ pub use error::StorageError;
 pub use fault::FaultPlan;
 pub use gen::{install_histograms, StoredDatabase, StoredTable, ValueDistribution};
 pub use heap::{HeapFile, Rid};
+pub use morsel::{PageClaims, DEFAULT_MORSEL_PAGES};
 pub use page::{PageId, PAGE_SIZE};
 pub use slotted::SlottedPage;
