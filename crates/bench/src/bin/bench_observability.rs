@@ -1,0 +1,119 @@
+//! Emits `BENCH_observability.json`: the cost of the tracing layer.
+//!
+//! Usage: `bench_observability [--quick] [OUT_PATH]` (default
+//! `BENCH_observability.json`).
+//!
+//! Two numbers are reported:
+//!
+//! * **Disabled overhead** — with tracing off, `compile_plan` pays one
+//!   branch per plan node and compiles zero wrappers, so the true
+//!   overhead is indistinguishable from measurement noise. It is bounded
+//!   with an A/A comparison: two interleaved *disabled* series, taking
+//!   the min-of-iters wall time of each; their relative difference is the
+//!   noise floor, and the gate requires it (and therefore any real
+//!   disabled overhead hiding inside it) to stay under 5%.
+//! * **Enabled overhead** — the informational price of turning tracing
+//!   on: per-operator wrappers, counter snapshots around every call, one
+//!   flush per operator.
+//!
+//! Exits non-zero when the disabled-overhead bound exceeds the gate.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use dqep_bench::observability_bench::{observability_case, ObsMeasurement};
+
+/// Gate: the A/A bound on tracing-disabled overhead must stay below this.
+const GATE_PCT: f64 = 5.0;
+
+/// Median wall time of a series — more stable than the min on hosts with
+/// frequency scaling, where the floor itself is bimodal.
+fn median_ms(samples: &[ObsMeasurement]) -> f64 {
+    let mut ms: Vec<f64> = samples.iter().map(|m| m.millis).collect();
+    ms.sort_by(f64::total_cmp);
+    let mid = ms.len() / 2;
+    if ms.len() % 2 == 0 { (ms[mid - 1] + ms[mid]) / 2.0 } else { ms[mid] }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_observability.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let (scale, iters) = if quick { (3_000, 20) } else { (8_000, 32) };
+    println!("observability bench: scale={scale} iters={iters}");
+    let case = observability_case(scale, 7);
+
+    // Warm-up, then interleave the three series so drift (thermal,
+    // scheduler) hits all of them equally.
+    let _ = case.run_untraced();
+    let _ = case.run_traced();
+    let mut series_a = Vec::with_capacity(iters);
+    let mut series_b = Vec::with_capacity(iters);
+    let mut series_on = Vec::with_capacity(iters);
+    for i in 0..iters {
+        // Alternate A/B order so neither series always runs in the same
+        // cache/scheduler position within an iteration.
+        if i % 2 == 0 {
+            series_a.push(case.run_untraced());
+            series_b.push(case.run_untraced());
+        } else {
+            series_b.push(case.run_untraced());
+            series_a.push(case.run_untraced());
+        }
+        series_on.push(case.run_traced());
+    }
+
+    let rows = series_a[0].rows;
+    assert!(
+        series_b.iter().chain(&series_on).all(|m| m.rows == rows),
+        "tracing changed the result row count"
+    );
+    let spans = series_on[0].spans;
+    let (a, b, on) = (median_ms(&series_a), median_ms(&series_b), median_ms(&series_on));
+    let disabled_pct = (a - b).abs() / a.min(b) * 100.0;
+    let enabled_pct = (on - a.min(b)) / a.min(b) * 100.0;
+
+    println!("{:<22} {:>10}", "series", "median ms");
+    println!("{:<22} {:>10.3}", "disabled (A)", a);
+    println!("{:<22} {:>10.3}", "disabled (B)", b);
+    println!("{:<22} {:>10.3}", "enabled", on);
+    println!("disabled overhead (A/A bound): {disabled_pct:.2}% (gate < {GATE_PCT}%)");
+    println!("enabled overhead: {enabled_pct:.2}% over {spans} spans");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"iters\": {iters},");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"spans\": {spans},");
+    let _ = writeln!(json, "  \"disabled_a_median_ms\": {a:.4},");
+    let _ = writeln!(json, "  \"disabled_b_median_ms\": {b:.4},");
+    let _ = writeln!(json, "  \"enabled_median_ms\": {on:.4},");
+    let _ = writeln!(json, "  \"enabled_overhead_pct\": {enabled_pct:.3},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{ \"metric\": \"disabled_overhead_pct\", \"required_below\": {GATE_PCT}, \
+         \"measured\": {disabled_pct:.3} }}"
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_observability: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if disabled_pct >= GATE_PCT {
+        eprintln!(
+            "bench_observability: disabled-overhead bound {disabled_pct:.2}% breaches the \
+             {GATE_PCT}% gate"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,147 @@
+//! Tracing-overhead benchmark fixture: the same plan executed with
+//! tracing disabled and enabled.
+//!
+//! Shared by the `bench_observability` binary that emits
+//! `BENCH_observability.json`. The disabled path compiles **zero**
+//! wrappers — `compile_plan` pays one branch per plan node and nothing at
+//! run time — so the honest way to bound "disabled overhead" is an A/A
+//! comparison: two interleaved disabled series whose relative difference
+//! measures the noise floor any true overhead would have to exceed. The
+//! enabled-vs-disabled delta is reported too, as the (informational)
+//! price of turning tracing on.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dqep_algebra::{CompareOp, HostVar, JoinPred, LogicalExpr, SelectPred};
+use dqep_catalog::{Catalog, CatalogBuilder, SystemConfig};
+use dqep_cost::{Bindings, Environment};
+use dqep_core::Optimizer;
+use dqep_executor::{
+    execute_plan_dop, execute_plan_traced, ExecMode, ResourceLimits,
+};
+use dqep_plan::PlanNode;
+use dqep_storage::StoredDatabase;
+
+/// A stored database and an optimized dynamic plan to run repeatedly.
+pub struct ObservabilityBenchCase {
+    catalog: Catalog,
+    db: StoredDatabase,
+    plan: Arc<PlanNode>,
+    env: Environment,
+    bindings: Bindings,
+}
+
+/// One timed execution: result rows, wall-clock milliseconds, and the
+/// number of spans recorded (0 when tracing was disabled).
+#[derive(Debug, Clone, Copy)]
+pub struct ObsMeasurement {
+    /// Result rows produced.
+    pub rows: u64,
+    /// Wall-clock milliseconds for the execution.
+    pub millis: f64,
+    /// Spans recorded (0 with tracing disabled).
+    pub spans: usize,
+}
+
+/// Builds the benchmark case: a two-relation join with an unbound
+/// selection (so the optimizer emits choose-plan nodes and the traced run
+/// exercises the audit path too), `scale` rows in the outer relation.
+#[must_use]
+pub fn observability_case(scale: u64, seed: u64) -> ObservabilityBenchCase {
+    let inner = (scale * 3).max(1);
+    let catalog = CatalogBuilder::new(SystemConfig::paper_1994())
+        .relation("r", scale, 512, |r| {
+            r.attr("a", scale as f64)
+                .attr("j", (scale / 4).max(1) as f64)
+                .btree("a", false)
+                .btree("j", false)
+        })
+        .relation("s", inner, 512, |r| {
+            r.attr("a", inner as f64)
+                .attr("j", (scale / 4).max(1) as f64)
+                .btree("a", false)
+                .btree("j", false)
+        })
+        .build()
+        .expect("valid bench catalog");
+    let db = StoredDatabase::generate(&catalog, seed);
+    let r = catalog.relation_by_name("r").expect("r");
+    let s = catalog.relation_by_name("s").expect("s");
+    let query = LogicalExpr::get(r.id)
+        .select(SelectPred::unbound(
+            r.attr_id("a").expect("attr"),
+            CompareOp::Lt,
+            HostVar(0),
+        ))
+        .join(
+            LogicalExpr::get(s.id),
+            vec![JoinPred::new(
+                r.attr_id("j").expect("attr"),
+                s.attr_id("j").expect("attr"),
+            )],
+        );
+    let env = Environment::dynamic_compile_time(&catalog.config);
+    let plan = Optimizer::new(&catalog, &env)
+        .optimize(&query)
+        .expect("bench plan optimizes")
+        .plan;
+    let bindings = Bindings::new()
+        .with_value(HostVar(0), (scale / 2) as i64)
+        .with_memory(96.0);
+    ObservabilityBenchCase { catalog, db, plan, env, bindings }
+}
+
+impl ObservabilityBenchCase {
+    /// Executes once with tracing disabled.
+    ///
+    /// # Panics
+    /// Panics if execution fails — benchmark plans run ungoverned against
+    /// fault-free storage, so failure is a bug.
+    #[must_use]
+    pub fn run_untraced(&self) -> ObsMeasurement {
+        let started = Instant::now();
+        let (summary, _) = execute_plan_dop(
+            &self.plan,
+            &self.db,
+            &self.catalog,
+            &self.env,
+            &self.bindings,
+            ResourceLimits::unlimited(),
+            ExecMode::default(),
+            1,
+        )
+        .expect("untraced bench execution");
+        ObsMeasurement {
+            rows: summary.rows,
+            millis: started.elapsed().as_secs_f64() * 1e3,
+            spans: 0,
+        }
+    }
+
+    /// Executes once with tracing enabled.
+    ///
+    /// # Panics
+    /// Panics if execution fails — benchmark plans run ungoverned against
+    /// fault-free storage, so failure is a bug.
+    #[must_use]
+    pub fn run_traced(&self) -> ObsMeasurement {
+        let started = Instant::now();
+        let (summary, _, report) = execute_plan_traced(
+            &self.plan,
+            &self.db,
+            &self.catalog,
+            &self.env,
+            &self.bindings,
+            ResourceLimits::unlimited(),
+            ExecMode::default(),
+            1,
+        )
+        .expect("traced bench execution");
+        ObsMeasurement {
+            rows: summary.rows,
+            millis: started.elapsed().as_secs_f64() * 1e3,
+            spans: report.spans.len(),
+        }
+    }
+}

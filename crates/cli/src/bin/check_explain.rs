@@ -1,0 +1,38 @@
+//! `check-explain` — validates an EXPLAIN ANALYZE JSON document
+//! (produced by `dqep-cli --explain-analyze --json`) against the schema.
+//!
+//! ```text
+//! check-explain FILE...
+//! ```
+//!
+//! Exits 0 when every file conforms, 1 on the first violation (with the
+//! reason on stderr), 2 on usage or I/O errors. CI runs this over the
+//! artifact of the observability smoke job, so schema regressions fail
+//! the build instead of silently breaking downstream consumers.
+
+use std::process::ExitCode;
+
+use dqep_executor::validate_explain_json;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check-explain FILE...");
+        return ExitCode::from(2);
+    }
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("check-explain: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(reason) = validate_explain_json(&text) {
+            eprintln!("check-explain: {path}: schema violation: {reason}");
+            return ExitCode::from(1);
+        }
+        println!("{path}: ok");
+    }
+    ExitCode::SUCCESS
+}

@@ -15,6 +15,11 @@
 //!   --memory PAGES      memory grant at start-up
 //!   --explain           print the compile-time plan (default)
 //!   --run               execute on generated data and report simulated time
+//!   --explain-analyze   execute with per-operator tracing and print the
+//!                       plan annotated with interval estimates vs actuals
+//!                       (drift flags) and the choose-plan audit trail
+//!   --json              with --explain-analyze: print only the JSON
+//!                       document (machine-readable, schema-stable)
 //!   --adaptive          run with one pilot-observation round (§7)
 //!   --dop N             intra-query parallelism: N worker threads for the
 //!                       parallel scan / hash join / sort (default 1)
@@ -38,6 +43,9 @@
 //!   --io-latency-us U   simulated device latency per page I/O
 //!   --dop N             per-session parallelism cap (bounded by each
 //!                       session's admitted memory grant)
+//!   --metrics-json PATH write the service metrics snapshot (latency
+//!                       histograms, cache rates, refusal counters) as
+//!                       JSON on shutdown; `-` prints it to stdout
 //! ```
 //!
 //! Exit codes distinguish failure classes — see [`dqep::DqepError`].
@@ -48,7 +56,10 @@ use dqep::DqepError;
 use dqep_catalog::{make_chain_catalog, SyntheticSpec, SystemConfig};
 use dqep_core::Optimizer;
 use dqep_cost::{Bindings, Environment};
-use dqep_executor::{execute_adaptive, execute_plan_dop, ExecMode, ResourceLimits};
+use dqep_executor::{
+    execute_adaptive, execute_plan_dop, execute_plan_traced, explain_json, render_explain,
+    ExecMode, ResourceLimits,
+};
 use dqep_plan::{evaluate_startup, render_plan, to_dot};
 use dqep_service::{QueryService, Request, ServiceConfig};
 use dqep_sql::parse_query;
@@ -65,6 +76,8 @@ struct Args {
     binds: Vec<(String, i64)>,
     memory: Option<f64>,
     run: bool,
+    explain_analyze: bool,
+    json: bool,
     adaptive: bool,
     dot: Option<String>,
     fault_plan: Option<String>,
@@ -79,6 +92,7 @@ struct Args {
     service_memory: u64,
     queue_timeout_ms: u64,
     io_latency_us: u64,
+    metrics_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,6 +111,8 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         binds: Vec::new(),
         memory: None,
         run: false,
+        explain_analyze: false,
+        json: false,
         adaptive: false,
         dot: None,
         fault_plan: None,
@@ -111,6 +127,7 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         service_memory: 64 << 20,
         queue_timeout_ms: 10_000,
         io_latency_us: 0,
+        metrics_json: None,
     };
     let mut i = 0;
     let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -180,6 +197,15 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
             }
             "--run" => {
                 args.run = true;
+                i += 1;
+            }
+            "--explain-analyze" => {
+                args.explain_analyze = true;
+                args.run = true;
+                i += 1;
+            }
+            "--json" => {
+                args.json = true;
                 i += 1;
             }
             "--adaptive" => {
@@ -270,6 +296,10 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--io-latency-us: {e}"))?;
                 i += 2;
             }
+            "--metrics-json" => {
+                args.metrics_json = Some(value(argv, i, "--metrics-json")?);
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Err("usage: see `dqep` module docs (or the README)".to_string());
             }
@@ -292,6 +322,18 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         || args.timeout_ms.is_some();
     if governed && !args.run {
         return Err("--fault-plan and resource limits require --run".to_string());
+    }
+    if args.explain_analyze && args.adaptive {
+        return Err("--explain-analyze and --adaptive are mutually exclusive".to_string());
+    }
+    if args.explain_analyze && args.serve.is_some() {
+        return Err("--explain-analyze requires --sql".to_string());
+    }
+    if args.json && !args.explain_analyze {
+        return Err("--json requires --explain-analyze".to_string());
+    }
+    if args.metrics_json.is_some() && args.serve.is_none() {
+        return Err("--metrics-json requires --serve".to_string());
     }
     Ok(args)
 }
@@ -343,13 +385,17 @@ fn run() -> Result<(), DqepError> {
     let result = Optimizer::new(&catalog, &env)
         .optimize_with_props(&query.expr, query.required_props())?;
 
-    println!("-- {} plan ({} nodes, {} choose-plans, {:.3e} contained static plans)",
-        args.mode,
-        result.stats.plan_nodes,
-        result.stats.choose_plans,
-        result.stats.contained_plans,
-    );
-    print!("{}", render_plan(&result.plan));
+    // With --json, stdout carries only the JSON document (clean for
+    // redirection); narration stays on stderr or is dropped.
+    if !args.json {
+        println!("-- {} plan ({} nodes, {} choose-plans, {:.3e} contained static plans)",
+            args.mode,
+            result.stats.plan_nodes,
+            result.stats.choose_plans,
+            result.stats.contained_plans,
+        );
+        print!("{}", render_plan(&result.plan));
+    }
 
     if let Some(path) = &args.dot {
         std::fs::write(path, to_dot(&result.plan))?;
@@ -380,14 +426,16 @@ fn run() -> Result<(), DqepError> {
                 missing.join(", ")
             )));
         }
-        let startup = evaluate_startup(&result.plan, &catalog, &env, &bindings);
-        println!(
-            "\n-- start-up decision ({} nodes costed, {} decisions, predicted {:.4}s)",
-            startup.evaluated_nodes,
-            startup.decisions.len(),
-            startup.predicted_run_seconds
-        );
-        print!("{}", render_plan(&startup.resolved));
+        if !args.json {
+            let startup = evaluate_startup(&result.plan, &catalog, &env, &bindings);
+            println!(
+                "\n-- start-up decision ({} nodes costed, {} decisions, predicted {:.4}s)",
+                startup.evaluated_nodes,
+                startup.decisions.len(),
+                startup.predicted_run_seconds
+            );
+            print!("{}", render_plan(&startup.resolved));
+        }
 
         if args.run {
             let db = db.as_ref().expect("generated above");
@@ -407,37 +455,53 @@ fn run() -> Result<(), DqepError> {
                     max_io: args.max_io,
                     wall_clock_ms: args.timeout_ms,
                 };
-                let (summary, _) = execute_plan_dop(
-                    &result.plan,
-                    db,
-                    &catalog,
-                    &env,
-                    &bindings,
-                    limits,
-                    ExecMode::default(),
-                    args.dop,
-                )?;
-                if args.dop > 1 {
-                    println!("\n-- parallel execution at dop {}", args.dop);
+                let summary = if args.explain_analyze {
+                    let (summary, _, report) = execute_plan_traced(
+                        &result.plan,
+                        db,
+                        &catalog,
+                        &env,
+                        &bindings,
+                        limits,
+                        ExecMode::default(),
+                        args.dop,
+                    )?;
+                    if args.json {
+                        println!("{}", explain_json(&report, &catalog.config));
+                    } else {
+                        print!("\n{}", render_explain(&report, &catalog.config));
+                    }
+                    summary
+                } else {
+                    let (summary, _) = execute_plan_dop(
+                        &result.plan,
+                        db,
+                        &catalog,
+                        &env,
+                        &bindings,
+                        limits,
+                        ExecMode::default(),
+                        args.dop,
+                    )?;
+                    summary
+                };
+                if !args.json {
+                    if args.dop > 1 {
+                        println!("\n-- parallel execution at dop {}", args.dop);
+                    }
+                    // Both CLI paths (--run and --serve) share the
+                    // ExecSummary::describe renderer, so the formats
+                    // cannot drift apart. Single-shot runs bypass the
+                    // prepared-query service, so both caches report "-".
+                    println!("\n-- executed: {}", summary.describe(&catalog.config));
+                    if summary.fallbacks > 0 {
+                        println!(
+                            "-- {} choose-plan fallback(s): a preferred alternative failed \
+                             retryably and execution degraded to the next-best plan",
+                            summary.fallbacks
+                        );
+                    }
                 }
-                println!(
-                    "\n-- executed: {} rows, {:.4}s simulated ({} seq + {} random reads, {} writes)",
-                    summary.rows,
-                    summary.simulated_seconds(&catalog.config),
-                    summary.io.seq_reads,
-                    summary.io.random_reads,
-                    summary.io.writes
-                );
-                if summary.fallbacks > 0 {
-                    println!(
-                        "-- {} choose-plan fallback(s): a preferred alternative failed retryably \
-                         and execution degraded to the next-best plan",
-                        summary.fallbacks
-                    );
-                }
-                // Single-shot runs bypass the prepared-query service, so
-                // both caches report "-"; `--serve` reports hits/misses.
-                println!("-- plan cache: {}", summary.plan_cache.describe());
             }
         }
     } else if args.run {
@@ -548,18 +612,8 @@ fn serve(args: &Args) -> Result<(), DqepError> {
     let mut first_error: Option<DqepError> = None;
     for (i, result) in results.iter().enumerate() {
         match result {
-            Ok(s) => println!(
-                "[{i:>4}] {} rows, {:.4}s simulated, worker {}, cache: {}{}",
-                s.summary.rows,
-                s.summary.simulated_seconds(config),
-                s.worker,
-                s.summary.plan_cache.describe(),
-                if s.summary.fallbacks > 0 {
-                    format!(", {} fallback(s)", s.summary.fallbacks)
-                } else {
-                    String::new()
-                }
-            ),
+            // Same ExecSummary::describe renderer as the --run path.
+            Ok(s) => println!("[{i:>4}] {}, worker {}", s.summary.describe(config), s.worker),
             Err(e) => {
                 failed += 1;
                 if first_error.is_none() {
@@ -596,6 +650,17 @@ fn serve(args: &Args) -> Result<(), DqepError> {
         stats.totals.rows,
         stats.totals.simulated_seconds(config),
     );
+
+    // Shutdown metrics snapshot: latency/queue-wait histograms, refusal
+    // counters, cache rates.
+    let metrics = service.metrics_json();
+    match args.metrics_json.as_deref() {
+        Some("-") | None => println!("\n-- metrics (shutdown snapshot):\n{metrics}"),
+        Some(path) => {
+            std::fs::write(path, &metrics)?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+    }
 
     match first_error {
         // Partial failure is reported per session but the service ran:

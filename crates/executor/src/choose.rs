@@ -33,6 +33,7 @@ use dqep_storage::StoredDatabase;
 use crate::compile::compile_plan;
 use crate::error::ExecError;
 use crate::governor::ExecContext;
+use crate::trace::{AltAudit, AttemptAudit, ChooseAudit};
 use crate::tuple::{Tuple, TupleLayout};
 use crate::{BoxedOperator, Operator};
 
@@ -114,6 +115,13 @@ impl<'a> ChoosePlanExec<'a> {
         order.extend(rest.into_iter().map(|(i, _)| i));
         order
     }
+
+    /// Hands a completed arbitration audit to the tracer, if tracing.
+    fn flush_audit(&self, audit: ChooseAudit) {
+        if let Some(tracer) = self.ctx.tracer.as_ref() {
+            tracer.audit(audit);
+        }
+    }
 }
 
 /// The tuple layout a plan subtree produces (base relations in DAG
@@ -145,6 +153,41 @@ impl Operator for ChoosePlanExec<'_> {
             .find(|d| d.choose_plan == self.node.id)
             .map(|d| d.chosen_index)
             .unwrap_or(0);
+        // With tracing on, record the full arbitration audit trail: every
+        // alternative with its bind-time prediction, the bound values, the
+        // attempts in order, and the eventual winner. Costs nothing when
+        // tracing is off (the map never runs).
+        let mut audit = self.ctx.tracer.as_ref().map(|_| ChooseAudit {
+            node: self.node.id.0,
+            bind_values: self
+                .bindings
+                .values
+                .iter()
+                .map(|(var, value)| (var.to_string(), *value))
+                .collect(),
+            memory_pages: self.bindings.memory_pages,
+            alternatives: self
+                .node
+                .children
+                .iter()
+                .enumerate()
+                .map(|(index, alt)| AltAudit {
+                    index,
+                    label: alt.op.to_string(),
+                    predicted_seconds: evaluate_startup(
+                        alt,
+                        self.catalog,
+                        &self.env,
+                        &self.bindings,
+                    )
+                    .predicted_run_seconds,
+                })
+                .collect(),
+            preferred,
+            attempts: Vec::new(),
+            winner: None,
+            fallbacks: 0,
+        });
         let mut last_err: Option<ExecError> = None;
         for idx in self.attempt_order(preferred) {
             let alt = &self.node.children[idx];
@@ -170,14 +213,41 @@ impl Operator for ChoosePlanExec<'_> {
                 Ok(op) => {
                     self.chosen_index = Some(idx);
                     self.chosen = Some(op);
+                    if let Some(mut audit) = audit.take() {
+                        audit.attempts.push(AttemptAudit {
+                            index: idx,
+                            outcome: "opened".into(),
+                        });
+                        audit.winner = Some(idx);
+                        self.flush_audit(audit);
+                    }
                     return Ok(());
                 }
                 Err(e) if e.is_retryable() => {
                     self.ctx.counters.add_fallbacks(1);
+                    if let Some(audit) = audit.as_mut() {
+                        audit.attempts.push(AttemptAudit {
+                            index: idx,
+                            outcome: e.to_string(),
+                        });
+                        audit.fallbacks += 1;
+                    }
                     last_err = Some(e);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if let Some(mut audit) = audit.take() {
+                        audit.attempts.push(AttemptAudit {
+                            index: idx,
+                            outcome: e.to_string(),
+                        });
+                        self.flush_audit(audit);
+                    }
+                    return Err(e);
+                }
             }
+        }
+        if let Some(audit) = audit.take() {
+            self.flush_audit(audit);
         }
         Err(last_err
             .unwrap_or_else(|| ExecError::Internal("choose-plan has no alternatives".into())))
@@ -234,7 +304,12 @@ pub fn compile_dynamic_plan<'a>(
     ctx: &ExecContext,
 ) -> Result<BoxedOperator<'a>, ExecError> {
     if node.is_choose_plan() {
-        return Ok(Box::new(ChoosePlanExec::new(
+        // Tracing: the choose node gets its own span, and the operator
+        // keeps the *child* context so alternatives compiled lazily at
+        // `open()` nest their spans under it.
+        let traced = crate::trace::node_span(ctx, node);
+        let ctx = traced.as_ref().map_or(ctx, |(_, tctx)| tctx);
+        let op: BoxedOperator<'a> = Box::new(ChoosePlanExec::new(
             Arc::clone(node),
             db,
             catalog,
@@ -242,7 +317,11 @@ pub fn compile_dynamic_plan<'a>(
             bindings.clone(),
             memory_bytes,
             ctx.clone(),
-        )));
+        ));
+        return Ok(match traced {
+            Some((span, _)) => crate::trace::wrap_span(op, span, ctx, Some(db.disk.clone())),
+            None => op,
+        });
     }
     if node.is_dynamic() {
         // A non-choose node with dynamic descendants: compile children

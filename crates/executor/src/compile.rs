@@ -18,6 +18,7 @@ use crate::merge_join::MergeJoinExec;
 use crate::metrics::{ExecSummary, SharedCounters};
 use crate::scan::{BtreeScanExec, FileScanExec, FilterBtreeScanExec};
 use crate::sort::SortExec;
+use crate::trace::{TraceReport, Tracer};
 use crate::tuple::TupleLayout;
 use crate::{BoxedOperator, Operator};
 
@@ -75,7 +76,12 @@ pub fn compile_plan<'a>(
     memory_bytes: usize,
     ctx: &ExecContext,
 ) -> Result<BoxedOperator<'a>, ExecError> {
-    Ok(match &node.op {
+    // With a tracer in the context, every node gets a span and its
+    // operator a `TracedExec` wrapper; children compile under `traced`'s
+    // context so their spans nest. Without one, this is a single branch.
+    let traced = crate::trace::node_span(ctx, node);
+    let ctx = traced.as_ref().map_or(ctx, |(_, tctx)| tctx);
+    let op: BoxedOperator<'a> = match &node.op {
         PhysicalOp::FileScan { relation } => {
             let table = db.table(*relation);
             // The one place parallelism enters a compiled tree: a DOP > 1
@@ -198,6 +204,10 @@ pub fn compile_plan<'a>(
             ))
         }
         PhysicalOp::ChoosePlan => return Err(ExecError::UnresolvedChoosePlan),
+    };
+    Ok(match traced {
+        Some((span, _)) => crate::trace::wrap_span(op, span, ctx, Some(db.disk.clone())),
+        None => op,
     })
 }
 
@@ -366,17 +376,78 @@ pub fn execute_plan_dop(
     mode: ExecMode,
     dop: usize,
 ) -> Result<(ExecSummary, StartupResult), ExecError> {
+    execute_inner(plan, db, catalog, env, bindings, limits, mode, dop, None)
+        .map(|(summary, startup, _)| (summary, startup))
+}
+
+/// [`execute_plan_dop`] with per-operator tracing: every compiled node
+/// records a [`crate::SpanRecord`] (rows, batches, wall time, CPU/I/O
+/// deltas, memory high-water, DOP) and every choose-plan arbitration a
+/// [`crate::ChooseAudit`], returned as a [`TraceReport`] alongside the
+/// summary. Rendering lives in [`crate::render_explain`] /
+/// [`crate::explain_json`].
+///
+/// Results, counter totals, and fallback behavior are identical to the
+/// untraced entry points — the tracing wrappers only observe
+/// (`tests/observability.rs` pins this down with a parity proptest).
+///
+/// # Errors
+/// Any [`ExecError`], as [`execute_plan_dop`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_traced(
+    plan: &Arc<PlanNode>,
+    db: &StoredDatabase,
+    catalog: &Catalog,
+    env: &Environment,
+    bindings: &Bindings,
+    limits: ResourceLimits,
+    mode: ExecMode,
+    dop: usize,
+) -> Result<(ExecSummary, StartupResult, TraceReport), ExecError> {
+    let tracer = Arc::new(Tracer::new());
+    execute_inner(
+        plan,
+        db,
+        catalog,
+        env,
+        bindings,
+        limits,
+        mode,
+        dop,
+        Some(tracer),
+    )
+}
+
+/// Shared body of [`execute_plan_dop`] (tracer `None`) and
+/// [`execute_plan_traced`] (tracer `Some`): one code path, so "tracing
+/// disabled" *is* the plain entry point, not a near-copy of it.
+#[allow(clippy::too_many_arguments)]
+fn execute_inner(
+    plan: &Arc<PlanNode>,
+    db: &StoredDatabase,
+    catalog: &Catalog,
+    env: &Environment,
+    bindings: &Bindings,
+    limits: ResourceLimits,
+    mode: ExecMode,
+    dop: usize,
+    tracer: Option<Arc<Tracer>>,
+) -> Result<(ExecSummary, StartupResult, TraceReport), ExecError> {
     let startup = evaluate_startup(plan, catalog, env, bindings);
     let memory_pages = bindings
         .memory_pages
         .unwrap_or_else(|| env.memory.expected());
     let memory_bytes = (memory_pages * catalog.config.page_size as f64) as usize;
-    let ctx = ExecContext::with_limits(SharedCounters::new(), limits)
+    let mut ctx = ExecContext::with_limits(SharedCounters::new(), limits)
         .with_mode(mode)
         .with_dop(dop);
+    if let Some(tracer) = &tracer {
+        ctx = ctx.with_tracer(Arc::clone(tracer));
+    }
     let io_before = db.disk.stats();
     let rows = run_dynamic(plan, db, catalog, env, bindings, memory_bytes, &ctx)?;
     let io = db.disk.stats().since(&io_before);
+    let report = tracer.map(|t| t.report()).unwrap_or_default();
     Ok((
         ExecSummary {
             rows,
@@ -386,6 +457,7 @@ pub fn execute_plan_dop(
             ..ExecSummary::default()
         },
         startup,
+        report,
     ))
 }
 

@@ -214,16 +214,44 @@ pub fn parallel_scan<'a>(
         table.heap.page_count(),
         DEFAULT_MORSEL_PAGES,
     ));
+    // Tracing: all workers share ONE span. Each wrapper accumulates its
+    // worker's private totals and flushes on close (from the worker
+    // thread), so the span's stats merge concurrently via
+    // `SpanStats::merge_from` — the same shape as the counter merge below
+    // it. Worker wrappers pass no disk: their windows over the shared
+    // disk overlap, so per-worker I/O deltas would double-count; the
+    // enclosing scan node's span (whose `open` window contains the whole
+    // parallel phase) accounts the I/O exactly instead.
+    let worker_span = ctx.tracer.as_ref().map(|tracer| {
+        tracer.span(
+            format!("Morsel-Scan x{}", ctx.dop.max(1)),
+            "Morsel-Scan",
+            None,
+            None,
+            ctx.span_parent,
+            ctx.dop.max(1),
+        )
+    });
     let workers = (0..ctx.dop.max(1))
         .map(|_| {
             let wctx = ctx.worker();
             let counters = wctx.counters.clone();
-            let op: BoxedOperator<'a> = Box::new(MorselScanExec::new(
+            let mut op: BoxedOperator<'a> = Box::new(MorselScanExec::new(
                 table,
                 layout.clone(),
                 wctx,
                 Arc::clone(&claims),
             ));
+            if let (Some(span), Some(tracer)) = (worker_span, ctx.tracer.as_ref()) {
+                op = Box::new(crate::trace::TracedExec::new(
+                    op,
+                    Arc::clone(tracer),
+                    span,
+                    counters.clone(),
+                    None,
+                    ctx.governor.clone(),
+                ));
+            }
             (op, counters)
         })
         .collect();

@@ -270,6 +270,14 @@ pub struct ExecContext {
     /// serial operators; parallel workers always run their own subtrees
     /// with `dop = 1`.
     pub dop: usize,
+    /// Per-operator span collector, `None` (the default) when tracing is
+    /// disabled. With a tracer, [`crate::compile_plan`] opens a span per
+    /// plan node and wraps its operator in a [`crate::TracedExec`]; the
+    /// untraced compile path is unchanged.
+    pub tracer: Option<Arc<crate::trace::Tracer>>,
+    /// The span the next compiled node nests under ([`None`] at the plan
+    /// root). Maintained by the compiler, not by callers.
+    pub span_parent: Option<crate::trace::SpanId>,
 }
 
 impl ExecContext {
@@ -282,6 +290,8 @@ impl ExecContext {
             governor: ResourceGovernor::unlimited(),
             mode: ExecMode::default(),
             dop: 1,
+            tracer: None,
+            span_parent: None,
         }
     }
 
@@ -293,7 +303,16 @@ impl ExecContext {
             governor: ResourceGovernor::new(limits),
             mode: ExecMode::default(),
             dop: 1,
+            tracer: None,
+            span_parent: None,
         }
+    }
+
+    /// The same context with per-operator tracing enabled into `tracer`.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<crate::trace::Tracer>) -> ExecContext {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The same context with `mode` overridden.
@@ -315,7 +334,8 @@ impl ExecContext {
     /// counters (merged back by the coordinator when the worker finishes),
     /// the *shared* governor (all workers draw on the one query grant and
     /// see the same cancellation flag), the same mode, and `dop = 1` so a
-    /// worker's subtree never fans out again.
+    /// worker's subtree never fans out again. The tracer (and span parent)
+    /// carry over so a worker's subtree keeps recording spans.
     #[must_use]
     pub fn worker(&self) -> ExecContext {
         ExecContext {
@@ -323,6 +343,8 @@ impl ExecContext {
             governor: self.governor.clone(),
             mode: self.mode,
             dop: 1,
+            tracer: self.tracer.clone(),
+            span_parent: self.span_parent,
         }
     }
 }

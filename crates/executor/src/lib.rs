@@ -46,6 +46,7 @@ mod compile;
 mod error;
 mod exchange;
 mod exec;
+mod explain;
 mod filter;
 mod governor;
 mod hash_join;
@@ -54,18 +55,27 @@ mod merge_join;
 mod metrics;
 mod scan;
 mod sort;
+mod trace;
 mod tuple;
 
 pub use adaptive::{execute_adaptive, AdaptiveResult};
 pub use batch::{RowBatch, RowBatchIter, BATCH_CAPACITY};
 pub use choose::{compile_dynamic_plan, ChoosePlanExec};
 pub use compile::{
-    compile_plan, execute_plan, execute_plan_dop, execute_plan_mode, execute_plan_with,
-    run_compiled, run_dynamic,
+    compile_plan, execute_plan, execute_plan_dop, execute_plan_mode, execute_plan_traced,
+    execute_plan_with, run_compiled, run_dynamic,
 };
 pub use error::{ExecError, Resource};
 pub use exchange::{parallel_scan, ExchangeExec};
 pub use exec::{drain, drain_batch, BoxedOperator, Operator};
+pub use explain::{
+    card_drift, cost_drift, explain_json, parse_json, render_explain, validate_explain_json,
+    JsonValue,
+};
 pub use governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
 pub use metrics::{CpuCounters, ExecSummary, PlanCacheInfo, SharedCounters};
+pub use trace::{
+    AltAudit, AttemptAudit, ChooseAudit, NodeEstimate, SpanId, SpanRecord, SpanStats,
+    TraceReport, TracedExec, Tracer,
+};
 pub use tuple::{Tuple, TupleLayout};

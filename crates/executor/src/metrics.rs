@@ -169,6 +169,28 @@ impl ExecSummary {
         self.io += other.io;
         self.fallbacks += other.fallbacks;
     }
+
+    /// The one summary line: rows, simulated time, I/O breakdown,
+    /// fallbacks (only when any were taken), and plan-cache provenance.
+    /// Both CLI paths (`--run` and `--serve`) print executions through
+    /// this renderer, so the formats cannot drift apart again.
+    #[must_use]
+    pub fn describe(&self, config: &SystemConfig) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!(
+            "{} rows, {:.4}s simulated ({} seq + {} random reads, {} writes)",
+            self.rows,
+            self.simulated_seconds(config),
+            self.io.seq_reads,
+            self.io.random_reads,
+            self.io.writes,
+        );
+        if self.fallbacks > 0 {
+            let _ = write!(line, ", {} fallback(s)", self.fallbacks);
+        }
+        let _ = write!(line, ", plan cache: {}", self.plan_cache.describe());
+        line
+    }
 }
 
 #[cfg(test)]

@@ -210,14 +210,29 @@ impl<'a> SortExec<'a> {
             self.spill_chunk(&mut chunk, &mut runs, row_bytes)?;
         }
 
-        // Merge pass: read runs back (accounted) and k-way merge.
+        // Merge pass: read runs back (accounted) and k-way merge. Compares
+        // are charged by the cost model's `n·log₂(k)` selection-tree
+        // formula rather than counted in the loop: the loop's actual count
+        // depends on how the runs' key ranges interleave, and run
+        // *composition* is arrival-order dependent under an exchange — a
+        // per-head count would make the total DOP-sensitive. Run count and
+        // total rows are fixed by the memory grant, so the formula keeps
+        // the counters DOP-exact (and sums with the per-run charges to the
+        // model's `n·log₂(n)`).
         let mut streams: Vec<std::vec::IntoIter<Tuple>> = Vec::with_capacity(runs.len());
+        let mut total_rows = 0u64;
         for run in &runs {
             let mut rows = Vec::new();
             for record in run.scan() {
                 rows.push(decode_record(&record?, width));
             }
+            total_rows += rows.len() as u64;
             streams.push(rows.into_iter());
+        }
+        if total_rows > 0 && streams.len() > 1 {
+            let merge_compares =
+                (total_rows as f64 * (streams.len() as f64).log2()).ceil() as u64;
+            self.ctx.counters.add_compares(merge_compares);
         }
         let mut heads: Vec<Option<Tuple>> = streams.iter_mut().map(Iterator::next).collect();
         let mut merged = Vec::new();
@@ -225,7 +240,6 @@ impl<'a> SortExec<'a> {
             let mut best: Option<(usize, i64)> = None;
             for (i, head) in heads.iter().enumerate() {
                 if let Some(t) = head {
-                    self.ctx.counters.add_compares(1);
                     let k = t[key];
                     if best.is_none_or(|(_, bk)| k < bk) {
                         best = Some((i, k));

@@ -151,7 +151,7 @@ fn sort_is_correct_across_memory_budgets() {
     let ra = r.attr_id("a").unwrap();
     let reference = sorted(rows_of(&cat, &db, "r"));
 
-    for mem in [1 * 2048, 8 * 2048, 64 * 2048, 1024 * 2048] {
+    for mem in [2048, 8 * 2048, 64 * 2048, 1024 * 2048] {
         let mut b = PlanNodeBuilder::new();
         let scan = node(&mut b, PhysicalOp::FileScan { relation: r.id }, vec![]);
         let sort = node(&mut b, PhysicalOp::Sort { attr: ra }, vec![scan]);

@@ -34,12 +34,14 @@
 pub mod admission;
 pub mod decision;
 mod error;
+mod metrics;
 pub mod registry;
 mod service;
 
 pub use admission::{MemoryGrant, MemoryPool};
 pub use decision::{region_key, CachedDecision, RegionKey};
 pub use error::ServiceError;
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport};
 pub use registry::{normalize_sql, PreparedRegistry, PreparedStatement, RegistryStats};
 pub use service::{
     QueryService, Request, ServiceConfig, ServiceStats, SessionHandle, SessionResult,

@@ -1,0 +1,348 @@
+//! Service metrics: fixed log-scale latency histograms plus refusal
+//! counters, snapshotable (together with the cache and session counters
+//! the service already keeps) as a JSON document.
+//!
+//! Histograms use power-of-two nanosecond buckets: `record` is two atomic
+//! adds and a `fetch_max` — safe from every worker thread with no lock —
+//! and quantiles are read from the bucket boundaries, so p50/p95/p99 are
+//! upper bounds with at most one octave of error. That is the standard
+//! trade for fixed-memory, lock-free latency tracking; the mean and max
+//! are exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::error::ServiceError;
+use crate::service::{ServiceStats, SessionResult};
+
+/// Power-of-two buckets from 1 ns up: bucket `i` covers
+/// `[2^i, 2^(i+1))` ns, the last bucket everything above (~3.2 hours).
+const BUCKETS: usize = 44;
+
+/// A lock-free fixed-bucket log-scale histogram of durations.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// The upper bound of bucket `i`, in seconds.
+fn bucket_upper_seconds(i: usize) -> f64 {
+    2u64.saturating_pow(i as u32 + 1) as f64 / 1e9
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, duration: Duration) {
+        let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in seconds, as the containing
+    /// bucket's upper bound clamped to the observed maximum; `0.0` when
+    /// nothing was recorded.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        let max_seconds = self.max_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        for (i, bucket) in self.counts.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper_seconds(i).min(max_seconds);
+            }
+        }
+        max_seconds
+    }
+
+    /// A point-in-time summary of the histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let total_ns = self.total_ns.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            mean_seconds: if count == 0 {
+                0.0
+            } else {
+                total_ns as f64 / count as f64 / 1e9
+            },
+            p50_seconds: self.quantile(0.50),
+            p95_seconds: self.quantile(0.95),
+            p99_seconds: self.quantile(0.99),
+            max_seconds: self.max_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// Summary statistics read from a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact mean, seconds.
+    pub mean_seconds: f64,
+    /// Median upper bound, seconds.
+    pub p50_seconds: f64,
+    /// 95th-percentile upper bound, seconds.
+    pub p95_seconds: f64,
+    /// 99th-percentile upper bound, seconds.
+    pub p99_seconds: f64,
+    /// Exact maximum, seconds.
+    pub max_seconds: f64,
+}
+
+/// The service's metrics collectors: latency and admission-queue-wait
+/// histograms plus refusal classification. Session, fallback, and cache
+/// counters live in [`ServiceStats`]; [`MetricsReport`] combines both.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Submission-to-completion latency of successful sessions.
+    pub latency: Histogram,
+    /// Time successful sessions spent queued before a worker picked them
+    /// up (admission wait).
+    pub queue_wait: Histogram,
+    refused_admission_timeout: AtomicU64,
+    refused_grant_too_large: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Records one finished session: latencies for successes, refusal
+    /// classification for admission failures. Other failures are counted
+    /// by the service's session stats.
+    pub fn record_outcome(
+        &self,
+        outcome: &Result<SessionResult, ServiceError>,
+        total_latency: Duration,
+    ) {
+        match outcome {
+            Ok(result) => {
+                self.latency.record(total_latency);
+                self.queue_wait.record(result.queue_wait);
+            }
+            Err(ServiceError::AdmissionTimeout { .. }) => {
+                self.refused_admission_timeout.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServiceError::GrantTooLarge { .. }) => {
+                self.refused_grant_too_large.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Sessions refused because admission timed out waiting for a grant.
+    #[must_use]
+    pub fn refused_admission_timeout(&self) -> u64 {
+        self.refused_admission_timeout.load(Ordering::Relaxed)
+    }
+
+    /// Sessions refused because the requested grant exceeds the pool.
+    #[must_use]
+    pub fn refused_grant_too_large(&self) -> u64 {
+        self.refused_grant_too_large.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything the service exports on shutdown (and on demand): histogram
+/// summaries, refusal counters, and the session/cache accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsReport {
+    /// Submission-to-completion latency of successful sessions.
+    pub latency: HistogramSnapshot,
+    /// Admission-queue wait of successful sessions.
+    pub queue_wait: HistogramSnapshot,
+    /// Sessions refused by admission timeout.
+    pub refused_admission_timeout: u64,
+    /// Sessions refused for requesting more than the pool holds.
+    pub refused_grant_too_large: u64,
+    /// Session totals and cache counters.
+    pub service: ServiceStats,
+}
+
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn histogram_json(out: &mut String, key: &str, h: &HistogramSnapshot) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "  \"{key}\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+        h.count,
+        jnum(h.mean_seconds),
+        jnum(h.p50_seconds),
+        jnum(h.p95_seconds),
+        jnum(h.p99_seconds),
+        jnum(h.max_seconds),
+    );
+}
+
+impl MetricsReport {
+    /// Serializes the report as a JSON document (hand-rolled — this build
+    /// has no JSON crate). Histogram values are in seconds.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let s = &self.service;
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "  \"sessions\": {{\"completed\": {}, \"failed\": {}, \
+             \"refused_admission_timeout\": {}, \"refused_grant_too_large\": {}, \
+             \"fallbacks\": {}, \"rows\": {}, \"simulated_io_pages\": {}}},",
+            s.completed,
+            s.failed,
+            self.refused_admission_timeout,
+            self.refused_grant_too_large,
+            s.totals.fallbacks,
+            s.totals.rows,
+            s.totals.io.total(),
+        );
+        histogram_json(&mut out, "latency_seconds", &self.latency);
+        out.push_str(",\n");
+        histogram_json(&mut out, "queue_wait_seconds", &self.queue_wait);
+        out.push_str(",\n");
+        let _ = writeln!(
+            out,
+            "  \"plan_cache\": {{\"statement_hits\": {}, \"statement_misses\": {}, \
+             \"statement_evictions\": {}, \"statement_resident\": {}, \
+             \"statement_hit_rate\": {}, \"decision_hits\": {}, \"decision_misses\": {}, \
+             \"decision_hit_rate\": {}, \"cached_plan_retries\": {}, \
+             \"feedback_invalidations\": {}}}",
+            s.registry.hits,
+            s.registry.misses,
+            s.registry.evictions,
+            s.registry.resident,
+            jnum(s.registry.hit_rate()),
+            s.decision_hits,
+            s.decision_misses,
+            jnum(s.decision_hit_rate()),
+            s.cached_plan_retries,
+            s.feedback_invalidations,
+        );
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        for ms in [1u64, 2, 4, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        // p50 must cover the 2 ms observation but not reach the max.
+        assert!(snap.p50_seconds >= 0.002 && snap.p50_seconds < 0.1, "{snap:?}");
+        // The top quantiles clamp to the exact max.
+        assert!((snap.p99_seconds - 0.1).abs() < 0.03, "{snap:?}");
+        assert!((snap.max_seconds - 0.1).abs() < 1e-6);
+        assert!((snap.mean_seconds - 0.026_75).abs() < 1e-3);
+        // Quantiles are monotone in q.
+        assert!(snap.p50_seconds <= snap.p95_seconds);
+        assert!(snap.p95_seconds <= snap.p99_seconds);
+    }
+
+    #[test]
+    fn buckets_are_log_spaced_and_saturating() {
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1, "saturates at the top");
+        assert_eq!(bucket_of(0), 0, "zero maps to the first bucket");
+    }
+
+    #[test]
+    fn refusals_are_classified() {
+        let m = MetricsRegistry::new();
+        m.record_outcome(
+            &Err(ServiceError::AdmissionTimeout { waited_ms: 5 }),
+            Duration::from_millis(5),
+        );
+        m.record_outcome(
+            &Err(ServiceError::GrantTooLarge {
+                requested: 10,
+                capacity: 1,
+            }),
+            Duration::ZERO,
+        );
+        m.record_outcome(
+            &Err(ServiceError::Sql("nope".into())),
+            Duration::ZERO,
+        );
+        assert_eq!(m.refused_admission_timeout(), 1);
+        assert_eq!(m.refused_grant_too_large(), 1);
+        assert_eq!(m.latency.snapshot().count, 0, "failures record no latency");
+    }
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let m = MetricsRegistry::new();
+        m.record_outcome(
+            &Err(ServiceError::AdmissionTimeout { waited_ms: 1 }),
+            Duration::from_millis(1),
+        );
+        let report = MetricsReport {
+            latency: m.latency.snapshot(),
+            queue_wait: m.queue_wait.snapshot(),
+            refused_admission_timeout: m.refused_admission_timeout(),
+            refused_grant_too_large: m.refused_grant_too_large(),
+            service: ServiceStats::default(),
+        };
+        let json = report.to_json();
+        let doc = dqep_executor::parse_json(&json).expect("valid JSON");
+        assert_eq!(
+            doc.get("sessions").and_then(|s| s.get("refused_admission_timeout")).and_then(dqep_executor::JsonValue::as_num),
+            Some(1.0)
+        );
+        assert!(doc.get("latency_seconds").is_some());
+        assert!(doc.get("plan_cache").is_some());
+    }
+}

@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 use crate::admission::MemoryPool;
 use crate::decision::{region_key, CachedDecision};
 use crate::error::ServiceError;
+use crate::metrics::{MetricsRegistry, MetricsReport};
 use crate::registry::{normalize_sql, PreparedRegistry, PreparedStatement, RegistryStats};
 
 /// Service-wide tuning knobs.
@@ -230,6 +231,7 @@ pub struct QueryService {
     config: ServiceConfig,
     registry: Arc<PreparedRegistry>,
     stats: Arc<Mutex<StatsInner>>,
+    metrics: Arc<MetricsRegistry>,
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -253,6 +255,7 @@ impl QueryService {
         let registry = Arc::new(PreparedRegistry::new(config.registry_capacity));
         let pool = MemoryPool::new(config.global_memory_bytes);
         let stats = Arc::new(Mutex::new(StatsInner::default()));
+        let metrics = Arc::new(MetricsRegistry::new());
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..config.workers.max(1))
@@ -264,6 +267,7 @@ impl QueryService {
                     registry: Arc::clone(&registry),
                     pool: Arc::clone(&pool),
                     stats: Arc::clone(&stats),
+                    metrics: Arc::clone(&metrics),
                 };
                 let rx = Arc::clone(&rx);
                 std::thread::spawn(move || worker.run(&rx))
@@ -274,6 +278,7 @@ impl QueryService {
             config,
             registry,
             stats,
+            metrics,
             tx: Some(tx),
             workers,
         }
@@ -347,6 +352,25 @@ impl QueryService {
             registry: self.registry.stats(),
         }
     }
+
+    /// Metrics snapshot: latency and queue-wait histograms, refusal
+    /// counters, plus the session/cache accounting of [`Self::stats`].
+    #[must_use]
+    pub fn metrics(&self) -> MetricsReport {
+        MetricsReport {
+            latency: self.metrics.latency.snapshot(),
+            queue_wait: self.metrics.queue_wait.snapshot(),
+            refused_admission_timeout: self.metrics.refused_admission_timeout(),
+            refused_grant_too_large: self.metrics.refused_grant_too_large(),
+            service: self.stats(),
+        }
+    }
+
+    /// [`Self::metrics`] serialized as a JSON document.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
 }
 
 impl Drop for QueryService {
@@ -366,6 +390,7 @@ struct Worker {
     registry: Arc<PreparedRegistry>,
     pool: Arc<MemoryPool>,
     stats: Arc<Mutex<StatsInner>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Worker {
@@ -386,6 +411,7 @@ impl Worker {
             };
             let queue_wait = job.submitted.elapsed();
             let result = self.session(&db, &env, &job, queue_wait);
+            self.metrics.record_outcome(&result, job.submitted.elapsed());
             {
                 let mut stats = self.stats.lock();
                 match &result {
