@@ -1,0 +1,119 @@
+//! Emits `BENCH_reopt.json`: simulated-cost comparison of mid-query
+//! re-optimization against startup-only arbitration on a drift-free and
+//! a skewed workload.
+//!
+//! Usage: `bench_reopt [--quick] [OUT_PATH]` (default `BENCH_reopt.json`).
+//!
+//! Gates (simulated seconds, deterministic on any host):
+//! * **drift_free**: no checkpoint escapes, and re-optimization overhead
+//!   below 5% of the startup-only cost.
+//! * **skew**: at least one escape and one adopted re-plan, and the
+//!   re-optimized execution no more expensive than the startup-only one
+//!   (the adopted plan usually wins outright; the gate only forbids a
+//!   regression).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use dqep_bench::reopt_bench::reopt_cases;
+
+/// Drift-free overhead ceiling: re-opt / startup-only simulated seconds.
+const OVERHEAD_GATE: f64 = 1.05;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_reopt.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let scale = if quick { 800 } else { 4_000 };
+    println!("reopt bench: scale={scale}");
+    let cases = reopt_cases(scale, 3);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"cases\": {{");
+
+    let mut failures = Vec::new();
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>7} {:>8} {:>8}",
+        "case", "rows", "startup_s", "reopt_s", "ratio", "escapes", "replans"
+    );
+    for (ci, case) in cases.iter().enumerate() {
+        let m = case.measure();
+        let c = m.counters;
+        println!(
+            "{:<12} {:>10} {:>12.6} {:>12.6} {:>7.3} {:>8} {:>8}",
+            case.name, m.rows, m.startup_seconds, m.reopt_seconds, m.ratio(), c.escapes,
+            c.replans_adopted
+        );
+        match case.name {
+            "drift_free" => {
+                if c.escapes != 0 {
+                    failures.push(format!("drift_free escaped {} checkpoint(s)", c.escapes));
+                }
+                if m.ratio() > OVERHEAD_GATE {
+                    failures.push(format!(
+                        "drift_free overhead {:.4} above the {OVERHEAD_GATE:.2} gate",
+                        m.ratio()
+                    ));
+                }
+            }
+            "skew" => {
+                if c.escapes < 1 || c.replans_adopted < 1 {
+                    failures.push(format!(
+                        "skew case did not re-plan (escapes {}, adopted {})",
+                        c.escapes, c.replans_adopted
+                    ));
+                }
+                if m.ratio() > 1.0 + 1e-9 {
+                    failures.push(format!("skew case regressed: ratio {:.4}", m.ratio()));
+                }
+            }
+            _ => {}
+        }
+        let comma = if ci + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"rows\": {}, \"startup_seconds\": {:.9}, \
+             \"reopt_seconds\": {:.9}, \"ratio\": {:.6}, \"checkpoints\": {}, \
+             \"escapes\": {}, \"replans_adopted\": {}, \"fallbacks\": {} }}{comma}",
+            case.name,
+            m.rows,
+            m.startup_seconds,
+            m.reopt_seconds,
+            m.ratio(),
+            c.checkpoints,
+            c.escapes,
+            c.replans_adopted,
+            c.fallbacks
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{ \"drift_free_max_ratio\": {OVERHEAD_GATE}, \"skew_max_ratio\": 1.0 }}"
+    );
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::from(1);
+    }
+    println!("wrote {out_path}");
+
+    if failures.is_empty() {
+        println!("gates passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("GATE FAILED: {f}");
+        }
+        ExitCode::from(2)
+    }
+}

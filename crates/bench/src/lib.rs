@@ -3,6 +3,7 @@
 pub mod executor_bench;
 pub mod observability_bench;
 pub mod parallel_bench;
+pub mod reopt_bench;
 pub mod service_bench;
 
 use std::sync::OnceLock;

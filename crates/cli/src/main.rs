@@ -21,6 +21,11 @@
 //!   --json              with --explain-analyze: print only the JSON
 //!                       document (machine-readable, schema-stable)
 //!   --adaptive          run with one pilot-observation round (§7)
+//!   --reopt             run with mid-query re-optimization: checkpoint the
+//!                       pipeline breakers, re-arbitrate the remainder when
+//!                       an observed cardinality escapes its estimate
+//!                       (also applies to --serve sessions)
+//!   --reopt-budget N    max re-plans per query (default 2; requires --reopt)
 //!   --dop N             intra-query parallelism: N worker threads for the
 //!                       parallel scan / hash join / sort (default 1)
 //!   --dot PATH          write the plan DAG as Graphviz
@@ -57,8 +62,8 @@ use dqep_catalog::{make_chain_catalog, SyntheticSpec, SystemConfig};
 use dqep_core::Optimizer;
 use dqep_cost::{Bindings, Environment};
 use dqep_executor::{
-    execute_adaptive, execute_plan_dop, execute_plan_traced, explain_json, render_explain,
-    ExecMode, ResourceLimits,
+    execute_adaptive, execute_plan_dop, execute_plan_reopt, execute_plan_reopt_traced,
+    execute_plan_traced, explain_json, render_explain, ExecMode, ReoptConfig, ResourceLimits,
 };
 use dqep_plan::{evaluate_startup, render_plan, to_dot};
 use dqep_service::{QueryService, Request, ServiceConfig};
@@ -79,6 +84,8 @@ struct Args {
     explain_analyze: bool,
     json: bool,
     adaptive: bool,
+    reopt: bool,
+    reopt_budget: Option<u32>,
     dot: Option<String>,
     fault_plan: Option<String>,
     memory_limit: Option<u64>,
@@ -114,6 +121,8 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         explain_analyze: false,
         json: false,
         adaptive: false,
+        reopt: false,
+        reopt_budget: None,
         dot: None,
         fault_plan: None,
         memory_limit: None,
@@ -212,6 +221,19 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
                 args.adaptive = true;
                 args.run = true;
                 i += 1;
+            }
+            "--reopt" => {
+                args.reopt = true;
+                args.run = true;
+                i += 1;
+            }
+            "--reopt-budget" => {
+                args.reopt_budget = Some(
+                    value(argv, i, "--reopt-budget")?
+                        .parse()
+                        .map_err(|e| format!("--reopt-budget: {e}"))?,
+                );
+                i += 2;
             }
             "--dot" => {
                 args.dot = Some(value(argv, i, "--dot")?);
@@ -326,6 +348,12 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
     if args.explain_analyze && args.adaptive {
         return Err("--explain-analyze and --adaptive are mutually exclusive".to_string());
     }
+    if args.reopt && args.adaptive {
+        return Err("--reopt and --adaptive are mutually exclusive".to_string());
+    }
+    if args.reopt_budget.is_some() && !args.reopt {
+        return Err("--reopt-budget requires --reopt".to_string());
+    }
     if args.explain_analyze && args.serve.is_some() {
         return Err("--explain-analyze requires --sql".to_string());
     }
@@ -439,7 +467,63 @@ fn run() -> Result<(), DqepError> {
 
         if args.run {
             let db = db.as_ref().expect("generated above");
-            if args.adaptive {
+            if args.reopt {
+                let limits = ResourceLimits {
+                    memory_bytes: args.memory_limit,
+                    max_rows: args.max_rows,
+                    max_io: args.max_io,
+                    wall_clock_ms: args.timeout_ms,
+                };
+                let reopt_config = ReoptConfig {
+                    max_replans: args.reopt_budget.unwrap_or(2),
+                    ..ReoptConfig::default()
+                };
+                let outcome = if args.explain_analyze {
+                    let (outcome, report) = execute_plan_reopt_traced(
+                        &result.plan,
+                        db,
+                        &catalog,
+                        &env,
+                        &bindings,
+                        limits,
+                        ExecMode::default(),
+                        args.dop,
+                        reopt_config,
+                    )?;
+                    if args.json {
+                        println!("{}", explain_json(&report, &catalog.config));
+                    } else {
+                        print!("\n{}", render_explain(&report, &catalog.config));
+                    }
+                    outcome
+                } else {
+                    execute_plan_reopt(
+                        &result.plan,
+                        db,
+                        &catalog,
+                        &env,
+                        &bindings,
+                        limits,
+                        ExecMode::default(),
+                        args.dop,
+                        reopt_config,
+                    )?
+                };
+                if !args.json {
+                    let c = outcome.report.counters;
+                    println!(
+                        "\n-- re-optimizing execution: {} checkpoint(s), {} escape(s), \
+                         {}/{} replan(s) adopted, {} memory degradation(s), {} fallback(s)",
+                        c.checkpoints,
+                        c.escapes,
+                        c.replans_adopted,
+                        c.replans_attempted,
+                        c.memory_degradations,
+                        c.fallbacks,
+                    );
+                    println!("\n-- executed: {}", outcome.summary.describe(&catalog.config));
+                }
+            } else if args.adaptive {
                 let r = execute_adaptive(&result.plan, db, &catalog, &env, &bindings)?;
                 println!(
                     "\n-- adaptive execution: {} rows, main {:.4}s + pilot {:.4}s (observed {:?} rows)",
@@ -587,6 +671,10 @@ fn serve(args: &Args) -> Result<(), DqepError> {
         skew: args.skew,
         io_latency_micros: args.io_latency_us,
         dop: args.dop,
+        reopt: args.reopt.then(|| ReoptConfig {
+            max_replans: args.reopt_budget.unwrap_or(2),
+            ..ReoptConfig::default()
+        }),
         ..ServiceConfig::default()
     };
     let service = QueryService::new(catalog, config);
@@ -704,6 +792,40 @@ mod tests {
     fn adaptive_implies_run() {
         let a = parse_argv(&argv(&["--sql", "q", "--adaptive"])).unwrap();
         assert!(a.adaptive && a.run);
+    }
+
+    #[test]
+    fn reopt_implies_run_and_parses_budget() {
+        let a = parse_argv(&argv(&["--sql", "q", "--reopt"])).unwrap();
+        assert!(a.reopt && a.run);
+        assert_eq!(a.reopt_budget, None, "budget defaults at the execution site");
+        let a = parse_argv(&argv(&["--sql", "q", "--reopt", "--reopt-budget", "5"])).unwrap();
+        assert_eq!(a.reopt_budget, Some(5));
+        assert!(parse_argv(&argv(&["--sql", "q", "--reopt", "--reopt-budget", "x"]))
+            .unwrap_err()
+            .contains("--reopt-budget"));
+    }
+
+    #[test]
+    fn reopt_budget_requires_reopt() {
+        assert!(parse_argv(&argv(&["--sql", "q", "--run", "--reopt-budget", "3"]))
+            .unwrap_err()
+            .contains("--reopt"));
+    }
+
+    #[test]
+    fn reopt_and_adaptive_are_mutually_exclusive() {
+        assert!(parse_argv(&argv(&["--sql", "q", "--reopt", "--adaptive"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn reopt_works_with_explain_analyze_and_serve() {
+        let a = parse_argv(&argv(&["--sql", "q", "--reopt", "--explain-analyze"])).unwrap();
+        assert!(a.reopt && a.explain_analyze);
+        let a = parse_argv(&argv(&["--serve", "w.sql", "--reopt"])).unwrap();
+        assert!(a.reopt && a.serve.is_some());
     }
 
     #[test]

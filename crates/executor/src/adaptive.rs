@@ -19,11 +19,15 @@
 //!    overriding the estimate ([`dqep_plan::evaluate_startup_observed`]);
 //! 4. execute the chosen plan.
 //!
-//! The pilot's cost is reported separately: because the observed subplan
-//! is part of every alternative, the main execution recomputes it, so the
-//! pilot is pure overhead — worthwhile exactly when estimates are bad
-//! enough that the default start-up decision would pick the wrong plan
-//! (e.g. skewed data without histograms).
+//! The pilot's cost is reported separately, but it is *not* repeated:
+//! the pilot's materialized rows are retained (via the mid-query
+//! re-optimization machinery, [`crate::ReoptState`]) and the main
+//! execution serves them through a [`crate::MaterializedScanExec`]
+//! wherever the shared subplan appears — so the observation's only
+//! overhead is materializing once what the main execution would have
+//! computed anyway. That makes the pilot worthwhile whenever estimates
+//! are bad enough that the default start-up decision could pick the
+//! wrong plan (e.g. skewed data without histograms).
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -133,6 +137,7 @@ pub fn execute_adaptive(
     let mut pilot_summary = None;
     let mut observed = None;
     let mut observed_rows = None;
+    let mut retained: Option<Arc<crate::reopt::ReoptState>> = None;
 
     if let Some(pilot) = pick_pilot(plan) {
         let ctx = ExecContext::new(SharedCounters::new());
@@ -140,7 +145,8 @@ pub fn execute_adaptive(
         let mut op = crate::choose::compile_dynamic_plan(
             &pilot, db, catalog, env, bindings, memory_bytes, &ctx,
         )?;
-        let rows = drain(op.as_mut())?.len() as u64;
+        let pilot_rows = drain(op.as_mut())?;
+        let rows = pilot_rows.len() as u64;
         let io = db.disk.stats().since(&before);
         pilot_summary = Some(ExecSummary {
             rows,
@@ -152,13 +158,37 @@ pub fn execute_adaptive(
         observations.insert(pilot.id, rows as f64);
         observed = Some(pilot.id);
         observed_rows = Some(rows);
+        // Retain the temporary result: the main execution serves it as a
+        // materialized scan instead of recomputing the shared subplan.
+        let state = Arc::new(crate::reopt::ReoptState::new(crate::reopt::ReoptConfig::default()));
+        state.observe_checkpoint(pilot.id, pilot.op.name(), pilot.stats.card, rows);
+        let layout = crate::choose::layout_of(&pilot, catalog);
+        let _ = state.try_retain(&ctx.governor, pilot.id, layout, pilot_rows);
+        retained = Some(state);
     }
 
     let startup = evaluate_startup_observed(plan, catalog, env, bindings, &observations);
-    let ctx = ExecContext::new(SharedCounters::new());
+    let mut ctx = ExecContext::new(SharedCounters::new());
     let before = db.disk.stats();
-    let mut op = compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, &ctx)?;
-    let rows = drain(op.as_mut())?.len() as u64;
+    // With a retained pilot, execute the *original* dynamic plan (its
+    // node ids key the substitution); the run-time choose-plan arbitrates
+    // with the same observation, reproducing `startup`'s decision, and
+    // the compiler serves the pilot's rows in place of its subtree.
+    // Without a pilot, run the resolved plan as before.
+    let rows = match retained {
+        Some(state) => {
+            ctx = ctx.with_reopt(state);
+            let mut op = crate::choose::compile_dynamic_plan(
+                plan, db, catalog, env, bindings, memory_bytes, &ctx,
+            )?;
+            drain(op.as_mut())?.len() as u64
+        }
+        None => {
+            let mut op =
+                compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, &ctx)?;
+            drain(op.as_mut())?.len() as u64
+        }
+    };
     let io = db.disk.stats().since(&before);
     Ok(AdaptiveResult {
         observed,
@@ -264,6 +294,38 @@ mod tests {
             blind_exec.simulated_seconds(cfg)
         );
         let _ = blind;
+    }
+
+    #[test]
+    fn pilot_rows_are_reused_not_recomputed() {
+        let (cat, db, q) = skewed_join();
+        let env = Environment::dynamic_compile_time(&cat.config);
+        let plan = Optimizer::new(&cat, &env).optimize(&q).unwrap().plan;
+        let bindings = Bindings::new().with_value(HostVar(0), 30);
+        let adaptive = execute_adaptive(&plan, &db, &cat, &env, &bindings).unwrap();
+        let pilot = adaptive.pilot.expect("join fixture has a pilot");
+        assert!(pilot.io.total() > 0, "pilot reads its base relation");
+
+        // What the same chosen plan costs when executed from scratch.
+        let memory_bytes =
+            (env.memory.expected() * cat.config.page_size as f64) as usize;
+        let ctx = ExecContext::new(SharedCounters::new());
+        let before = db.disk.stats();
+        let mut op = compile_plan(
+            &adaptive.startup.resolved, &db, &cat, &bindings, memory_bytes, &ctx,
+        )
+        .unwrap();
+        let rows = drain(op.as_mut()).unwrap().len() as u64;
+        let scratch_io = db.disk.stats().since(&before);
+
+        assert_eq!(rows, adaptive.main.rows, "same logical result");
+        assert!(
+            adaptive.main.io.total() < scratch_io.total(),
+            "serving the retained pilot rows must save the pilot subtree's \
+             I/O: main {:?} vs from-scratch {:?}",
+            adaptive.main.io,
+            scratch_io
+        );
     }
 
     #[test]

@@ -27,10 +27,9 @@ use std::sync::Arc;
 
 use dqep_catalog::Catalog;
 use dqep_cost::{Bindings, Environment};
-use dqep_plan::{evaluate_startup, PlanNode};
+use dqep_plan::{evaluate_startup, evaluate_startup_observed, PlanNode, StartupResult};
 use dqep_storage::StoredDatabase;
 
-use crate::compile::compile_plan;
 use crate::error::ExecError;
 use crate::governor::ExecContext;
 use crate::trace::{AltAudit, AttemptAudit, ChooseAudit};
@@ -51,6 +50,11 @@ pub struct ChoosePlanExec<'a> {
     /// Index of the alternative actually running (for observability).
     chosen_index: Option<usize>,
     layout: TupleLayout,
+    /// Column permutation rewriting the winner's tuples into the declared
+    /// layout, when the winner is a commuted alternative whose column
+    /// order differs. `None` — the common case — passes tuples through
+    /// untouched.
+    remap: Option<Vec<usize>>,
 }
 
 impl<'a> ChoosePlanExec<'a> {
@@ -83,6 +87,7 @@ impl<'a> ChoosePlanExec<'a> {
             chosen: None,
             chosen_index: None,
             layout,
+            remap: None,
         }
     }
 
@@ -91,6 +96,24 @@ impl<'a> ChoosePlanExec<'a> {
     #[must_use]
     pub fn chosen_index(&self) -> Option<usize> {
         self.chosen_index
+    }
+
+    /// The decision procedure for `node` (the choose-plan itself or one
+    /// alternative): plain start-up evaluation, or — when the context
+    /// carries mid-query re-optimization state — the observed variant with
+    /// the checkpoint observations applied, so a re-arbitration after a
+    /// cardinality escape decides from what the query actually saw.
+    fn arbitrate(&self, node: &Arc<PlanNode>) -> StartupResult {
+        match self.ctx.reopt.as_ref() {
+            Some(state) => evaluate_startup_observed(
+                node,
+                self.catalog,
+                &self.env,
+                &self.bindings,
+                &state.observations(),
+            ),
+            None => evaluate_startup(node, self.catalog, &self.env, &self.bindings),
+        }
     }
 
     /// The order in which to attempt alternatives: the decision
@@ -104,8 +127,7 @@ impl<'a> ChoosePlanExec<'a> {
             .enumerate()
             .filter(|&(i, _)| i != preferred)
             .map(|(i, alt)| {
-                let cost = evaluate_startup(alt, self.catalog, &self.env, &self.bindings)
-                    .predicted_run_seconds;
+                let cost = self.arbitrate(alt).predicted_run_seconds;
                 (i, cost)
             })
             .collect();
@@ -126,7 +148,7 @@ impl<'a> ChoosePlanExec<'a> {
 
 /// The tuple layout a plan subtree produces (base relations in DAG
 /// leaf-visit order, matching how join operators concatenate).
-fn layout_of(node: &Arc<PlanNode>, catalog: &Catalog) -> TupleLayout {
+pub(crate) fn layout_of(node: &Arc<PlanNode>, catalog: &Catalog) -> TupleLayout {
     use dqep_algebra::PhysicalOp::*;
     match &node.op {
         FileScan { relation } | BtreeScan { relation, .. } | FilterBtreeScan { relation, .. } => {
@@ -145,8 +167,18 @@ fn layout_of(node: &Arc<PlanNode>, catalog: &Catalog) -> TupleLayout {
 impl Operator for ChoosePlanExec<'_> {
     fn open(&mut self) -> Result<(), ExecError> {
         // Decision procedure: re-evaluate the alternatives' cost functions
-        // with the actual bindings, once per DAG node.
-        let startup = evaluate_startup(&self.node, self.catalog, &self.env, &self.bindings);
+        // with the actual bindings (and any checkpoint observations), once
+        // per DAG node.
+        let startup = self.arbitrate(&self.node);
+        if let Some(state) = self.ctx.reopt.as_ref() {
+            let observed = state.observations().len();
+            if observed > 0 {
+                state.record_arbitration(
+                    self.node.id,
+                    &format!("arbitrated with {observed} checkpoint observation(s)"),
+                );
+            }
+        }
         let preferred = startup
             .decisions
             .iter()
@@ -174,13 +206,7 @@ impl Operator for ChoosePlanExec<'_> {
                 .map(|(index, alt)| AltAudit {
                     index,
                     label: alt.op.to_string(),
-                    predicted_seconds: evaluate_startup(
-                        alt,
-                        self.catalog,
-                        &self.env,
-                        &self.bindings,
-                    )
-                    .predicted_run_seconds,
+                    predicted_seconds: self.arbitrate(alt).predicted_run_seconds,
                 })
                 .collect(),
             preferred,
@@ -211,6 +237,12 @@ impl Operator for ChoosePlanExec<'_> {
             });
             match attempt {
                 Ok(op) => {
+                    // Alternatives share a relation *set*, not an order:
+                    // a commuted join delivers the same rows with the
+                    // columns permuted. Remap into the declared layout so
+                    // parents (and callers) see one stable column order
+                    // regardless of which alternative arbitration picked.
+                    self.remap = self.layout.projection_from(op.layout());
                     self.chosen_index = Some(idx);
                     self.chosen = Some(op);
                     if let Some(mut audit) = audit.take() {
@@ -254,21 +286,42 @@ impl Operator for ChoosePlanExec<'_> {
     }
 
     fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
-        match self.chosen.as_mut() {
-            Some(op) => op.next(),
-            None => Err(ExecError::Internal("choose-plan next() before open()".into())),
-        }
+        let Some(op) = self.chosen.as_mut() else {
+            return Err(ExecError::Internal("choose-plan next() before open()".into()));
+        };
+        let Some(row) = op.next()? else {
+            return Ok(None);
+        };
+        Ok(Some(match &self.remap {
+            Some(proj) => proj.iter().map(|&i| row[i]).collect(),
+            None => row,
+        }))
     }
 
     /// Batches pass straight through to the chosen alternative, so the
     /// vectorized path keeps the identical fallback-at-`open` semantics —
     /// by the time batches flow, the decision (and any fallbacks) already
-    /// happened.
+    /// happened. A commuted winner's batches are rewritten into the
+    /// declared column order, exactly like the tuple path.
     fn next_batch(&mut self, max_rows: usize) -> Result<Option<crate::RowBatch>, ExecError> {
-        match self.chosen.as_mut() {
-            Some(op) => op.next_batch(max_rows),
-            None => Err(ExecError::Internal("choose-plan next_batch() before open()".into())),
+        let Some(op) = self.chosen.as_mut() else {
+            return Err(ExecError::Internal("choose-plan next_batch() before open()".into()));
+        };
+        let Some(batch) = op.next_batch(max_rows)? else {
+            return Ok(None);
+        };
+        let Some(proj) = &self.remap else {
+            return Ok(Some(batch));
+        };
+        let mut out = crate::RowBatch::with_capacity(self.layout.width(), batch.len());
+        let mut scratch = vec![0i64; proj.len()];
+        for row in batch.iter() {
+            for (dst, &src) in scratch.iter_mut().zip(proj) {
+                *dst = row[src];
+            }
+            out.push_row(&scratch);
         }
+        Ok(Some(out))
     }
 
     fn close(&mut self) {
@@ -287,9 +340,11 @@ impl Operator for ChoosePlanExec<'_> {
 }
 
 /// Compiles a plan that may contain choose-plan operators: choose-plan
-/// nodes become [`ChoosePlanExec`] (deciding at `open()`); everything else
-/// compiles as usual. Nested choose-plans inside a chosen alternative are
-/// compiled recursively by the same rule when that alternative is opened.
+/// nodes — at the root or nested anywhere inside the tree — become
+/// [`ChoosePlanExec`] (deciding at `open()`); everything else compiles as
+/// usual. Original plan-node identities are preserved end to end, so
+/// mid-query re-optimization can substitute retained intermediates and
+/// apply checkpoint observations at any depth.
 ///
 /// # Errors
 /// Any compilation [`ExecError`]; choose-plan nodes themselves never fail
@@ -303,76 +358,13 @@ pub fn compile_dynamic_plan<'a>(
     memory_bytes: usize,
     ctx: &ExecContext,
 ) -> Result<BoxedOperator<'a>, ExecError> {
-    if node.is_choose_plan() {
-        // Tracing: the choose node gets its own span, and the operator
-        // keeps the *child* context so alternatives compiled lazily at
-        // `open()` nest their spans under it.
-        let traced = crate::trace::node_span(ctx, node);
-        let ctx = traced.as_ref().map_or(ctx, |(_, tctx)| tctx);
-        let op: BoxedOperator<'a> = Box::new(ChoosePlanExec::new(
-            Arc::clone(node),
-            db,
-            catalog,
-            env.clone(),
-            bindings.clone(),
-            memory_bytes,
-            ctx.clone(),
-        ));
-        return Ok(match traced {
-            Some((span, _)) => crate::trace::wrap_span(op, span, ctx, Some(db.disk.clone())),
-            None => op,
-        });
-    }
-    if node.is_dynamic() {
-        // A non-choose node with dynamic descendants: compile children
-        // through this function. The simplest complete way is to rebuild
-        // via the per-op compiler only when the subtree is static; for
-        // dynamic interior nodes we resolve just this subtree's decisions
-        // lazily by wrapping it in a synthetic single-alternative
-        // evaluation: compile the children recursively.
-        // compile_plan cannot be reused directly (it rejects choose-plan),
-        // so recurse manually over this node's children.
-        return compile_interior(node, db, catalog, env, bindings, memory_bytes, ctx);
-    }
-    compile_plan(node, db, catalog, bindings, memory_bytes, ctx)
-}
-
-/// Compiles a non-choose operator whose children may be dynamic.
-fn compile_interior<'a>(
-    node: &Arc<PlanNode>,
-    db: &'a StoredDatabase,
-    catalog: &'a Catalog,
-    env: &Environment,
-    bindings: &Bindings,
-    memory_bytes: usize,
-    ctx: &ExecContext,
-) -> Result<BoxedOperator<'a>, ExecError> {
-    use dqep_algebra::PhysicalOp::*;
-    // Strategy: rebuild a shallow copy of `node` whose dynamic children are
-    // replaced by ChoosePlanExec at compile time. We reuse compile_plan's
-    // per-operator logic by compiling children first and dispatching on
-    // the operator; to avoid duplicating that dispatch, handle the two
-    // cases that can carry dynamic children in the experiment plans
-    // (unary and binary operators) generically.
-    match &node.op {
-        Filter { .. } | Sort { .. } | IndexJoin { .. } | HashJoin { .. } | MergeJoin { .. } => {
-            // Fall back: resolve this subtree's choose-plans eagerly via
-            // the startup evaluator, then compile the static result. The
-            // root-level laziness (the common case: choose-plan at the
-            // root) is preserved by `compile_dynamic_plan`.
-            let startup = evaluate_startup(node, catalog, env, bindings);
-            compile_plan(&startup.resolved, db, catalog, bindings, memory_bytes, ctx)
-        }
-        FileScan { .. } | BtreeScan { .. } | FilterBtreeScan { .. } => {
-            compile_plan(node, db, catalog, bindings, memory_bytes, ctx)
-        }
-        ChoosePlan => unreachable!("handled by compile_dynamic_plan"),
-    }
+    crate::compile::compile_node(node, db, catalog, Some(env), bindings, memory_bytes, ctx)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::compile_plan;
     use crate::exec::drain;
     use crate::metrics::SharedCounters;
     use dqep_algebra::{CompareOp, HostVar, LogicalExpr, PhysicalOp, SelectPred};

@@ -76,11 +76,56 @@ pub fn compile_plan<'a>(
     memory_bytes: usize,
     ctx: &ExecContext,
 ) -> Result<BoxedOperator<'a>, ExecError> {
+    compile_node(node, db, catalog, None, bindings, memory_bytes, ctx)
+}
+
+/// Shared compiler body behind [`compile_plan`] (`env = None`: choose-plan
+/// nodes are an error) and [`crate::compile_dynamic_plan`] (`env = Some`:
+/// choose-plan nodes — at the root or anywhere inside the tree — become
+/// run-time [`crate::ChoosePlanExec`] operators deciding lazily at
+/// `open()`).
+#[allow(clippy::too_many_lines)]
+pub(crate) fn compile_node<'a>(
+    node: &Arc<PlanNode>,
+    db: &'a StoredDatabase,
+    catalog: &'a Catalog,
+    env: Option<&Environment>,
+    bindings: &Bindings,
+    memory_bytes: usize,
+    ctx: &ExecContext,
+) -> Result<BoxedOperator<'a>, ExecError> {
     // With a tracer in the context, every node gets a span and its
     // operator a `TracedExec` wrapper; children compile under `traced`'s
     // context so their spans nest. Without one, this is a single branch.
     let traced = crate::trace::node_span(ctx, node);
     let ctx = traced.as_ref().map_or(ctx, |(_, tctx)| tctx);
+    // Mid-query re-optimization: a node whose result was retained at a
+    // checkpoint compiles to a scan over the retained rows — the
+    // substitution that keeps a re-plan from ever repeating finished work.
+    if let Some(state) = ctx.reopt.as_ref() {
+        if let Some((layout, rows)) = state.materialized(node.id) {
+            let op: BoxedOperator<'a> =
+                Box::new(crate::reopt::MaterializedScanExec::new(rows, layout, ctx.clone()));
+            return Ok(match traced {
+                Some((span, _)) => crate::trace::wrap_span(op, span, ctx, Some(db.disk.clone())),
+                None => op,
+            });
+        }
+    }
+    // A checkpoint probe for a pipeline-breaker input, unless that input
+    // is already served from retained rows (its cardinality is known).
+    let probe_for = |input: &Arc<PlanNode>| {
+        let state = ctx.reopt.as_ref()?;
+        if state.materialized(input.id).is_some() {
+            return None;
+        }
+        Some(crate::reopt::ReoptProbe::new(
+            Arc::clone(state),
+            input.id,
+            input.op.name(),
+            input.stats.card,
+        ))
+    };
     let op: BoxedOperator<'a> = match &node.op {
         PhysicalOp::FileScan { relation } => {
             let table = db.table(*relation);
@@ -88,11 +133,17 @@ pub fn compile_plan<'a>(
             // file scan becomes an exchange over morsel-scan workers.
             // Every other operator reads `ctx.dop` itself.
             if ctx.dop > 1 && table.heap.page_count() >= 2 {
-                Box::new(crate::exchange::parallel_scan(
+                let mut exchange = crate::exchange::parallel_scan(
                     table,
                     TupleLayout::base(catalog, *relation),
                     ctx,
-                ))
+                );
+                // The exchange's worker join is a pipeline breaker: all
+                // workers' output is merged before anything flows on.
+                if let Some(probe) = probe_for(node) {
+                    exchange = exchange.with_checkpoint(probe);
+                }
+                Box::new(exchange)
             } else {
                 Box::new(FileScanExec::new(
                     table,
@@ -125,33 +176,37 @@ pub fn compile_plan<'a>(
             ))
         }
         PhysicalOp::Filter { predicate } => {
-            let child = compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
+            let child = compile_node(&node.children[0], db, catalog, env, bindings, memory_bytes, ctx)?;
             let resolved = resolve_pred(predicate, child.layout(), bindings)?;
             Box::new(FilterExec::new(child, resolved, ctx.clone()))
         }
         PhysicalOp::HashJoin { predicates } => {
             let build =
-                compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
+                compile_node(&node.children[0], db, catalog, env, bindings, memory_bytes, ctx)?;
             let probe =
-                compile_plan(&node.children[1], db, catalog, bindings, memory_bytes, ctx)?;
+                compile_node(&node.children[1], db, catalog, env, bindings, memory_bytes, ctx)?;
             let keys = predicates
                 .iter()
                 .map(|p| orient(p, build.layout(), probe.layout()))
                 .collect::<Result<Vec<_>, _>>()?;
-            Box::new(HashJoinExec::new(
+            let mut join = HashJoinExec::new(
                 build,
                 probe,
                 keys,
                 ctx.clone(),
                 db.disk.clone(),
                 memory_bytes,
-            ))
+            );
+            if let Some(cp) = probe_for(&node.children[0]) {
+                join = join.with_checkpoint(cp);
+            }
+            Box::new(join)
         }
         PhysicalOp::MergeJoin { predicates } => {
             let left =
-                compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
+                compile_node(&node.children[0], db, catalog, env, bindings, memory_bytes, ctx)?;
             let right =
-                compile_plan(&node.children[1], db, catalog, bindings, memory_bytes, ctx)?;
+                compile_node(&node.children[1], db, catalog, env, bindings, memory_bytes, ctx)?;
             let mut keys = predicates
                 .iter()
                 .map(|p| orient(p, left.layout(), right.layout()))
@@ -166,7 +221,7 @@ pub fn compile_plan<'a>(
             residual,
         } => {
             let outer =
-                compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
+                compile_node(&node.children[0], db, catalog, env, bindings, memory_bytes, ctx)?;
             let inner_layout = TupleLayout::base(catalog, *inner);
             let mut keys = predicates
                 .iter()
@@ -190,20 +245,39 @@ pub fn compile_plan<'a>(
             )?)
         }
         PhysicalOp::Sort { attr } => {
-            let child = compile_plan(&node.children[0], db, catalog, bindings, memory_bytes, ctx)?;
+            let child = compile_node(&node.children[0], db, catalog, env, bindings, memory_bytes, ctx)?;
             let key = child
                 .layout()
                 .position(*attr)
                 .ok_or_else(|| ExecError::PredicateMismatch(format!("sort key {attr}")))?;
-            Box::new(SortExec::new(
+            let mut sort = SortExec::new(
                 child,
                 key,
                 ctx.clone(),
                 db.disk.clone(),
                 memory_bytes,
-            ))
+            );
+            if let Some(cp) = probe_for(&node.children[0]) {
+                sort = sort.with_checkpoint(cp);
+            }
+            Box::new(sort)
         }
-        PhysicalOp::ChoosePlan => return Err(ExecError::UnresolvedChoosePlan),
+        PhysicalOp::ChoosePlan => match env {
+            // Dynamic compilation: the choose-plan becomes its run-time
+            // operator, deciding (with any checkpoint observations) at
+            // `open()`. It keeps the traced child context so alternatives
+            // compiled lazily nest their spans under its span.
+            Some(env) => Box::new(crate::choose::ChoosePlanExec::new(
+                Arc::clone(node),
+                db,
+                catalog,
+                env.clone(),
+                bindings.clone(),
+                memory_bytes,
+                ctx.clone(),
+            )),
+            None => return Err(ExecError::UnresolvedChoosePlan),
+        },
     };
     Ok(match traced {
         Some((span, _)) => crate::trace::wrap_span(op, span, ctx, Some(db.disk.clone())),

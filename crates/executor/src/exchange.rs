@@ -83,6 +83,9 @@ pub struct ExchangeExec<'a> {
     /// (the serial scan's error phase) instead of from `open`.
     pending_err: Option<ExecError>,
     opened: bool,
+    /// Mid-query re-optimization probe, fired once per `open` with the
+    /// merged output cardinality when every worker has joined.
+    checkpoint: Option<crate::reopt::ReoptProbe>,
 }
 
 impl<'a> ExchangeExec<'a> {
@@ -106,7 +109,14 @@ impl<'a> ExchangeExec<'a> {
             output: Vec::new().into_iter(),
             pending_err: None,
             opened: false,
+            checkpoint: None,
         }
+    }
+
+    /// Attaches a re-optimization checkpoint probe to the worker join.
+    pub(crate) fn with_checkpoint(mut self, probe: crate::reopt::ReoptProbe) -> Self {
+        self.checkpoint = Some(probe);
+        self
     }
 }
 
@@ -148,6 +158,11 @@ impl Operator for ExchangeExec<'_> {
             self.pending_err = Some(e);
             self.output = Vec::new().into_iter();
         } else {
+            // Worker join is a pipeline breaker: every worker finished,
+            // so the merged cardinality is exact.
+            if let Some(probe) = &self.checkpoint {
+                probe.observe(merged.len() as u64);
+            }
             self.output = merged.into_iter();
         }
         Ok(())

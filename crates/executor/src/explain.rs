@@ -165,9 +165,40 @@ fn render_audit(out: &mut String, audit: &ChooseAudit) {
     }
 }
 
+fn render_reopt(out: &mut String, reopt: &crate::reopt::ReoptReport) {
+    let c = &reopt.counters;
+    out.push_str("re-optimization:\n");
+    let _ = writeln!(
+        out,
+        "  checkpoints={} escapes={} replans={}/{} denied={} failures={} \
+         memory-degradations={} observed-arbitrations={} fallbacks={}",
+        c.checkpoints,
+        c.escapes,
+        c.replans_adopted,
+        c.replans_attempted,
+        c.replans_denied,
+        c.replan_failures,
+        c.memory_degradations,
+        c.observed_arbitrations,
+        c.fallbacks,
+    );
+    for event in &reopt.events {
+        let node = event.node.map_or(String::new(), |n| format!(" n{}", n.0));
+        let observed = match (event.estimate, event.observed) {
+            (Some((lo, hi)), Some(actual)) => {
+                format!(" observed {} vs est [{}, {}] —", num(actual), num(lo), num(hi))
+            }
+            (None, Some(actual)) => format!(" observed {} —", num(actual)),
+            _ => String::new(),
+        };
+        let _ = writeln!(out, "  {}{node}:{observed} {}", event.kind.label(), event.detail);
+    }
+}
+
 /// Renders the human-readable EXPLAIN ANALYZE: the span tree with
 /// per-node estimate vs actual lines and drift flags, followed by the
-/// choose-plan audit trail.
+/// choose-plan audit trail and (when the query ran with mid-query
+/// re-optimization) the re-optimization audit trail.
 #[must_use]
 pub fn render_explain(report: &TraceReport, config: &SystemConfig) -> String {
     let mut out = String::from("EXPLAIN ANALYZE\n");
@@ -179,6 +210,9 @@ pub fn render_explain(report: &TraceReport, config: &SystemConfig) -> String {
         for audit in &report.audits {
             render_audit(&mut out, audit);
         }
+    }
+    if !report.reopt.events.is_empty() {
+        render_reopt(&mut out, &report.reopt);
     }
     out
 }
@@ -334,7 +368,41 @@ pub fn explain_json(report: &TraceReport, config: &SystemConfig) -> String {
         }
         out.push_str("]}");
     }
-    out.push_str("]}}");
+    out.push_str("],\"reopt\":{\"counters\":{");
+    let c = &report.reopt.counters;
+    let _ = write!(
+        out,
+        "\"checkpoints\":{},\"escapes\":{},\"replans_attempted\":{},\"replans_adopted\":{},\
+         \"replans_denied\":{},\"replan_failures\":{},\"memory_degradations\":{},\
+         \"observed_arbitrations\":{},\"fallbacks\":{}",
+        c.checkpoints,
+        c.escapes,
+        c.replans_attempted,
+        c.replans_adopted,
+        c.replans_denied,
+        c.replan_failures,
+        c.memory_degradations,
+        c.observed_arbitrations,
+        c.fallbacks,
+    );
+    out.push_str("},\"events\":[");
+    for (i, event) in report.reopt.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"kind\":\"{}\",\"node\":{},\"estimate_lo\":{},\"estimate_hi\":{},\
+             \"observed\":{},\"detail\":\"{}\"}}",
+            event.kind.label(),
+            event.node.map_or("null".into(), |n| n.0.to_string()),
+            event.estimate.map_or("null".into(), |(lo, _)| jnum(lo)),
+            event.estimate.map_or("null".into(), |(_, hi)| jnum(hi)),
+            event.observed.map_or("null".into(), jnum),
+            esc(&event.detail),
+        );
+    }
+    out.push_str("]}}}");
     out
 }
 
@@ -725,6 +793,50 @@ pub fn validate_explain_json(text: &str) -> Result<(), String> {
             require_num(bind, "value", &bctx)?;
         }
     }
+    // The re-optimization section is additive: absent in documents from
+    // pre-reopt builds, validated when present.
+    if let Some(reopt) = ea.get("reopt") {
+        let counters = reopt
+            .get("counters")
+            .ok_or("\"reopt.counters\" must be an object")?;
+        for key in [
+            "checkpoints",
+            "escapes",
+            "replans_attempted",
+            "replans_adopted",
+            "replans_denied",
+            "replan_failures",
+            "memory_degradations",
+            "observed_arbitrations",
+            "fallbacks",
+        ] {
+            let v = require_num(counters, key, "reopt.counters")?;
+            if v < 0.0 {
+                return Err(format!("reopt.counters: \"{key}\" is negative"));
+            }
+        }
+        let events = reopt
+            .get("events")
+            .and_then(JsonValue::as_arr)
+            .ok_or("\"reopt.events\" must be an array")?;
+        for (i, event) in events.iter().enumerate() {
+            let ctx = format!("reopt.events[{i}]");
+            event
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{ctx}: missing string \"kind\""))?;
+            event
+                .get("detail")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{ctx}: missing string \"detail\""))?;
+            for key in ["node", "estimate_lo", "estimate_hi", "observed"] {
+                match event.get(key) {
+                    Some(JsonValue::Null | JsonValue::Num(_)) => {}
+                    _ => return Err(format!("{ctx}: \"{key}\" must be a number or null")),
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -755,6 +867,42 @@ mod tests {
         assert!(validate_explain_json(r#"{"explain_analyze":{"nodes":[],"audits":[]}}"#).is_err());
         let missing_actual = r#"{"explain_analyze":{"nodes":[{"span":0,"parent":null,"label":"x","kind":"x","node":null,"dop":1,"estimate":null,"card_drift":null,"cost_drift":null}],"audits":[]}}"#;
         assert!(validate_explain_json(missing_actual).is_err());
+    }
+
+    #[test]
+    fn reopt_section_renders_and_validates() {
+        use crate::reopt::{ReoptConfig, ReoptState};
+        use crate::trace::{SpanId, SpanRecord, SpanStats};
+        use dqep_interval::Interval;
+        use dqep_plan::NodeId;
+        let state = ReoptState::new(ReoptConfig {
+            backoff_base_ms: 0,
+            ..ReoptConfig::default()
+        });
+        state.observe_checkpoint(NodeId(5), "Filter", Interval::new(20.0, 40.0), 700);
+        assert!(state.request_replan(&crate::governor::ResourceGovernor::unlimited()));
+        state.record_replan(NodeId(5), "re-arbitrated remaining plan");
+        let mut report = TraceReport::default();
+        report.spans.push(SpanRecord {
+            id: SpanId(0),
+            parent: None,
+            label: "x".into(),
+            kind: "x",
+            node: Some(5),
+            estimate: None,
+            dop: 1,
+            stats: SpanStats::default(),
+        });
+        report.reopt = state.report();
+        let config = SystemConfig::paper_1994();
+        let text = render_explain(&report, &config);
+        assert!(text.contains("re-optimization:"), "{text}");
+        assert!(text.contains("escape n5"), "{text}");
+        assert!(text.contains("replans=1/1"), "{text}");
+        let json = explain_json(&report, &config);
+        validate_explain_json(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"reopt\""));
+        assert!(json.contains("\"kind\":\"escape\""));
     }
 
     #[test]

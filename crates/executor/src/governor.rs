@@ -278,6 +278,12 @@ pub struct ExecContext {
     /// The span the next compiled node nests under ([`None`] at the plan
     /// root). Maintained by the compiler, not by callers.
     pub span_parent: Option<crate::trace::SpanId>,
+    /// Mid-query re-optimization state, `None` (the default) when
+    /// re-optimization is disabled. With state, [`crate::compile_plan`]
+    /// substitutes retained intermediates for their plan nodes, attaches
+    /// checkpoint probes to pipeline breakers, and choose-plan operators
+    /// arbitrate with the checkpoint observations applied.
+    pub reopt: Option<Arc<crate::reopt::ReoptState>>,
 }
 
 impl ExecContext {
@@ -292,6 +298,7 @@ impl ExecContext {
             dop: 1,
             tracer: None,
             span_parent: None,
+            reopt: None,
         }
     }
 
@@ -305,6 +312,7 @@ impl ExecContext {
             dop: 1,
             tracer: None,
             span_parent: None,
+            reopt: None,
         }
     }
 
@@ -312,6 +320,15 @@ impl ExecContext {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Arc<crate::trace::Tracer>) -> ExecContext {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// The same context with mid-query re-optimization enabled: compiled
+    /// plans substitute retained intermediates, pipeline breakers fire
+    /// checkpoint probes, and arbitrations apply checkpoint observations.
+    #[must_use]
+    pub fn with_reopt(mut self, reopt: Arc<crate::reopt::ReoptState>) -> ExecContext {
+        self.reopt = Some(reopt);
         self
     }
 
@@ -345,6 +362,7 @@ impl ExecContext {
             dop: 1,
             tracer: self.tracer.clone(),
             span_parent: self.span_parent,
+            reopt: self.reopt.clone(),
         }
     }
 }

@@ -212,6 +212,9 @@ pub struct HashJoinExec<'a> {
     /// streaming, partition joining) that the parallel paths perform
     /// eagerly at `open()`; surfaced on the first `next`/`next_batch`.
     pending_err: Option<ExecError>,
+    /// Mid-query re-optimization probe, fired once per `open` with the
+    /// build input's actual cardinality when the build completes.
+    checkpoint: Option<crate::reopt::ReoptProbe>,
 }
 
 impl<'a> HashJoinExec<'a> {
@@ -239,7 +242,14 @@ impl<'a> HashJoinExec<'a> {
             state: State::Closed,
             pending: Vec::new(),
             pending_err: None,
+            checkpoint: None,
         }
+    }
+
+    /// Attaches a re-optimization checkpoint probe to the build phase.
+    pub(crate) fn with_checkpoint(mut self, probe: crate::reopt::ReoptProbe) -> Self {
+        self.checkpoint = Some(probe);
+        self
     }
 
     fn reserve(&mut self, bytes: u64) -> Result<(), ExecError> {
@@ -472,6 +482,11 @@ impl Operator for HashJoinExec<'_> {
             }
         }
         self.build.close();
+        // Build completion is a pipeline breaker: the build input's true
+        // cardinality is now known exactly.
+        if let Some(probe) = &self.checkpoint {
+            probe.observe(build_rows.len() as u64);
+        }
         self.probe.open()?;
 
         let build_bytes = build_rows.len() * build_row_bytes;

@@ -53,6 +53,7 @@ mod hash_join;
 mod index_join;
 mod merge_join;
 mod metrics;
+mod reopt;
 mod scan;
 mod sort;
 mod trace;
@@ -74,6 +75,10 @@ pub use explain::{
 };
 pub use governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
 pub use metrics::{CpuCounters, ExecSummary, PlanCacheInfo, SharedCounters};
+pub use reopt::{
+    execute_plan_reopt, execute_plan_reopt_ctx, execute_plan_reopt_traced, MaterializedScanExec,
+    ReoptConfig, ReoptCounters, ReoptEvent, ReoptEventKind, ReoptOutcome, ReoptReport, ReoptState,
+};
 pub use trace::{
     AltAudit, AttemptAudit, ChooseAudit, NodeEstimate, SpanId, SpanRecord, SpanStats,
     TraceReport, TracedExec, Tracer,

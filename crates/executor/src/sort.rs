@@ -62,6 +62,9 @@ pub struct SortExec<'a> {
     /// Bytes currently reserved with the governor; released in `close`.
     reserved: u64,
     output: std::vec::IntoIter<Tuple>,
+    /// Mid-query re-optimization probe, fired once per `open` with the
+    /// input's actual cardinality when ingest completes.
+    checkpoint: Option<crate::reopt::ReoptProbe>,
 }
 
 impl<'a> SortExec<'a> {
@@ -82,7 +85,14 @@ impl<'a> SortExec<'a> {
             budget_bytes,
             reserved: 0,
             output: Vec::new().into_iter(),
+            checkpoint: None,
         }
+    }
+
+    /// Attaches a re-optimization checkpoint probe to the ingest phase.
+    pub(crate) fn with_checkpoint(mut self, probe: crate::reopt::ReoptProbe) -> Self {
+        self.checkpoint = Some(probe);
+        self
     }
 
     fn charge_sort_cpu(&self, n: usize) {
@@ -169,6 +179,7 @@ impl<'a> SortExec<'a> {
         // contract, so batch ingest must not reserve a whole batch ahead.
         let mut chunk: Vec<Tuple> = Vec::new();
         let mut runs: Vec<HeapFile> = Vec::new();
+        let mut ingested: u64 = 0;
         if self.ctx.mode == ExecMode::Batch {
             loop {
                 // Request at most one row past what the memory limit still
@@ -178,6 +189,7 @@ impl<'a> SortExec<'a> {
                 let req = self.ctx.governor.ingest_batch_rows(row_bytes);
                 let Some(batch) = self.input.next_batch(req)? else { break };
                 self.ctx.governor.check_batch(batch.len() as u64)?;
+                ingested += batch.len() as u64;
                 for row in &batch {
                     if chunk.len() >= budget_rows {
                         self.spill_chunk(&mut chunk, &mut runs, row_bytes)?;
@@ -189,12 +201,19 @@ impl<'a> SortExec<'a> {
         } else {
             while let Some(t) = self.input.next()? {
                 self.ctx.governor.check()?;
+                ingested += 1;
                 if chunk.len() >= budget_rows {
                     self.spill_chunk(&mut chunk, &mut runs, row_bytes)?;
                 }
                 self.reserve(row_bytes as u64)?;
                 chunk.push(t);
             }
+        }
+
+        // Ingest completion is a pipeline breaker: the input's true
+        // cardinality is now known exactly.
+        if let Some(probe) = &self.checkpoint {
+            probe.observe(ingested);
         }
 
         if runs.is_empty() {

@@ -243,6 +243,7 @@ impl Tracer {
         TraceReport {
             spans: inner.spans.clone(),
             audits: inner.audits.clone(),
+            reopt: crate::reopt::ReoptReport::default(),
         }
     }
 }
@@ -255,6 +256,9 @@ pub struct TraceReport {
     pub spans: Vec<SpanRecord>,
     /// Choose-plan audits, in arbitration order.
     pub audits: Vec<ChooseAudit>,
+    /// Mid-query re-optimization audit trail; empty (the default) unless
+    /// the execution ran with [`crate::execute_plan_reopt_traced`].
+    pub reopt: crate::reopt::ReoptReport,
 }
 
 impl TraceReport {

@@ -49,6 +49,50 @@ impl TupleLayout {
         self.width
     }
 
+    /// A synthetic single-relation layout for unit tests that need only
+    /// width and row bytes.
+    #[cfg(test)]
+    pub(crate) fn for_tests(width: usize, row_bytes: usize) -> TupleLayout {
+        TupleLayout {
+            rels: vec![(RelationId(0), width)],
+            width,
+            row_bytes,
+        }
+    }
+
+    /// The column permutation that rewrites a tuple laid out as `other`
+    /// into *this* layout: `proj[i]` is the position in `other` of this
+    /// layout's `i`-th column. Returns `None` when the layouts already
+    /// agree (the common case — callers skip the copy entirely).
+    ///
+    /// Both layouts must carry the same relations; commuted join orders
+    /// produce exactly such pairs.
+    ///
+    /// # Panics
+    /// Panics when `other` lacks a relation this layout carries.
+    #[must_use]
+    pub fn projection_from(&self, other: &TupleLayout) -> Option<Vec<usize>> {
+        if self.rels == other.rels {
+            return None;
+        }
+        let offset_in_other = |rel: RelationId| {
+            let mut offset = 0;
+            for &(orel, on) in &other.rels {
+                if orel == rel {
+                    return offset;
+                }
+                offset += on;
+            }
+            panic!("relation {rel} absent from source layout {:?}", other.rels)
+        };
+        let mut proj = Vec::with_capacity(self.width);
+        for &(rel, n) in &self.rels {
+            let base = offset_in_other(rel);
+            proj.extend(base..base + n);
+        }
+        Some(proj)
+    }
+
     /// Resolves an attribute to its position, or `None` when the layout
     /// does not carry its relation.
     #[must_use]
@@ -119,6 +163,23 @@ mod tests {
         let s = cat.relation_by_name("s").unwrap();
         let layout = TupleLayout::base(&cat, r.id);
         assert_eq!(layout.position(s.attr_id("x").unwrap()), None);
+    }
+
+    #[test]
+    fn projection_rewrites_a_commuted_layout() {
+        let cat = catalog();
+        let r = cat.relation_by_name("r").unwrap();
+        let s = cat.relation_by_name("s").unwrap();
+        let rs = TupleLayout::base(&cat, r.id).concat(&TupleLayout::base(&cat, s.id));
+        let sr = TupleLayout::base(&cat, s.id).concat(&TupleLayout::base(&cat, r.id));
+        // A commuted tuple [x, a, b] rewritten into r-then-s order [a, b, x].
+        let proj = rs.projection_from(&sr).expect("orders differ");
+        assert_eq!(proj, vec![1, 2, 0]);
+        let row = [7i64, 1, 2];
+        let rewritten: Vec<i64> = proj.iter().map(|&i| row[i]).collect();
+        assert_eq!(rewritten, vec![1, 2, 7]);
+        // Identical layouts need no copy at all.
+        assert_eq!(rs.projection_from(&rs.clone()), None);
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod dot;
 mod module;
 mod node;
 mod pretty;
+mod remaining;
 pub mod shrink;
 pub mod startup;
 
@@ -40,4 +41,5 @@ pub use module::{AccessModule, ModuleError, ModuleStats};
 pub use node::{NodeId, PlanNode, PlanNodeBuilder};
 pub use dot::to_dot;
 pub use pretty::render_plan;
+pub use remaining::{chosen_map, next_blocking_input};
 pub use startup::{evaluate_startup, evaluate_startup_observed, Observations, StartupDecision, StartupResult};

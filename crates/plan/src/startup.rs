@@ -62,6 +62,11 @@ pub struct StartupResult {
     pub decisions: Vec<StartupDecision>,
     /// Number of distinct DAG nodes whose cost function was evaluated.
     pub evaluated_nodes: usize,
+    /// Bind-time output-cardinality estimate per evaluated DAG node, keyed
+    /// by *original* node id. Tighter than the compile-time intervals on
+    /// the plan (host variables are bound, observations applied) — the
+    /// reference a runtime checkpoint compares its observation against.
+    pub estimates: HashMap<NodeId, Interval>,
     /// Modeled start-up CPU seconds: one cost-function evaluation per
     /// evaluated node (`evaluated_nodes × choose_plan_overhead`).
     pub startup_cpu_seconds: f64,
@@ -118,11 +123,17 @@ pub fn evaluate_startup_observed(
     let evaluated_nodes = eval.costs.len();
     let resolved = eval.materialize(root);
     let startup_cpu_seconds = evaluated_nodes as f64 * catalog.config.choose_plan_overhead;
+    let estimates = eval
+        .costs
+        .iter()
+        .map(|(id, (stats, _))| (*id, stats.card))
+        .collect();
     StartupResult {
         resolved,
         predicted_run_seconds: cost.total().lo(),
         decisions: eval.decisions,
         evaluated_nodes,
+        estimates,
         startup_cpu_seconds,
     }
 }

@@ -16,6 +16,15 @@ struct PoolState {
     used: u64,
 }
 
+/// SplitMix64 — deterministic, dependency-free mixing for the retry
+/// jitter (this build carries no rand crate).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// A fixed-capacity memory grant pool. Cheap to share via `Arc`; grants
 /// release automatically on drop.
 #[derive(Debug)]
@@ -98,6 +107,39 @@ impl MemoryPool {
             };
         }
     }
+
+    /// [`MemoryPool::acquire`] with one bounded retry for *transient*
+    /// refusal: an admission timeout means capacity was merely busy, so
+    /// the pool backs off for a short deterministically-jittered slice of
+    /// `extension` (de-synchronizing sessions that timed out together)
+    /// and waits once more, up to `extension` past now. Returns the grant
+    /// together with whether the retry rung was used. A zero `extension`
+    /// disables the retry.
+    ///
+    /// # Errors
+    /// [`ServiceError::GrantTooLarge`] fails fast — no amount of waiting
+    /// admits an oversized grant; [`ServiceError::AdmissionTimeout`] if
+    /// the retry times out as well.
+    pub fn acquire_retry(
+        self: &Arc<Self>,
+        bytes: u64,
+        deadline: Instant,
+        extension: Duration,
+    ) -> Result<(MemoryGrant, bool), ServiceError> {
+        match self.acquire(bytes, deadline) {
+            Ok(grant) => Ok((grant, false)),
+            Err(ServiceError::AdmissionTimeout { waited_ms }) if !extension.is_zero() => {
+                // Jitter in [0, extension/4): seeded by the request shape,
+                // so identical workloads reproduce bit-identical schedules.
+                let span = (extension.as_micros() / 4).max(1) as u64;
+                let jitter = Duration::from_micros(splitmix64(bytes ^ waited_ms) % span);
+                std::thread::sleep(jitter);
+                self.acquire(bytes, Instant::now() + extension)
+                    .map(|grant| (grant, true))
+            }
+            Err(e) => Err(e),
+        }
+    }
 }
 
 /// A live memory grant; returns its bytes to the pool on drop.
@@ -158,6 +200,53 @@ mod tests {
         let _held = pool.acquire(100, soon()).unwrap();
         let err = pool.acquire(1, Instant::now() + Duration::from_millis(20)).unwrap_err();
         assert!(matches!(err, ServiceError::AdmissionTimeout { .. }));
+    }
+
+    #[test]
+    fn retry_admits_when_capacity_frees_during_the_extension() {
+        let pool = MemoryPool::new(100);
+        let held = pool.acquire(100, soon()).unwrap();
+        let releaser = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(60));
+            drop(held);
+        });
+        // The first wait (20 ms) times out while the pool is full; the
+        // retry's extended deadline covers the release at ~60 ms.
+        let (grant, retried) = pool
+            .acquire_retry(40, Instant::now() + Duration::from_millis(20), Duration::from_secs(5))
+            .unwrap();
+        assert!(retried, "admission needed the retry rung");
+        assert_eq!(grant.bytes(), 40);
+        releaser.join().unwrap();
+    }
+
+    #[test]
+    fn retry_is_not_used_when_first_wait_succeeds() {
+        let pool = MemoryPool::new(100);
+        let (grant, retried) = pool
+            .acquire_retry(100, soon(), Duration::from_secs(5))
+            .unwrap();
+        assert!(!retried);
+        assert_eq!(grant.bytes(), 100);
+    }
+
+    #[test]
+    fn retry_gives_up_when_the_pool_stays_full() {
+        let pool = MemoryPool::new(100);
+        let _held = pool.acquire(100, soon()).unwrap();
+        let err = pool
+            .acquire_retry(1, Instant::now() + Duration::from_millis(5), Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::AdmissionTimeout { .. }));
+    }
+
+    #[test]
+    fn oversized_grants_are_never_retried() {
+        let pool = MemoryPool::new(100);
+        let err = pool
+            .acquire_retry(101, soon(), Duration::from_secs(5))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::GrantTooLarge { .. }));
     }
 
     #[test]

@@ -134,6 +134,11 @@ pub struct MetricsRegistry {
     pub queue_wait: Histogram,
     refused_admission_timeout: AtomicU64,
     refused_grant_too_large: AtomicU64,
+    admission_retries: AtomicU64,
+    reopt_checkpoints: AtomicU64,
+    reopt_escapes: AtomicU64,
+    reopt_replans: AtomicU64,
+    reopt_fallbacks: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -177,6 +182,51 @@ impl MetricsRegistry {
     pub fn refused_grant_too_large(&self) -> u64 {
         self.refused_grant_too_large.load(Ordering::Relaxed)
     }
+
+    /// Counts one admission that was granted only on its retry rung.
+    pub fn record_admission_retry(&self) {
+        self.admission_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admissions that succeeded only after a backoff-and-retry.
+    #[must_use]
+    pub fn admission_retries(&self) -> u64 {
+        self.admission_retries.load(Ordering::Relaxed)
+    }
+
+    /// Folds one session's re-optimization counters into the service
+    /// totals: checkpoints observed, interval escapes, re-plans adopted,
+    /// and reverts to the original arbitration.
+    pub fn record_reopt(&self, counters: &dqep_executor::ReoptCounters) {
+        self.reopt_checkpoints.fetch_add(counters.checkpoints, Ordering::Relaxed);
+        self.reopt_escapes.fetch_add(counters.escapes, Ordering::Relaxed);
+        self.reopt_replans.fetch_add(counters.replans_adopted, Ordering::Relaxed);
+        self.reopt_fallbacks.fetch_add(counters.fallbacks, Ordering::Relaxed);
+    }
+
+    /// Pipeline-breaker checkpoints observed across all sessions.
+    #[must_use]
+    pub fn reopt_checkpoints(&self) -> u64 {
+        self.reopt_checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint observations that escaped their estimate interval.
+    #[must_use]
+    pub fn reopt_escapes(&self) -> u64 {
+        self.reopt_escapes.load(Ordering::Relaxed)
+    }
+
+    /// Mid-query re-plans adopted across all sessions.
+    #[must_use]
+    pub fn reopt_replans(&self) -> u64 {
+        self.reopt_replans.load(Ordering::Relaxed)
+    }
+
+    /// Re-planned runs that reverted to the original arbitration.
+    #[must_use]
+    pub fn reopt_fallbacks(&self) -> u64 {
+        self.reopt_fallbacks.load(Ordering::Relaxed)
+    }
 }
 
 /// Everything the service exports on shutdown (and on demand): histogram
@@ -191,6 +241,16 @@ pub struct MetricsReport {
     pub refused_admission_timeout: u64,
     /// Sessions refused for requesting more than the pool holds.
     pub refused_grant_too_large: u64,
+    /// Admissions that succeeded only after a backoff-and-retry.
+    pub admission_retries: u64,
+    /// Pipeline-breaker checkpoints observed across all sessions.
+    pub reopt_checkpoints: u64,
+    /// Checkpoint observations that escaped their estimate interval.
+    pub reopt_escapes: u64,
+    /// Mid-query re-plans adopted across all sessions.
+    pub reopt_replans: u64,
+    /// Re-planned runs that reverted to the original arbitration.
+    pub reopt_fallbacks: u64,
     /// Session totals and cache counters.
     pub service: ServiceStats,
 }
@@ -229,11 +289,13 @@ impl MetricsReport {
             out,
             "  \"sessions\": {{\"completed\": {}, \"failed\": {}, \
              \"refused_admission_timeout\": {}, \"refused_grant_too_large\": {}, \
-             \"fallbacks\": {}, \"rows\": {}, \"simulated_io_pages\": {}}},",
+             \"admission_retries\": {}, \"fallbacks\": {}, \"rows\": {}, \
+             \"simulated_io_pages\": {}}},",
             s.completed,
             s.failed,
             self.refused_admission_timeout,
             self.refused_grant_too_large,
+            self.admission_retries,
             s.totals.fallbacks,
             s.totals.rows,
             s.totals.io.total(),
@@ -259,6 +321,13 @@ impl MetricsReport {
             jnum(s.decision_hit_rate()),
             s.cached_plan_retries,
             s.feedback_invalidations,
+        );
+        out.push_str(",\n");
+        let _ = writeln!(
+            out,
+            "  \"reopt\": {{\"checkpoints\": {}, \"escapes\": {}, \"replans\": {}, \
+             \"fallbacks\": {}}}",
+            self.reopt_checkpoints, self.reopt_escapes, self.reopt_replans, self.reopt_fallbacks,
         );
         out.push('}');
         out
@@ -329,11 +398,24 @@ mod tests {
             &Err(ServiceError::AdmissionTimeout { waited_ms: 1 }),
             Duration::from_millis(1),
         );
+        m.record_admission_retry();
+        m.record_reopt(&dqep_executor::ReoptCounters {
+            checkpoints: 3,
+            escapes: 2,
+            replans_adopted: 1,
+            fallbacks: 1,
+            ..Default::default()
+        });
         let report = MetricsReport {
             latency: m.latency.snapshot(),
             queue_wait: m.queue_wait.snapshot(),
             refused_admission_timeout: m.refused_admission_timeout(),
             refused_grant_too_large: m.refused_grant_too_large(),
+            admission_retries: m.admission_retries(),
+            reopt_checkpoints: m.reopt_checkpoints(),
+            reopt_escapes: m.reopt_escapes(),
+            reopt_replans: m.reopt_replans(),
+            reopt_fallbacks: m.reopt_fallbacks(),
             service: ServiceStats::default(),
         };
         let json = report.to_json();
@@ -341,6 +423,18 @@ mod tests {
         assert_eq!(
             doc.get("sessions").and_then(|s| s.get("refused_admission_timeout")).and_then(dqep_executor::JsonValue::as_num),
             Some(1.0)
+        );
+        assert_eq!(
+            doc.get("sessions").and_then(|s| s.get("admission_retries")).and_then(dqep_executor::JsonValue::as_num),
+            Some(1.0)
+        );
+        assert_eq!(
+            doc.get("reopt").and_then(|r| r.get("checkpoints")).and_then(dqep_executor::JsonValue::as_num),
+            Some(3.0)
+        );
+        assert_eq!(
+            doc.get("reopt").and_then(|r| r.get("escapes")).and_then(dqep_executor::JsonValue::as_num),
+            Some(2.0)
         );
         assert!(doc.get("latency_seconds").is_some());
         assert!(doc.get("plan_cache").is_some());

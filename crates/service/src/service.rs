@@ -17,8 +17,8 @@ use dqep_catalog::Catalog;
 use dqep_core::Optimizer;
 use dqep_cost::{Bindings, Environment};
 use dqep_executor::{
-    run_compiled, run_dynamic, ExecContext, ExecMode, ExecSummary, PlanCacheInfo, ResourceLimits,
-    SharedCounters,
+    execute_plan_reopt_ctx, run_compiled, run_dynamic, ExecContext, ExecMode, ExecSummary,
+    PlanCacheInfo, ReoptConfig, ResourceLimits, SharedCounters,
 };
 use dqep_plan::evaluate_startup_observed;
 use dqep_sql::parse_query;
@@ -64,6 +64,12 @@ pub struct ServiceConfig {
     /// actually runs with is bounded by its admitted memory grant — see
     /// [`ServiceConfig::effective_dop`].
     pub dop: usize,
+    /// Mid-query re-optimization budget. `Some`: every session runs
+    /// through [`dqep_executor::execute_plan_reopt_ctx`] — checkpoints at
+    /// the pipeline breakers, bounded re-planning on cardinality escape —
+    /// and its escape observations feed the statement's decision cache.
+    /// `None` (the default): sessions run the cached-decision fast path.
+    pub reopt: Option<ReoptConfig>,
 }
 
 impl ServiceConfig {
@@ -97,6 +103,7 @@ impl Default for ServiceConfig {
             skew: None,
             io_latency_micros: 0,
             dop: 1,
+            reopt: None,
         }
     }
 }
@@ -362,6 +369,11 @@ impl QueryService {
             queue_wait: self.metrics.queue_wait.snapshot(),
             refused_admission_timeout: self.metrics.refused_admission_timeout(),
             refused_grant_too_large: self.metrics.refused_grant_too_large(),
+            admission_retries: self.metrics.admission_retries(),
+            reopt_checkpoints: self.metrics.reopt_checkpoints(),
+            reopt_escapes: self.metrics.reopt_escapes(),
+            reopt_replans: self.metrics.reopt_replans(),
+            reopt_fallbacks: self.metrics.reopt_fallbacks(),
             service: self.stats(),
         }
     }
@@ -450,8 +462,15 @@ impl Worker {
         let memory_bytes = (memory_pages * self.catalog.config.page_size as f64) as u64;
 
         // Admission: the grant is held for the whole execution and
-        // returned on drop (including every error path below).
-        let _grant = self.pool.acquire(memory_bytes, job.deadline)?;
+        // returned on drop (including every error path below). A
+        // transient timeout gets one jittered retry, bounded by a tenth
+        // of the queue timeout.
+        let retry_extension = Duration::from_millis(self.config.queue_timeout_ms / 10);
+        let (_grant, retried) =
+            self.pool.acquire_retry(memory_bytes, job.deadline, retry_extension)?;
+        if retried {
+            self.metrics.record_admission_retry();
+        }
         // Intra-query parallelism is rationed by the admitted grant:
         // the execution context shares the handle's counters and
         // governor (cancellation still works), only the DOP differs.
@@ -460,51 +479,58 @@ impl Worker {
             .clone()
             .with_dop(self.config.effective_dop(memory_bytes));
 
-        let key = region_key(
-            &stmt.query,
-            &self.catalog,
-            &bindings,
-            self.config.decision_buckets,
-            memory_pages,
-        );
-        let (decision, decision_hit) = match stmt.decision(&key) {
-            Some(cached) => (cached, true),
-            None => {
-                let startup = evaluate_startup_observed(
-                    &stmt.plan,
-                    &self.catalog,
-                    env,
-                    &bindings,
-                    &stmt.observations(),
-                );
-                let fresh = CachedDecision {
-                    resolved: startup.resolved,
-                    predicted_seconds: startup.predicted_run_seconds,
-                };
-                stmt.store_decision(key.clone(), fresh.clone());
-                (fresh, false)
-            }
-        };
-
         if let Some(faults) = &job.request.fault_plan {
             db.disk.set_fault_plan(faults.clone());
         }
         let io_before = db.disk.stats();
-        let outcome = self.execute_arbitrated(
-            db,
-            env,
-            &ctx,
-            &stmt,
-            &key,
-            &decision,
-            &bindings,
-            memory_bytes as usize,
-        );
+        let outcome = match self.config.reopt {
+            Some(reopt_config) => {
+                self.execute_reopt(db, env, &ctx, &stmt, &bindings, reopt_config)
+            }
+            None => {
+                let key = region_key(
+                    &stmt.query,
+                    &self.catalog,
+                    &bindings,
+                    self.config.decision_buckets,
+                    memory_pages,
+                );
+                let (decision, decision_hit) = match stmt.decision(&key) {
+                    Some(cached) => (cached, true),
+                    None => {
+                        let startup = evaluate_startup_observed(
+                            &stmt.plan,
+                            &self.catalog,
+                            env,
+                            &bindings,
+                            &stmt.observations(),
+                        );
+                        let fresh = CachedDecision {
+                            resolved: startup.resolved,
+                            predicted_seconds: startup.predicted_run_seconds,
+                        };
+                        stmt.store_decision(key.clone(), fresh.clone());
+                        (fresh, false)
+                    }
+                };
+                self.execute_arbitrated(
+                    db,
+                    env,
+                    &ctx,
+                    &stmt,
+                    &key,
+                    &decision,
+                    &bindings,
+                    memory_bytes as usize,
+                )
+                .map(|rows| (rows, decision.predicted_seconds, decision_hit))
+            }
+        };
         let io = db.disk.stats().since(&io_before);
         if job.request.fault_plan.is_some() {
             db.disk.set_fault_plan(FaultPlan::none());
         }
-        let rows = outcome?;
+        let (rows, predicted_seconds, decision_hit) = outcome?;
 
         if stmt.record_feedback(rows, self.config.feedback_tolerance) {
             self.stats.lock().feedback_invalidations += 1;
@@ -529,10 +555,42 @@ impl Worker {
                     decision_hit: Some(decision_hit),
                 },
             },
-            predicted_seconds: decision.predicted_seconds,
+            predicted_seconds,
             queue_wait,
             worker: self.index,
         })
+    }
+
+    /// Runs a session through the mid-query re-optimization driver. The
+    /// decision cache is *fed*, not consulted: the driver gathers its own
+    /// checkpoint observations, and every escape is pinned back onto the
+    /// statement — clearing its cached decisions so later fast-path
+    /// sessions arbitrate against the observed cardinalities.
+    fn execute_reopt(
+        &self,
+        db: &StoredDatabase,
+        env: &Environment,
+        ctx: &ExecContext,
+        stmt: &PreparedStatement,
+        bindings: &Bindings,
+        reopt_config: ReoptConfig,
+    ) -> Result<(u64, f64, bool), ServiceError> {
+        let outcome =
+            execute_plan_reopt_ctx(&stmt.plan, db, &self.catalog, env, bindings, reopt_config, ctx)
+                .map_err(ServiceError::Exec)?;
+        self.metrics.record_reopt(&outcome.report.counters);
+        let escaped = outcome.report.escaped_observations();
+        if !escaped.is_empty() {
+            for (node, cardinality) in &escaped {
+                stmt.observe(*node, *cardinality);
+            }
+            self.stats.lock().feedback_invalidations += 1;
+        }
+        Ok((
+            outcome.summary.rows,
+            outcome.startup.predicted_run_seconds,
+            false,
+        ))
     }
 
     /// Registry lookup, or parse + optimize on a miss. The double-checked
@@ -723,6 +781,38 @@ mod tests {
             "worker counters merge to the serial totals"
         );
         assert_eq!(par.summary.io.total(), serial.summary.io.total());
+    }
+
+    #[test]
+    fn reopt_sessions_match_the_fast_path_and_export_counters() {
+        let sql = chain_sql(2);
+        let binds = [("v1", 100i64), ("v2", 900i64)];
+        let mk = |reopt| {
+            let catalog =
+                make_chain_catalog(&SyntheticSpec::paper(2, 7), SystemConfig::paper_1994());
+            QueryService::new(
+                catalog,
+                ServiceConfig {
+                    workers: 1,
+                    skew: Some(1.1),
+                    reopt,
+                    ..ServiceConfig::default()
+                },
+            )
+        };
+        let plain = mk(None).execute(Request::new(&sql, &binds)).unwrap();
+        let svc = mk(Some(ReoptConfig::default()));
+        let first = svc.execute(Request::new(&sql, &binds)).unwrap();
+        assert_eq!(first.summary.rows, plain.summary.rows, "reopt preserves results");
+        let second = svc.execute(Request::new(&sql, &binds)).unwrap();
+        assert_eq!(second.summary.rows, plain.summary.rows);
+        let report = svc.metrics();
+        assert!(report.reopt_checkpoints >= 2, "each session observes its checkpoints: {report:?}");
+        let doc = dqep_executor::parse_json(&svc.metrics_json()).unwrap();
+        assert!(
+            doc.get("reopt").and_then(|r| r.get("checkpoints")).is_some(),
+            "reopt counters are exported"
+        );
     }
 
     #[test]

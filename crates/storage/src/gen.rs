@@ -197,14 +197,33 @@ impl StoredDatabase {
         seed: u64,
         dist: ValueDistribution,
     ) -> StoredDatabase {
+        Self::generate_profiled(catalog, seed, |_, _| dist)
+    }
+
+    /// Like [`StoredDatabase::generate_with`], but the distribution is
+    /// chosen per attribute: `profile(relation, attr_index)` decides how
+    /// that column's values are drawn. This is how benchmarks localize
+    /// skew to one predicate column while keeping join columns uniform
+    /// (so only the targeted estimate drifts).
+    ///
+    /// # Panics
+    /// Panics when the catalog's page size differs from the storage page
+    /// size.
+    #[must_use]
+    pub fn generate_profiled(
+        catalog: &Catalog,
+        seed: u64,
+        profile: impl Fn(RelationId, usize) -> ValueDistribution,
+    ) -> StoredDatabase {
         assert_eq!(
             catalog.config.page_size as usize, PAGE_SIZE,
             "catalog page size must match storage PAGE_SIZE"
         );
         let disk = SimDisk::new();
         let mut tables = HashMap::new();
-        // Per-domain-size CDFs for the Zipf profile (cached across attrs).
-        let mut cdfs: HashMap<i64, Vec<f64>> = HashMap::new();
+        // Per-(domain, exponent) CDFs for Zipf profiles (cached across
+        // attrs; the exponent is keyed by bit pattern).
+        let mut cdfs: HashMap<(i64, u64), Vec<f64>> = HashMap::new();
         for rel in catalog.relations() {
             let mut rng = StdRng::seed_from_u64(seed ^ (0x7AB1E << 8) ^ u64::from(rel.id.0));
             let mut heap = HeapFile::new(disk.clone());
@@ -217,12 +236,14 @@ impl StoredDatabase {
                 let values: Vec<i64> = rel
                     .attributes
                     .iter()
-                    .map(|a| {
+                    .enumerate()
+                    .map(|(ai, a)| {
                         let domain = (a.domain_size as i64).max(1);
+                        let dist = profile(rel.id, ai);
                         let cdf: &[f64] = match dist {
                             ValueDistribution::Uniform => &[],
                             ValueDistribution::Zipf { exponent } => cdfs
-                                .entry(domain)
+                                .entry((domain, exponent.to_bits()))
                                 .or_insert_with(|| zipf_cdf(domain, exponent)),
                         };
                         sample(dist, domain, &mut rng, cdf)
