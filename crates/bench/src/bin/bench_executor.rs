@@ -33,8 +33,12 @@ fn main() {
 
     let mut entries: Vec<(String, Measurement, Measurement)> = Vec::new();
     for case in standard_cases(scale, 11) {
-        let tuple = case.measure(ExecMode::Tuple, iters);
-        let batch = case.measure(ExecMode::Batch, iters);
+        // paper_q3 is a fixed-size ~2 ms workload regardless of `scale`;
+        // at the standard iteration count its ratio is dominated by
+        // scheduler noise, so it gets a deeper sample.
+        let case_iters = if case.name == "paper_q3" { iters * 20 } else { iters };
+        let tuple = case.measure(ExecMode::Tuple, case_iters);
+        let batch = case.measure(ExecMode::Batch, case_iters);
         println!(
             "{:<12} {:>14.0} {:>14.0} {:>14.1} {:>14.1} {:>8.2}x",
             case.name,
@@ -85,6 +89,20 @@ fn main() {
     let speedup = scan_filter.2.rows_per_sec / scan_filter.1.rows_per_sec;
     if speedup < 2.0 {
         eprintln!("WARNING: scan_filter batch speedup {speedup:.2}x is below the 2x target");
+        if !quick {
+            std::process::exit(2);
+        }
+    }
+
+    // The columnar hash join (batched hashing + radix-partitioned build
+    // and probe) must clear 3x over the tuple-at-a-time path.
+    let hash_join = entries
+        .iter()
+        .find(|(name, _, _)| name == "hash_join")
+        .expect("hash_join case present");
+    let speedup = hash_join.2.rows_per_sec / hash_join.1.rows_per_sec;
+    if speedup < 3.0 {
+        eprintln!("WARNING: hash_join batch speedup {speedup:.2}x is below the 3x target");
         if !quick {
             std::process::exit(2);
         }

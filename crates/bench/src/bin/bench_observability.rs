@@ -32,7 +32,7 @@ fn median_ms(samples: &[ObsMeasurement]) -> f64 {
     let mut ms: Vec<f64> = samples.iter().map(|m| m.millis).collect();
     ms.sort_by(f64::total_cmp);
     let mid = ms.len() / 2;
-    if ms.len() % 2 == 0 { (ms[mid - 1] + ms[mid]) / 2.0 } else { ms[mid] }
+    if ms.len().is_multiple_of(2) { (ms[mid - 1] + ms[mid]) / 2.0 } else { ms[mid] }
 }
 
 fn main() -> ExitCode {

@@ -5,22 +5,23 @@
 //! Usage: `bench_parallel [--quick] [OUT_PATH]` (default
 //! `BENCH_parallel.json`).
 //!
-//! Exits non-zero if the hash-join speedup at DOP 4 falls below 2x —
-//! the acceptance gate for the exchange operator — unless the host has
-//! fewer than 4 logical cores *and* `--quick` was not passed with enough
-//! headroom; on such hosts the gate is skipped (the workers still overlap
-//! simulated I/O stalls, but CI only enforces the bound where the
-//! scheduler has real parallelism to give).
+//! Exits non-zero if a DOP-4 speedup gate fails: hash join below 2x
+//! (the acceptance gate for the exchange operator) or sort below 2.5x
+//! (parallel run generation plus the range-partitioned merge). On hosts
+//! with fewer than 4 logical cores the gates are skipped (the workers
+//! still overlap simulated I/O stalls, but CI only enforces the bounds
+//! where the scheduler has real parallelism to give).
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use dqep_bench::parallel_bench::{parallel_cases, DopMeasurement, DOPS};
 
-/// Gate: hash join at DOP 4 must be at least this much faster than serial.
-const GATE_CASE: &str = "hash_join";
+/// Gates: (case, required speedup) at DOP 4 over serial. The hash join
+/// bounds the exchange operator; the sort bounds the parallel run
+/// generation + range-partitioned merge.
 const GATE_DOP: usize = 4;
-const GATE_SPEEDUP: f64 = 2.0;
+const GATES: [(&str, f64); 2] = [("hash_join", 2.0), ("sort", 2.5)];
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -46,7 +47,7 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"cases\": {{");
 
-    let mut gate_speedup: Option<f64> = None;
+    let mut gate_speedups: Vec<Option<f64>> = vec![None; GATES.len()];
     println!("{:<12} {:>6} {:>10} {:>9}", "case", "dop", "millis", "speedup");
     for (ci, case) in cases.iter().enumerate() {
         let results: Vec<DopMeasurement> =
@@ -57,8 +58,10 @@ fn main() -> ExitCode {
         for (i, m) in results.iter().enumerate() {
             let speedup = serial_ms / m.millis;
             println!("{:<12} {:>6} {:>10.2} {:>8.2}x", case.name, m.dop, m.millis, speedup);
-            if case.name == GATE_CASE && m.dop == GATE_DOP {
-                gate_speedup = Some(speedup);
+            if m.dop == GATE_DOP {
+                if let Some(g) = GATES.iter().position(|&(name, _)| name == case.name) {
+                    gate_speedups[g] = Some(speedup);
+                }
             }
             let comma = if i + 1 < results.len() { "," } else { "" };
             let _ = writeln!(
@@ -71,12 +74,17 @@ fn main() -> ExitCode {
         let _ = writeln!(json, "    }}{comma}");
     }
     let _ = writeln!(json, "  }},");
-    let _ = writeln!(
-        json,
-        "  \"gate\": {{ \"case\": \"{GATE_CASE}\", \"dop\": {GATE_DOP}, \
-         \"required_speedup\": {GATE_SPEEDUP}, \"measured_speedup\": {:.3} }}",
-        gate_speedup.unwrap_or(0.0)
-    );
+    let _ = writeln!(json, "  \"gates\": [");
+    for (g, &(name, required)) in GATES.iter().enumerate() {
+        let comma = if g + 1 < GATES.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"case\": \"{name}\", \"dop\": {GATE_DOP}, \
+             \"required_speedup\": {required}, \"measured_speedup\": {:.3} }}{comma}",
+            gate_speedups[g].unwrap_or(0.0)
+        );
+    }
+    let _ = writeln!(json, "  ]");
     json.push_str("}\n");
 
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -85,24 +93,32 @@ fn main() -> ExitCode {
     }
     println!("wrote {out_path}");
 
-    let Some(speedup) = gate_speedup else {
-        eprintln!("gate case {GATE_CASE} missing from results");
-        return ExitCode::from(2);
-    };
-    if cores < GATE_DOP {
-        println!(
-            "gate skipped: host has {cores} cores (< {GATE_DOP}); \
-             measured {GATE_CASE} dop{GATE_DOP} speedup {speedup:.2}x"
-        );
-        return ExitCode::SUCCESS;
+    let mut failed = false;
+    for (g, &(name, required)) in GATES.iter().enumerate() {
+        let Some(speedup) = gate_speedups[g] else {
+            eprintln!("gate case {name} missing from results");
+            failed = true;
+            continue;
+        };
+        if cores < GATE_DOP {
+            println!(
+                "gate skipped: host has {cores} cores (< {GATE_DOP}); \
+                 measured {name} dop{GATE_DOP} speedup {speedup:.2}x"
+            );
+            continue;
+        }
+        if speedup < required {
+            eprintln!(
+                "GATE FAILED: {name} at dop {GATE_DOP} achieved {speedup:.2}x, \
+                 required {required:.1}x"
+            );
+            failed = true;
+            continue;
+        }
+        println!("gate passed: {name} dop{GATE_DOP} speedup {speedup:.2}x >= {required:.1}x");
     }
-    if speedup < GATE_SPEEDUP {
-        eprintln!(
-            "GATE FAILED: {GATE_CASE} at dop {GATE_DOP} achieved {speedup:.2}x, \
-             required {GATE_SPEEDUP:.1}x"
-        );
+    if failed {
         return ExitCode::from(2);
     }
-    println!("gate passed: {GATE_CASE} dop{GATE_DOP} speedup {speedup:.2}x >= {GATE_SPEEDUP:.1}x");
     ExitCode::SUCCESS
 }

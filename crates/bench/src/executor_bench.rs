@@ -168,6 +168,27 @@ fn hash_join_case(rows: u64, seed: u64) -> ExecBenchCase {
     ExecBenchCase { name: "hash_join", catalog, db, plan, env, bindings }
 }
 
+/// External sort over a sequential scan on a non-key attribute, with a
+/// memory grant large enough to sort in memory — the batch path fills
+/// the sort buffer column-wise and streams sorted output in batches.
+fn sort_case(rows: u64, seed: u64) -> ExecBenchCase {
+    let catalog = CatalogBuilder::new(SystemConfig::paper_1994())
+        .relation("big", rows, 16, |r| r.attr("a", rows as f64).attr("b", 64.0))
+        .build()
+        .expect("bench catalog");
+    let db = StoredDatabase::generate(&catalog, seed);
+    let rel = catalog.relation_by_name("big").expect("relation");
+    let rb = rel.attr_id("b").expect("attr");
+    let mut b = PlanNodeBuilder::new();
+    let scan = node(&mut b, PhysicalOp::FileScan { relation: rel.id }, vec![], rows as f64);
+    let plan = node(&mut b, PhysicalOp::Sort { attr: rb }, vec![scan], rows as f64);
+    let env = Environment::dynamic_compile_time(&catalog.config);
+    // Grant enough memory to keep the sort in-memory: this benchmark
+    // targets the fill/emit loops, not external-merge I/O.
+    let bindings = Bindings::new().with_memory((rows as f64).max(64.0));
+    ExecBenchCase { name: "sort", catalog, db, plan, env, bindings }
+}
+
 /// The paper's query 3 (4-relation chain) through the optimizer, at
 /// mid-range selectivities — end-to-end interpretation overhead on a
 /// realistic dynamic plan.
@@ -183,7 +204,7 @@ fn paper_query_case(seed: u64) -> ExecBenchCase {
     ExecBenchCase { name: "paper_q3", catalog: w.catalog, db, plan, env, bindings }
 }
 
-/// The standard suite: scan, scan+filter, hash join, paper query 3.
+/// The standard suite: scan, scan+filter, hash join, sort, paper query 3.
 /// `scale` is the large-table row count (the hash-join probe side).
 #[must_use]
 pub fn standard_cases(scale: u64, seed: u64) -> Vec<ExecBenchCase> {
@@ -191,6 +212,7 @@ pub fn standard_cases(scale: u64, seed: u64) -> Vec<ExecBenchCase> {
         scan_case(scale, seed),
         scan_filter_case(scale, seed),
         hash_join_case(scale, seed),
+        sort_case(scale, seed),
         paper_query_case(seed),
     ]
 }

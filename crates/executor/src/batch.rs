@@ -1,15 +1,18 @@
 //! Batched tuple transport: the vectorized counterpart of the Volcano
 //! `next()` interface.
 //!
-//! A [`RowBatch`] carries up to [`BATCH_CAPACITY`] fixed-width rows in one
-//! contiguous `Vec<i64>`, plus an optional **selection vector** marking
-//! which rows are live. Operators exchange whole batches through
-//! [`crate::Operator::next_batch`], amortizing the per-row costs of the
-//! tuple interface — the virtual call, the `Result` unwrap, the governor
-//! check, the shared-counter lock, and (for scans) one heap allocation per
-//! row — to once per batch. Filters qualify rows by writing the selection
-//! vector instead of copying survivors, the MonetDB/X100 trick that keeps
-//! selective scans allocation-free.
+//! A [`RowBatch`] carries up to [`BATCH_CAPACITY`] fixed-width rows in
+//! **columnar** layout: one value vector per attribute, plus an optional
+//! **selection vector** marking which rows are live. Operators exchange
+//! whole batches through [`crate::Operator::next_batch`], amortizing the
+//! per-row costs of the tuple interface — the virtual call, the `Result`
+//! unwrap, the governor check, the shared-counter lock, and (for scans)
+//! one heap allocation per row — to once per batch. The columnar layout
+//! goes further than amortization: kernels (filter comparisons, the join
+//! mix hash) run as one tight loop over a contiguous `&[i64]` column the
+//! compiler can auto-vectorize, the MonetDB/X100 decomposition. Filters
+//! qualify rows by writing the selection vector instead of copying
+//! survivors, so a selective scan stays allocation-free.
 
 use crate::tuple::Tuple;
 
@@ -18,17 +21,20 @@ use crate::tuple::Tuple;
 /// so consumers must size by [`RowBatch::rows`], not this constant.
 pub const BATCH_CAPACITY: usize = 1024;
 
-/// A batch of fixed-width rows in contiguous storage.
+/// A batch of fixed-width rows in columnar storage.
 ///
-/// `values` holds `rows × width` attributes row-major; `selection`, when
+/// `columns[c]` holds attribute `c` of every row, so `columns` is a
+/// `width × rows` transpose of the row-major layout; `selection`, when
 /// present, lists the indices of live rows in ascending order. All
 /// consuming iteration goes through [`RowBatch::iter`] /
 /// [`RowBatch::selected_indices`], which respect the selection vector, so
-/// a filtered batch never needs compaction.
+/// a filtered batch never needs compaction. Kernels that want a whole
+/// attribute at once use [`RowBatch::column`].
 #[derive(Debug, Clone, Default)]
 pub struct RowBatch {
     width: usize,
-    values: Vec<i64>,
+    rows: usize,
+    columns: Vec<Vec<i64>>,
     selection: Option<Vec<u32>>,
 }
 
@@ -45,7 +51,8 @@ impl RowBatch {
     pub fn with_capacity(width: usize, rows: usize) -> RowBatch {
         RowBatch {
             width,
-            values: Vec::with_capacity(width * rows),
+            rows: 0,
+            columns: (0..width).map(|_| Vec::with_capacity(rows)).collect(),
             selection: None,
         }
     }
@@ -59,7 +66,7 @@ impl RowBatch {
     /// Physical rows stored (ignoring the selection vector).
     #[must_use]
     pub fn rows(&self) -> usize {
-        self.values.len().checked_div(self.width).unwrap_or(0)
+        self.rows
     }
 
     /// Live rows (respecting the selection vector).
@@ -67,7 +74,7 @@ impl RowBatch {
     pub fn len(&self) -> usize {
         match &self.selection {
             Some(sel) => sel.len(),
-            None => self.rows(),
+            None => self.rows,
         }
     }
 
@@ -83,6 +90,16 @@ impl RowBatch {
         self.selection.as_deref()
     }
 
+    /// The value vector of attribute `c`: one entry per **physical** row.
+    /// Kernels pair it with [`RowBatch::selection`] to skip dead rows.
+    ///
+    /// # Panics
+    /// Panics if `c >= width`.
+    #[must_use]
+    pub fn column(&self, c: usize) -> &[i64] {
+        &self.columns[c]
+    }
+
     /// Appends one row. The batch grows past [`BATCH_CAPACITY`] if pushed
     /// to — capacity is a fill target, not a hard limit.
     ///
@@ -91,7 +108,10 @@ impl RowBatch {
     pub fn push_row(&mut self, row: &[i64]) {
         assert_eq!(row.len(), self.width, "row width mismatch");
         debug_assert!(self.selection.is_none(), "push into a filtered batch");
-        self.values.extend_from_slice(row);
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
     }
 
     /// Appends the concatenation of two row slices (a join output).
@@ -101,25 +121,51 @@ impl RowBatch {
     pub fn push_concat(&mut self, left: &[i64], right: &[i64]) {
         assert_eq!(left.len() + right.len(), self.width, "row width mismatch");
         debug_assert!(self.selection.is_none(), "push into a filtered batch");
-        self.values.extend_from_slice(left);
-        self.values.extend_from_slice(right);
+        let (lcols, rcols) = self.columns.split_at_mut(left.len());
+        for (col, &v) in lcols.iter_mut().zip(left) {
+            col.push(v);
+        }
+        for (col, &v) in rcols.iter_mut().zip(right) {
+            col.push(v);
+        }
+        self.rows += 1;
     }
 
-    /// Direct access to the value store for producers that decode rows in
-    /// place (a scan appending whole pages). The caller must append
-    /// complete rows — `width` values each.
-    pub fn values_mut(&mut self) -> &mut Vec<i64> {
+    /// Appends `n` rows whose values the producer writes straight into the
+    /// column vectors (a scan decoding a page column-wise, a join
+    /// gathering match pairs). The closure must extend **every** column by
+    /// exactly `n` values; this is checked in debug builds.
+    pub fn extend_rows_with(&mut self, n: usize, f: impl FnOnce(&mut [Vec<i64>])) {
         debug_assert!(self.selection.is_none(), "push into a filtered batch");
-        &mut self.values
+        f(&mut self.columns);
+        self.rows += n;
+        debug_assert!(
+            self.columns.iter().all(|c| c.len() == self.rows),
+            "extend_rows_with left ragged columns"
+        );
     }
 
-    /// The `i`-th physical row (selection vector not applied).
+    /// Copies the `i`-th physical row (selection vector not applied) into
+    /// `out`, appending `width` values.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows()`.
+    pub fn gather_row_into(&self, i: usize, out: &mut Vec<i64>) {
+        assert!(i < self.rows, "row index out of range");
+        out.extend(self.columns.iter().map(|col| col[i]));
+    }
+
+    /// The `i`-th physical row as an owned tuple (selection vector not
+    /// applied). Gathers across the columns; kernels should prefer
+    /// [`RowBatch::column`].
     ///
     /// # Panics
     /// Panics if `i >= rows()`.
     #[must_use]
-    pub fn row(&self, i: usize) -> &[i64] {
-        &self.values[i * self.width..(i + 1) * self.width]
+    pub fn row_vec(&self, i: usize) -> Tuple {
+        let mut out = Vec::with_capacity(self.width);
+        self.gather_row_into(i, &mut out);
+        out
     }
 
     /// Restricts the batch to the rows whose physical indices are in
@@ -139,7 +185,7 @@ impl RowBatch {
         })
     }
 
-    /// Iterates the live rows as slices.
+    /// Iterates the live rows as owned tuples (gathering across columns).
     pub fn iter(&self) -> RowBatchIter<'_> {
         RowBatchIter {
             batch: self,
@@ -151,17 +197,20 @@ impl RowBatch {
     /// path; used by tests and `drain`-style collectors).
     #[must_use]
     pub fn to_tuples(&self) -> Vec<Tuple> {
-        self.iter().map(<[i64]>::to_vec).collect()
+        self.iter().collect()
     }
 
-    /// Clears all rows and the selection vector, keeping the allocation.
+    /// Clears all rows and the selection vector, keeping the allocations.
     pub fn clear(&mut self) {
-        self.values.clear();
+        for col in &mut self.columns {
+            col.clear();
+        }
+        self.rows = 0;
         self.selection = None;
     }
 }
 
-/// Iterator over a batch's live rows.
+/// Iterator over a batch's live rows, yielding owned tuples.
 #[derive(Debug)]
 pub struct RowBatchIter<'a> {
     batch: &'a RowBatch,
@@ -170,21 +219,21 @@ pub struct RowBatchIter<'a> {
     pos: usize,
 }
 
-impl<'a> Iterator for RowBatchIter<'a> {
-    type Item = &'a [i64];
+impl Iterator for RowBatchIter<'_> {
+    type Item = Tuple;
 
-    fn next(&mut self) -> Option<&'a [i64]> {
+    fn next(&mut self) -> Option<Tuple> {
         let idx = match &self.batch.selection {
             Some(sel) => *sel.get(self.pos)? as usize,
             None => {
-                if self.pos >= self.batch.rows() {
+                if self.pos >= self.batch.rows {
                     return None;
                 }
                 self.pos
             }
         };
         self.pos += 1;
-        Some(self.batch.row(idx))
+        Some(self.batch.row_vec(idx))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -194,7 +243,7 @@ impl<'a> Iterator for RowBatchIter<'a> {
 }
 
 impl<'a> IntoIterator for &'a RowBatch {
-    type Item = &'a [i64];
+    type Item = Tuple;
     type IntoIter = RowBatchIter<'a>;
 
     fn into_iter(self) -> RowBatchIter<'a> {
@@ -214,9 +263,11 @@ mod tests {
         b.push_concat(&[5], &[6]);
         assert_eq!(b.rows(), 3);
         assert_eq!(b.len(), 3);
-        assert_eq!(b.row(1), &[3, 4]);
+        assert_eq!(b.row_vec(1), vec![3, 4]);
+        assert_eq!(b.column(0), &[1, 3, 5]);
+        assert_eq!(b.column(1), &[2, 4, 6]);
         let all: Vec<_> = b.iter().collect();
-        assert_eq!(all, vec![&[1i64, 2][..], &[3, 4], &[5, 6]]);
+        assert_eq!(all, vec![vec![1i64, 2], vec![3, 4], vec![5, 6]]);
         assert_eq!(b.to_tuples(), vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
     }
 
@@ -259,11 +310,24 @@ mod tests {
     }
 
     #[test]
-    fn values_mut_appends_whole_rows() {
+    fn extend_rows_with_appends_columns() {
         let mut b = RowBatch::new(2);
-        b.values_mut().extend_from_slice(&[1, 2, 3, 4]);
+        b.extend_rows_with(2, |cols| {
+            cols[0].extend_from_slice(&[1, 3]);
+            cols[1].extend_from_slice(&[2, 4]);
+        });
         assert_eq!(b.rows(), 2);
-        assert_eq!(b.row(0), &[1, 2]);
+        assert_eq!(b.row_vec(0), vec![1, 2]);
+        assert_eq!(b.column(1), &[2, 4]);
+    }
+
+    #[test]
+    fn gather_row_into_appends() {
+        let mut b = RowBatch::new(2);
+        b.push_row(&[7, 8]);
+        let mut out = vec![42];
+        b.gather_row_into(0, &mut out);
+        assert_eq!(out, vec![42, 7, 8]);
     }
 
     #[test]

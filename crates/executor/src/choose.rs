@@ -313,14 +313,14 @@ impl Operator for ChoosePlanExec<'_> {
         let Some(proj) = &self.remap else {
             return Ok(Some(batch));
         };
-        let mut out = crate::RowBatch::with_capacity(self.layout.width(), batch.len());
-        let mut scratch = vec![0i64; proj.len()];
-        for row in batch.iter() {
-            for (dst, &src) in scratch.iter_mut().zip(proj) {
-                *dst = row[src];
+        let live: Vec<usize> = batch.selected_indices().collect();
+        let mut out = crate::RowBatch::with_capacity(self.layout.width(), live.len());
+        out.extend_rows_with(live.len(), |cols| {
+            for (col, &src) in cols.iter_mut().zip(proj) {
+                let from = batch.column(src);
+                col.extend(live.iter().map(|&i| from[i]));
             }
-            out.push_row(&scratch);
-        }
+        });
         Ok(Some(out))
     }
 

@@ -124,7 +124,7 @@ pub fn drain_batch(op: &mut dyn Operator) -> Result<Vec<Tuple>, ExecError> {
             out.reserve(n.min(MAX_PRESIZE_ROWS) as usize);
         }
         while let Some(batch) = op.next_batch(crate::batch::BATCH_CAPACITY)? {
-            out.extend(batch.iter().map(<[i64]>::to_vec));
+            out.extend(batch.iter());
         }
         Ok(())
     }

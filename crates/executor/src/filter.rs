@@ -42,6 +42,49 @@ impl ResolvedPred {
     }
 }
 
+/// Writes the indices of the column values satisfying `op value` into
+/// `sel` — one tight pass over the whole column (no selection vector on
+/// the input batch). Dispatching on the operator *outside* the loop keeps
+/// each loop body a single branch-free comparison the compiler can
+/// auto-vectorize.
+fn select_dense(op: CompareOp, col: &[i64], value: i64, sel: &mut Vec<u32>) {
+    #[inline]
+    fn scan(col: &[i64], sel: &mut Vec<u32>, keep: impl Fn(i64) -> bool) {
+        for (i, &v) in col.iter().enumerate() {
+            if keep(v) {
+                sel.push(i as u32);
+            }
+        }
+    }
+    match op {
+        CompareOp::Lt => scan(col, sel, |v| v < value),
+        CompareOp::Le => scan(col, sel, |v| v <= value),
+        CompareOp::Eq => scan(col, sel, |v| v == value),
+        CompareOp::Ge => scan(col, sel, |v| v >= value),
+        CompareOp::Gt => scan(col, sel, |v| v > value),
+    }
+}
+
+/// The sparse counterpart of [`select_dense`]: evaluates only the rows in
+/// `prev` (the input batch's selection vector), preserving order.
+fn select_sparse(op: CompareOp, col: &[i64], value: i64, prev: &[u32], sel: &mut Vec<u32>) {
+    #[inline]
+    fn scan(col: &[i64], prev: &[u32], sel: &mut Vec<u32>, keep: impl Fn(i64) -> bool) {
+        for &idx in prev {
+            if keep(col[idx as usize]) {
+                sel.push(idx);
+            }
+        }
+    }
+    match op {
+        CompareOp::Lt => scan(col, prev, sel, |v| v < value),
+        CompareOp::Le => scan(col, prev, sel, |v| v <= value),
+        CompareOp::Eq => scan(col, prev, sel, |v| v == value),
+        CompareOp::Ge => scan(col, prev, sel, |v| v >= value),
+        CompareOp::Gt => scan(col, prev, sel, |v| v > value),
+    }
+}
+
 /// Predicate evaluation over any input (one comparison per input tuple).
 pub struct FilterExec<'a> {
     input: BoxedOperator<'a>,
@@ -75,8 +118,10 @@ impl Operator for FilterExec<'_> {
         }
     }
 
-    /// Native batch filter: evaluates the predicate into the batch's
-    /// selection vector — qualifying rows are never copied, and the
+    /// Native batch filter: evaluates the predicate over the restricted
+    /// attribute's column into the batch's selection vector — one
+    /// monomorphic comparison loop over a contiguous `&[i64]` slice (the
+    /// X100-style kernel), qualifying rows are never copied, and the
     /// comparison/record counters are charged once per batch. Batches
     /// whose rows all fail are skipped internally so callers always make
     /// progress per call.
@@ -85,13 +130,12 @@ impl Operator for FilterExec<'_> {
             let Some(mut batch) = self.input.next_batch(max_rows)? else {
                 return Ok(None);
             };
-            let mut sel: Vec<u32> = Vec::new();
-            let mut examined = 0u64;
-            for idx in batch.selected_indices() {
-                examined += 1;
-                if self.pred.matches(batch.row(idx)) {
-                    sel.push(idx as u32);
-                }
+            let examined = batch.len() as u64;
+            let col = batch.column(self.pred.pos);
+            let mut sel: Vec<u32> = Vec::with_capacity(batch.len());
+            match batch.selection() {
+                None => select_dense(self.pred.op, col, self.pred.value, &mut sel),
+                Some(prev) => select_sparse(self.pred.op, col, self.pred.value, prev, &mut sel),
             }
             self.ctx.counters.add_compares(examined);
             if sel.is_empty() {

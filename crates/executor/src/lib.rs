@@ -74,6 +74,7 @@ pub use explain::{
     JsonValue,
 };
 pub use governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
+pub use hash_join::{fold_hash_column, hash_key, mix, HASH_SEED};
 pub use metrics::{CpuCounters, ExecSummary, PlanCacheInfo, SharedCounters};
 pub use reopt::{
     execute_plan_reopt, execute_plan_reopt_ctx, execute_plan_reopt_traced, MaterializedScanExec,

@@ -661,7 +661,7 @@ fn run_collect(
             ExecMode::Batch => {
                 while let Some(batch) = op.next_batch(crate::batch::BATCH_CAPACITY)? {
                     governor.charge_rows(batch.len() as u64)?;
-                    out.extend(batch.iter().map(<[i64]>::to_vec));
+                    out.extend(batch.iter());
                 }
             }
         }

@@ -115,13 +115,14 @@ impl Operator for FileScanExec<'_> {
             };
             let page = SlottedPage::from_bytes(bytes);
             self.page_idx += 1;
-            for record in page.iter() {
-                if batch.rows() < max_rows {
-                    self.table.decode_into(record, batch.values_mut());
-                } else {
-                    // Page tail past the request: deliver it next call.
-                    self.buffer.push(self.table.decode(record));
-                }
+            let records: Vec<&[u8]> = page.iter().collect();
+            let take = records.len().min(max_rows - batch.rows());
+            batch.extend_rows_with(take, |cols| {
+                self.table.decode_columns_into(&records[..take], cols);
+            });
+            for record in &records[take..] {
+                // Page tail past the request: deliver it next call.
+                self.buffer.push(self.table.decode(record));
             }
         }
         let rows = batch.rows();
@@ -265,12 +266,13 @@ impl Operator for MorselScanExec<'_> {
                 Err(e) => return Err(e),
             };
             let page = SlottedPage::from_bytes(bytes);
-            for record in page.iter() {
-                if batch.rows() < max_rows {
-                    self.table.decode_into(record, batch.values_mut());
-                } else {
-                    self.buffer.push(self.table.decode(record));
-                }
+            let records: Vec<&[u8]> = page.iter().collect();
+            let take = records.len().min(max_rows - batch.rows());
+            batch.extend_rows_with(take, |cols| {
+                self.table.decode_columns_into(&records[..take], cols);
+            });
+            for record in &records[take..] {
+                self.buffer.push(self.table.decode(record));
             }
         }
         let rows = batch.rows();

@@ -1,7 +1,7 @@
 //! External sort with memory-bounded, governor-audited runs.
 
 use dqep_storage::gen::{decode_record, encode_record};
-use dqep_storage::{HeapFile, SimDisk};
+use dqep_storage::{HeapFile, PageId, SimDisk, SlottedPage};
 
 use crate::batch::RowBatch;
 use crate::error::ExecError;
@@ -37,6 +37,100 @@ fn merge_sorted_slices(rows: &mut [Tuple], share: usize, key: usize) -> Vec<Tupl
         cursors[b].0 += 1;
     }
     out
+}
+
+/// K-way merge of sorted run segments into one sorted vector, ties broken
+/// toward the lowest run index (the scan below replaces `best` only on a
+/// strictly smaller key). Both the serial merge (over whole runs) and
+/// each parallel range worker (over one key range's segments) use this
+/// loop, so the parallel concatenation is byte-identical to the serial
+/// merge.
+fn kway_merge(segments: Vec<Vec<Tuple>>, key: usize) -> Vec<Tuple> {
+    let total: usize = segments.iter().map(Vec::len).sum();
+    let mut streams: Vec<std::vec::IntoIter<Tuple>> =
+        segments.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<Tuple>> = streams.iter_mut().map(Iterator::next).collect();
+    let mut merged = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(usize, i64)> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(t) = head {
+                let k = t[key];
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        if let Some(t) = heads[i].take() {
+            merged.push(t);
+        }
+        heads[i] = streams[i].next();
+    }
+    merged
+}
+
+/// The cooperative merge phase: partitions the key space into up to `dop`
+/// ranges by sampling splitter keys from the sorted runs, cuts every run
+/// at each splitter with a binary search (`partition_point` on `<=`, so
+/// equal keys never straddle a boundary), and merges each range's
+/// segments on its own worker thread. Every worker runs the same
+/// tie-break as the serial merge within its disjoint key range, so
+/// concatenating the ranges in order reproduces the serial merge output
+/// exactly — only the wall-clock work is split.
+fn parallel_range_merge(runs: Vec<Vec<Tuple>>, key: usize, dop: usize) -> Vec<Tuple> {
+    // Splitters: sample up to 32 evenly spaced keys per run, then take
+    // `dop - 1` quantiles of the pooled sample. Sampling quality affects
+    // only range balance, never correctness.
+    let mut samples: Vec<i64> = Vec::new();
+    for run in &runs {
+        let s = run.len().min(32);
+        for j in 0..s {
+            samples.push(run[j * run.len() / s][key]);
+        }
+    }
+    samples.sort_unstable();
+    let mut bounds: Vec<i64> = (1..dop)
+        .map(|i| samples[i * samples.len() / dop])
+        .collect();
+    bounds.dedup();
+    // Cut offsets per run: range `r` owns `cuts[r]..cuts[r + 1]`.
+    let cuts: Vec<Vec<usize>> = runs
+        .iter()
+        .map(|run| {
+            let mut c = Vec::with_capacity(bounds.len() + 2);
+            c.push(0);
+            for &b in &bounds {
+                c.push(run.partition_point(|t| t[key] <= b));
+            }
+            c.push(run.len());
+            c
+        })
+        .collect();
+    let ranges = bounds.len() + 1;
+    // Split each run into per-range segments by moving tuples out
+    // (splitting off tails back to front keeps offsets valid).
+    let mut segments: Vec<Vec<Vec<Tuple>>> = (0..ranges).map(|_| Vec::new()).collect();
+    for (run, cut) in runs.into_iter().zip(&cuts) {
+        let mut rest = run;
+        let mut tails: Vec<Vec<Tuple>> = Vec::with_capacity(ranges);
+        for r in (0..ranges).rev() {
+            tails.push(rest.split_off(cut[r]));
+        }
+        for (r, seg) in tails.into_iter().rev().enumerate() {
+            segments[r].push(seg);
+        }
+    }
+    let tasks: Vec<_> = segments
+        .into_iter()
+        .map(|segs| move || Ok(kway_merge(segs, key)))
+        .collect();
+    let mut merged: Vec<Tuple> = Vec::new();
+    // Range merging is pure CPU: the tasks are infallible.
+    for part in run_parallel(tasks).into_iter().flatten() {
+        merged.extend(part);
+    }
+    merged
 }
 
 /// Sorts its input ascending on one attribute position.
@@ -146,6 +240,14 @@ impl<'a> SortExec<'a> {
 
     /// Sorts `chunk` and spills it to a fresh accounted run, releasing its
     /// memory reservation.
+    ///
+    /// The run's record content goes through unaccounted page writes and
+    /// the accounting is settled explicitly afterwards: exactly one
+    /// charged write per data page, the same count, order, and
+    /// fault-ordinal positions as the accounted-append path (no other
+    /// accounted I/O happens inside a spill). Splitting content from
+    /// accounting lets a parallel sort overlap the charges' pacing stalls
+    /// across workers.
     fn spill_chunk(
         &mut self,
         chunk: &mut Vec<Tuple>,
@@ -153,14 +255,47 @@ impl<'a> SortExec<'a> {
         row_bytes: usize,
     ) -> Result<(), ExecError> {
         self.sort_rows(chunk);
-        let mut run = HeapFile::new_temp(self.disk.clone());
+        let mut run = HeapFile::new(self.disk.clone());
         for row in chunk.iter() {
             run.append(&encode_record(row, row_bytes))?;
         }
-        run.finish()?;
+        self.charge_run_writes(run.page_count())?;
         runs.push(run);
         self.release((chunk.len() * row_bytes) as u64);
         chunk.clear();
+        Ok(())
+    }
+
+    /// Charges the spilled run's page writes. Serial below DOP 2 (or for
+    /// a single page); otherwise the charges split across `dop` workers so
+    /// their I/O pacing stalls overlap. Totals are DOP-exact; a write
+    /// fault is charged before it errors on either path, exactly like an
+    /// accounted append.
+    fn charge_run_writes(&self, pages: usize) -> Result<(), ExecError> {
+        let dop = self.ctx.dop.max(1);
+        if dop <= 1 || pages < 2 {
+            for _ in 0..pages {
+                self.disk.note_write()?;
+            }
+            return Ok(());
+        }
+        let share = pages.div_ceil(dop);
+        let disk = &self.disk;
+        let tasks: Vec<_> = (0..dop)
+            .map(|w| share.min(pages.saturating_sub(w * share)))
+            .filter(|&n| n > 0)
+            .map(|n| {
+                move || {
+                    for _ in 0..n {
+                        disk.note_write()?;
+                    }
+                    Ok(())
+                }
+            })
+            .collect();
+        for result in run_parallel::<(), _>(tasks) {
+            result?;
+        }
         Ok(())
     }
 
@@ -195,7 +330,7 @@ impl<'a> SortExec<'a> {
                         self.spill_chunk(&mut chunk, &mut runs, row_bytes)?;
                     }
                     self.reserve(row_bytes as u64)?;
-                    chunk.push(row.to_vec());
+                    chunk.push(row);
                 }
             }
         } else {
@@ -238,39 +373,88 @@ impl<'a> SortExec<'a> {
         // total rows are fixed by the memory grant, so the formula keeps
         // the counters DOP-exact (and sums with the per-run charges to the
         // model's `n·log₂(n)`).
-        let mut streams: Vec<std::vec::IntoIter<Tuple>> = Vec::with_capacity(runs.len());
-        let mut total_rows = 0u64;
-        for run in &runs {
-            let mut rows = Vec::new();
-            for record in run.scan() {
-                rows.push(decode_record(&record?, width));
+        //
+        // With `dop > 1` the read-back fans out over *pages*, not whole
+        // runs (worker `w` reads every `dop`-th page of the concatenated
+        // run page list, so the paced stalls overlap even when the grant
+        // produced fewer runs than workers — the page *set* is identical,
+        // so page-identity faults trip identically; only the seq/random
+        // read split may shift) and the merge itself is range-cooperative:
+        // workers claim disjoint key ranges via splitter sampling and
+        // merge them concurrently. Both phases reproduce the serial
+        // output exactly: records decode per page in slot order and pages
+        // reassemble per run in page order.
+        let dop = self.ctx.dop.max(1);
+        let run_rows: Vec<Vec<Tuple>> = if dop <= 1 {
+            let mut all = Vec::with_capacity(runs.len());
+            for run in &runs {
+                let mut rows = Vec::with_capacity(run.record_count() as usize);
+                for record in run.scan() {
+                    rows.push(decode_record(&record?, width));
+                }
+                all.push(rows);
             }
-            total_rows += rows.len() as u64;
-            streams.push(rows.into_iter());
-        }
-        if total_rows > 0 && streams.len() > 1 {
+            all
+        } else {
+            // (run index, page id) units in scan order across all runs.
+            let units: Vec<(usize, PageId)> = runs
+                .iter()
+                .enumerate()
+                .flat_map(|(r, run)| run.pages().iter().map(move |&pid| (r, pid)))
+                .collect();
+            let runs_ref = &runs;
+            let units_ref = &units;
+            let tasks: Vec<_> = (0..dop.min(units.len().max(1)))
+                .map(|w| {
+                    move || {
+                        let mut out: Vec<(usize, usize, Vec<Tuple>)> = Vec::new();
+                        let mut u = w;
+                        while u < units_ref.len() {
+                            let (r, pid) = units_ref[u];
+                            let bytes = runs_ref[r]
+                                .disk()
+                                .read(pid)
+                                .map_err(ExecError::from)?;
+                            let page = SlottedPage::from_bytes(bytes);
+                            let rows: Vec<Tuple> = page
+                                .iter()
+                                .map(|record| decode_record(record, width))
+                                .collect();
+                            out.push((r, u, rows));
+                            u += dop;
+                        }
+                        Ok(out)
+                    }
+                })
+                .collect();
+            let mut collected: Vec<(usize, usize, Vec<Tuple>)> = Vec::new();
+            for result in run_parallel(tasks) {
+                collected.extend(result?);
+            }
+            // Reassemble: unit index orders pages globally in scan order,
+            // and runs were concatenated run 0 first, so a stable sort by
+            // (run, unit) restores every run's page order.
+            collected.sort_by_key(|&(r, u, _)| (r, u));
+            let mut all: Vec<Vec<Tuple>> = runs
+                .iter()
+                .map(|run| Vec::with_capacity(run.record_count() as usize))
+                .collect();
+            for (r, _, rows) in collected {
+                all[r].extend(rows);
+            }
+            all
+        };
+        let total_rows: u64 = run_rows.iter().map(|r| r.len() as u64).sum();
+        if total_rows > 0 && run_rows.len() > 1 {
             let merge_compares =
-                (total_rows as f64 * (streams.len() as f64).log2()).ceil() as u64;
+                (total_rows as f64 * (run_rows.len() as f64).log2()).ceil() as u64;
             self.ctx.counters.add_compares(merge_compares);
         }
-        let mut heads: Vec<Option<Tuple>> = streams.iter_mut().map(Iterator::next).collect();
-        let mut merged = Vec::new();
-        loop {
-            let mut best: Option<(usize, i64)> = None;
-            for (i, head) in heads.iter().enumerate() {
-                if let Some(t) = head {
-                    let k = t[key];
-                    if best.is_none_or(|(_, bk)| k < bk) {
-                        best = Some((i, k));
-                    }
-                }
-            }
-            let Some((i, _)) = best else { break };
-            if let Some(t) = heads[i].take() {
-                merged.push(t);
-            }
-            heads[i] = streams[i].next();
-        }
+        let merged = if dop <= 1 || total_rows < 2 {
+            kway_merge(run_rows, key)
+        } else {
+            parallel_range_merge(run_rows, key, dop)
+        };
         self.output = merged.into_iter();
         Ok(())
     }

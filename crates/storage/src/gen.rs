@@ -48,6 +48,19 @@ impl StoredTable {
     pub fn decode_into(&self, record: &[u8], out: &mut Vec<i64>) {
         decode_record_into(record, self.n_attrs, out);
     }
+
+    /// Decodes a slice of records column-wise: appends attribute `c` of
+    /// every record to `cols[c]`. One tight per-attribute loop over the
+    /// records — the transposed fill for columnar batch scans.
+    ///
+    /// # Panics
+    /// Panics if `cols.len() != n_attrs`.
+    pub fn decode_columns_into(&self, records: &[&[u8]], cols: &mut [Vec<i64>]) {
+        assert_eq!(cols.len(), self.n_attrs, "column count mismatch");
+        for (attr, col) in cols.iter_mut().enumerate() {
+            decode_column_into(records, attr, col);
+        }
+    }
 }
 
 /// Decodes `n_attrs` little-endian `i64`s from the front of a record.
@@ -65,6 +78,17 @@ pub fn decode_record_into(record: &[u8], n_attrs: usize, out: &mut Vec<i64>) {
         let at = i * 8;
         let mut b = [0u8; 8];
         b.copy_from_slice(&record[at..at + 8]);
+        i64::from_le_bytes(b)
+    }));
+}
+
+/// Appends attribute `attr` (a little-endian `i64` at byte offset
+/// `attr * 8`) of each record to `out`.
+pub fn decode_column_into(records: &[&[u8]], attr: usize, out: &mut Vec<i64>) {
+    let at = attr * 8;
+    out.extend(records.iter().map(|r| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&r[at..at + 8]);
         i64::from_le_bytes(b)
     }));
 }

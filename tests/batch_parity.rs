@@ -281,6 +281,205 @@ fn memory_refusal_fallback_is_mode_independent() {
     assert_eq!(results[0].0.len(), 400);
 }
 
+/// Columnar selection-vector semantics on [`RowBatch`] itself: an
+/// absent selection, a fully-selected vector, and a sparse vector must
+/// agree on live-row accessors, and the physical columns must stay
+/// untouched underneath.
+#[test]
+fn selection_vector_dense_sparse_and_empty_semantics() {
+    let rows: Vec<Vec<i64>> = (0..8).map(|i| vec![i, 10 * i]).collect();
+    let mut dense = dqep::executor::RowBatch::with_capacity(2, rows.len());
+    for row in &rows {
+        dense.push_row(row);
+    }
+
+    // No selection: every physical row is live.
+    assert_eq!(dense.rows(), 8);
+    assert_eq!(dense.len(), 8);
+    assert_eq!(dense.to_tuples(), rows);
+    assert_eq!(dense.selected_indices().collect::<Vec<_>>(), (0..8).collect::<Vec<_>>());
+
+    // Fully-selected vector: identical live view, selection now present.
+    let mut full = dense.clone();
+    full.set_selection((0..8).collect());
+    assert_eq!(full.len(), 8);
+    assert_eq!(full.to_tuples(), dense.to_tuples());
+    assert!(full.selection().is_some());
+
+    // Sparse vector: live accessors shrink, physical accessors do not.
+    let mut sparse = dense.clone();
+    sparse.set_selection(vec![1, 4, 6]);
+    assert_eq!(sparse.rows(), 8, "selection must not drop physical rows");
+    assert_eq!(sparse.len(), 3);
+    assert_eq!(sparse.to_tuples(), vec![rows[1].clone(), rows[4].clone(), rows[6].clone()]);
+    assert_eq!(sparse.selected_indices().collect::<Vec<_>>(), vec![1, 4, 6]);
+    assert_eq!(sparse.column(0), dense.column(0), "columns are physical");
+    assert_eq!(sparse.row_vec(4), rows[4], "row_vec indexes physical rows");
+
+    // Empty vector: no live rows, still width-2 and 8 physical rows.
+    let mut empty = dense.clone();
+    empty.set_selection(Vec::new());
+    assert!(empty.is_empty());
+    assert_eq!(empty.rows(), 8);
+    assert!(empty.to_tuples().is_empty());
+    assert_eq!(empty.width(), 2);
+}
+
+/// Filter selectivities that produce empty, sparse, and fully-selected
+/// batches feeding a hash-join probe: the selection-aware batch kernels
+/// must agree with the tuple path on tuples *and* counters at each
+/// density.
+#[test]
+fn filtered_probe_batches_join_identically_at_every_density() {
+    let catalog = CatalogBuilder::new(SystemConfig::paper_1994())
+        .relation("dim", 60, 512, |r| r.attr("k", 60.0).attr("v", 40.0))
+        .relation("fact", 300, 512, |r| r.attr("fk", 60.0).attr("m", 300.0))
+        .build()
+        .unwrap();
+    let db = StoredDatabase::generate(&catalog, 13);
+    let dim = catalog.relation_by_name("dim").unwrap();
+    let fact = catalog.relation_by_name("fact").unwrap();
+    let fm = fact.attr_id("m").unwrap();
+
+    // m < 0 -> every probe batch carries an empty selection; m < 20 ->
+    // sparse selections; m < 1000 -> fully selected batches.
+    for cutoff in [0i64, 20, 1000] {
+        let mut b = PlanNodeBuilder::new();
+        let build = node(&mut b, PhysicalOp::FileScan { relation: dim.id }, vec![]);
+        let probe_scan = node(&mut b, PhysicalOp::FileScan { relation: fact.id }, vec![]);
+        let probe = node(
+            &mut b,
+            PhysicalOp::Filter { predicate: SelectPred::bound(fm, CompareOp::Lt, cutoff) },
+            vec![probe_scan],
+        );
+        let join = node(
+            &mut b,
+            PhysicalOp::HashJoin {
+                predicates: vec![JoinPred::new(
+                    dim.attr_id("k").unwrap(),
+                    fact.attr_id("fk").unwrap(),
+                )],
+            },
+            vec![build, probe],
+        );
+        let env = Environment::dynamic_compile_time(&catalog.config);
+        let bindings = Bindings::new();
+
+        let ctx = ExecContext::new(SharedCounters::new()).with_mode(ExecMode::Tuple);
+        let mut op =
+            compile_dynamic_plan(&join, &db, &catalog, &env, &bindings, 64 * 2048, &ctx).unwrap();
+        let tuple_rows = drain(op.as_mut()).unwrap();
+        let tuple_counters = ctx.counters.snapshot();
+
+        let ctx = ExecContext::new(SharedCounters::new()).with_mode(ExecMode::Batch);
+        let mut op =
+            compile_dynamic_plan(&join, &db, &catalog, &env, &bindings, 64 * 2048, &ctx).unwrap();
+        let batch_rows = drain_batch(op.as_mut()).unwrap();
+        let batch_counters = ctx.counters.snapshot();
+
+        assert_eq!(tuple_rows, batch_rows, "cutoff {cutoff}: tuples diverged");
+        assert_eq!(tuple_counters, batch_counters, "cutoff {cutoff}: counters diverged");
+        if cutoff == 0 {
+            assert!(tuple_rows.is_empty(), "cutoff 0 must produce no joins");
+        } else {
+            assert!(!tuple_rows.is_empty(), "cutoff {cutoff} must produce joins");
+        }
+    }
+}
+
+/// A read fault landing mid-batch defers: the scan delivers the rows it
+/// decoded before the fault, and the *next* call raises the error. Both
+/// modes see the same rows before the same error.
+#[test]
+fn mid_batch_fault_is_deferred_to_the_next_call() {
+    let catalog = CatalogBuilder::new(SystemConfig::paper_1994())
+        .relation("r", 600, 512, |r| r.attr("a", 600.0))
+        .build()
+        .unwrap();
+    let db = StoredDatabase::generate(&catalog, 3);
+    let rel = catalog.relation_by_name("r").unwrap();
+    let mut b = PlanNodeBuilder::new();
+    let plan = node(&mut b, PhysicalOp::FileScan { relation: rel.id }, vec![]);
+    let env = Environment::dynamic_compile_time(&catalog.config);
+    let bindings = Bindings::new();
+
+    // Tuple mode: count rows delivered before the fault surfaces.
+    db.disk.set_fault_plan(FaultPlan::parse("nth-read=2").unwrap());
+    let ctx = ExecContext::new(SharedCounters::new()).with_mode(ExecMode::Tuple);
+    let mut op = compile_dynamic_plan(&plan, &db, &catalog, &env, &bindings, 64 * 2048, &ctx).unwrap();
+    let mut tuple_rows = Vec::new();
+    let tuple_err = loop {
+        match op.next() {
+            Ok(Some(row)) => tuple_rows.push(row),
+            Ok(None) => panic!("fault never surfaced in tuple mode"),
+            Err(e) => break e,
+        }
+    };
+    op.close();
+    assert!(!tuple_rows.is_empty(), "page 1 rows must precede the page-2 fault");
+
+    // Batch mode: a huge max_rows spans the faulting page, so the first
+    // call returns page 1's rows and stashes the error for the second.
+    db.disk.set_fault_plan(FaultPlan::parse("nth-read=2").unwrap());
+    let ctx = ExecContext::new(SharedCounters::new()).with_mode(ExecMode::Batch);
+    let mut op = compile_dynamic_plan(&plan, &db, &catalog, &env, &bindings, 64 * 2048, &ctx).unwrap();
+    let first = op
+        .next_batch(10_000)
+        .expect("first batch precedes the fault")
+        .expect("first batch is non-empty");
+    let batch_rows = first.to_tuples();
+    let batch_err = op.next_batch(10_000).expect_err("deferred fault surfaces on the next call");
+    op.close();
+    db.disk.set_fault_plan(FaultPlan::none());
+
+    assert_eq!(tuple_rows, batch_rows, "pre-fault rows diverged across modes");
+    assert_eq!(classify(&tuple_err), classify(&batch_err), "error classes diverged");
+    assert_eq!(classify(&batch_err), "storage");
+}
+
+/// Row-budget refusals at batch boundaries: a budget that exactly covers
+/// the result admits both modes with identical summaries; a budget one
+/// row short refuses both with the same resource class (the batch path
+/// checks its budget per batch, never overshooting past a boundary).
+#[test]
+fn row_budget_refusals_are_mode_independent_at_batch_boundaries() {
+    let catalog = CatalogBuilder::new(SystemConfig::paper_1994())
+        .relation("r", 500, 512, |r| r.attr("a", 500.0))
+        .build()
+        .unwrap();
+    let db = StoredDatabase::generate(&catalog, 9);
+    let rel = catalog.relation_by_name("r").unwrap();
+    let q = LogicalExpr::get(rel.id);
+    let env = Environment::dynamic_compile_time(&catalog.config);
+    let plan = Optimizer::new(&catalog, &env).optimize(&q).unwrap().plan;
+    let bindings = Bindings::new();
+
+    for (max_rows, should_pass) in [(500u64, true), (499, false), (1, false)] {
+        let limits = ResourceLimits {
+            max_rows: Some(max_rows),
+            ..ResourceLimits::unlimited()
+        };
+        let mut outcomes = Vec::new();
+        for mode in [ExecMode::Tuple, ExecMode::Batch] {
+            let result =
+                execute_plan_mode(&plan, &db, &catalog, &env, &bindings, limits, mode);
+            outcomes.push(match result {
+                Ok((s, _)) => format!("ok:{}:{:?}:{:?}", s.rows, s.io, s.cpu),
+                Err(e) => format!("err:{}", classify(&e)),
+            });
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "max_rows={max_rows} diverged across modes"
+        );
+        if should_pass {
+            assert!(outcomes[0].starts_with("ok:500:"), "budget {max_rows} should admit");
+        } else {
+            assert_eq!(outcomes[0], "err:resource:rows", "budget {max_rows} should refuse");
+        }
+    }
+}
+
 /// Injected mid-scan faults trip at the same accounted read in both
 /// modes (batch scans charge I/O page by page, in the same order).
 #[test]
