@@ -1,0 +1,108 @@
+//! Emits `BENCH_live.json`: wall-clock comparison of incremental
+//! live-view refresh against full re-materialization after every commit.
+//!
+//! Usage: `bench_live [--quick] [OUT_PATH]` (default `BENCH_live.json`).
+//!
+//! Gates:
+//! * **small_delta**: incremental refresh at least 5x faster than the
+//!   full re-run total, and zero drift re-arbitrations (the deltas are
+//!   far too small to escape the tolerance band — a re-fire would mean
+//!   the damping regressed and every commit paid a full rebuild).
+//!
+//! Parity of the two paths is asserted inside the measurement itself, so
+//! a passing gate is a speedup on *correct* contents.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use dqep_bench::live_bench::live_cases;
+
+/// Minimum incremental-over-full speedup.
+const SPEEDUP_GATE: f64 = 5.0;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_live.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let (scale, commits) = if quick { (4_000, 8) } else { (24_000, 20) };
+    println!("live bench: scale={scale} commits={commits}");
+    let cases = live_cases(scale, commits, 11);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"commits\": {commits},");
+    let _ = writeln!(json, "  \"cases\": {{");
+
+    let mut failures = Vec::new();
+    println!(
+        "{:<12} {:>10} {:>10} {:>14} {:>14} {:>9} {:>7}",
+        "case", "base", "view", "incr_s", "full_s", "speedup", "rearbs"
+    );
+    for (ci, case) in cases.iter().enumerate() {
+        let m = case.measure();
+        println!(
+            "{:<12} {:>10} {:>10} {:>14.6} {:>14.6} {:>9.1} {:>7}",
+            case.name,
+            m.base_rows,
+            m.view_rows,
+            m.incremental_seconds,
+            m.full_seconds,
+            m.speedup(),
+            m.rearbitrations
+        );
+        if m.speedup() < SPEEDUP_GATE {
+            failures.push(format!(
+                "{}: speedup {:.2} below the {SPEEDUP_GATE:.1}x gate",
+                case.name,
+                m.speedup()
+            ));
+        }
+        if m.rearbitrations != 0 {
+            failures.push(format!(
+                "{}: {} drift re-arbitration(s) on a stable workload",
+                case.name, m.rearbitrations
+            ));
+        }
+        let comma = if ci + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"base_rows\": {}, \"view_rows\": {}, \
+             \"delta_rows_per_commit\": {}, \"incremental_seconds\": {:.9}, \
+             \"full_seconds\": {:.9}, \"speedup\": {:.3}, \"rearbitrations\": {} }}{comma}",
+            case.name,
+            m.base_rows,
+            m.view_rows,
+            case.delta_rows,
+            m.incremental_seconds,
+            m.full_seconds,
+            m.speedup(),
+            m.rearbitrations
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"gate\": {{ \"min_speedup\": {SPEEDUP_GATE}, \"max_rearbitrations\": 0 }}");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::from(1);
+    }
+    println!("wrote {out_path}");
+
+    if failures.is_empty() {
+        println!("gates passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("GATE FAILED: {f}");
+        }
+        ExitCode::from(2)
+    }
+}

@@ -277,6 +277,18 @@ impl Catalog {
     }
 
     /// Installs (or replaces) a value-distribution histogram for `attr`.
+    /// Updates a relation's cardinality statistic. The refresh hook for
+    /// mutable storage: after a write batch, `StoredDatabase::refresh_stats`
+    /// pushes live record counts through here so bind-time arbitration and
+    /// drift checks cost against post-write cardinalities instead of the
+    /// load-time snapshot.
+    ///
+    /// # Panics
+    /// Panics on an unknown relation id.
+    pub fn set_cardinality(&mut self, rel: RelationId, cardinality: u64) {
+        self.relations[rel.0 as usize].stats.cardinality = cardinality;
+    }
+
     /// Histograms refine the selectivity estimates of *bound* predicates;
     /// without one, the uniform-domain model applies.
     pub fn set_histogram(&mut self, attr: AttrId, histogram: Histogram) {

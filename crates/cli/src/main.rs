@@ -51,6 +51,20 @@
 //!   --metrics-json PATH write the service metrics snapshot (latency
 //!                       histograms, cache rates, refusal counters) as
 //!                       JSON on shutdown; `-` prints it to stdout
+//!
+//! Live views (instead of --sql / --serve):
+//!   --live FILE         run a live workload: register views, interleave
+//!                       insert/delete batches with reads, and keep every
+//!                       view incrementally consistent (drift re-fires
+//!                       choose-plan arbitration). Lines:
+//!                         view NAME = SQL [@ v1=40,...]
+//!                         insert REL v1 v2 ...  /  delete REL v1 v2 ...
+//!                         commit  /  read NAME
+//!   --explain-json PATH write the EXPLAIN ANALYZE JSON of the most
+//!                       recently registered view's materialization;
+//!                       `-` prints it to stdout
+//!                       (--metrics-json and the robustness flags apply
+//!                       to --live as well)
 //! ```
 //!
 //! Exit codes distinguish failure classes — see [`dqep::DqepError`].
@@ -66,7 +80,10 @@ use dqep_executor::{
     execute_plan_traced, explain_json, render_explain, ExecMode, ReoptConfig, ResourceLimits,
 };
 use dqep_plan::{evaluate_startup, render_plan, to_dot};
-use dqep_service::{QueryService, Request, ServiceConfig};
+use dqep_service::{
+    LiveConfig, LiveViewRegistry, MetricsRegistry, QueryService, Request, ServiceConfig,
+    ServiceStats, WriteOp,
+};
 use dqep_sql::parse_query;
 use dqep_storage::{install_histograms, FaultPlan, StoredDatabase, ValueDistribution};
 
@@ -93,6 +110,8 @@ struct Args {
     max_io: Option<u64>,
     timeout_ms: Option<u64>,
     serve: Option<String>,
+    live: Option<String>,
+    explain_json_path: Option<String>,
     dop: usize,
     workers: usize,
     repeat: usize,
@@ -130,6 +149,8 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         max_io: None,
         timeout_ms: None,
         serve: None,
+        live: None,
+        explain_json_path: None,
         dop: 1,
         workers: 4,
         repeat: 1,
@@ -279,6 +300,14 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
                 args.serve = Some(value(argv, i, "--serve")?);
                 i += 2;
             }
+            "--live" => {
+                args.live = Some(value(argv, i, "--live")?);
+                i += 2;
+            }
+            "--explain-json" => {
+                args.explain_json_path = Some(value(argv, i, "--explain-json")?);
+                i += 2;
+            }
             "--dop" => {
                 args.dop = value(argv, i, "--dop")?
                     .parse()
@@ -328,11 +357,13 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.sql.is_empty() && args.serve.is_none() {
-        return Err("--sql (or --serve FILE) is required".to_string());
+    if args.sql.is_empty() && args.serve.is_none() && args.live.is_none() {
+        return Err("--sql (or --serve FILE, or --live FILE) is required".to_string());
     }
-    if !args.sql.is_empty() && args.serve.is_some() {
-        return Err("--sql and --serve are mutually exclusive".to_string());
+    let modes =
+        [!args.sql.is_empty(), args.serve.is_some(), args.live.is_some()].iter().filter(|&&m| m).count();
+    if modes > 1 {
+        return Err("--sql, --serve, and --live are mutually exclusive".to_string());
     }
     if args.mode != "dynamic" && args.mode != "static" {
         return Err(format!("--mode must be dynamic or static, got `{}`", args.mode));
@@ -342,8 +373,8 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         || args.max_rows.is_some()
         || args.max_io.is_some()
         || args.timeout_ms.is_some();
-    if governed && !args.run {
-        return Err("--fault-plan and resource limits require --run".to_string());
+    if governed && !args.run && args.live.is_none() {
+        return Err("--fault-plan and resource limits require --run (or --live)".to_string());
     }
     if args.explain_analyze && args.adaptive {
         return Err("--explain-analyze and --adaptive are mutually exclusive".to_string());
@@ -360,8 +391,15 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
     if args.json && !args.explain_analyze {
         return Err("--json requires --explain-analyze".to_string());
     }
-    if args.metrics_json.is_some() && args.serve.is_none() {
-        return Err("--metrics-json requires --serve".to_string());
+    if args.metrics_json.is_some() && args.serve.is_none() && args.live.is_none() {
+        return Err("--metrics-json requires --serve or --live".to_string());
+    }
+    if args.explain_json_path.is_some() && args.live.is_none() {
+        return Err("--explain-json requires --live".to_string());
+    }
+    if args.live.is_some() && (args.explain_analyze || args.adaptive || args.reopt) {
+        return Err("--live has its own execution mode; drop --explain-analyze/--adaptive/--reopt"
+            .to_string());
     }
     Ok(args)
 }
@@ -380,6 +418,9 @@ fn run() -> Result<(), DqepError> {
     let args = parse_args().map_err(DqepError::Usage)?;
     if args.serve.is_some() {
         return serve(&args);
+    }
+    if args.live.is_some() {
+        return run_live(&args);
     }
     let mut catalog = make_chain_catalog(
         &SyntheticSpec::paper(args.relations, args.seed),
@@ -592,6 +633,247 @@ fn run() -> Result<(), DqepError> {
         return Err(DqepError::Usage(
             "--run needs --bind for every host variable".to_string(),
         ));
+    }
+    Ok(())
+}
+
+
+/// One line of a `--live` workload file.
+#[derive(Debug, Clone, PartialEq)]
+enum LiveCmd {
+    /// `view NAME = SQL [@ name=value,...]`
+    View {
+        name: String,
+        sql: String,
+        binds: Vec<(String, i64)>,
+    },
+    /// `insert REL v1 v2 ...` / `delete REL v1 v2 ...`
+    Write {
+        delete: bool,
+        relation: String,
+        values: Vec<i64>,
+    },
+    /// `commit` — apply the pending write batch to storage and views.
+    Commit,
+    /// `read NAME` — print the view's current cardinality.
+    Read { name: String },
+}
+
+/// Parses a `--live` workload file: `view`/`insert`/`delete`/`commit`/
+/// `read` lines, `#` comments and blanks skipped.
+fn parse_live(text: &str) -> Result<Vec<LiveCmd>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: String| format!("line {}: {m}", idx + 1);
+        let (word, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match word {
+            "view" => {
+                let (name, stmt) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err("view expects `view NAME = SQL`".into()))?;
+                let (sql, bind_text) = match stmt.rsplit_once('@') {
+                    Some((sql, b)) => (sql.trim(), b.trim()),
+                    None => (stmt.trim(), ""),
+                };
+                let mut binds = Vec::new();
+                for pair in bind_text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                    let (n, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("binding `{pair}` is not NAME=VALUE")))?;
+                    binds.push((
+                        n.trim().to_string(),
+                        v.trim().parse().map_err(|e| err(format!("{n}: {e}")))?,
+                    ));
+                }
+                out.push(LiveCmd::View {
+                    name: name.trim().to_string(),
+                    sql: sql.to_string(),
+                    binds,
+                });
+            }
+            "insert" | "delete" => {
+                let mut parts = rest.split_whitespace();
+                let relation = parts
+                    .next()
+                    .ok_or_else(|| err(format!("{word} expects `{word} REL v1 v2 ...`")))?
+                    .to_string();
+                let values: Vec<i64> = parts
+                    .map(|v| v.parse().map_err(|e| err(format!("{v}: {e}"))))
+                    .collect::<Result<_, _>>()?;
+                if values.is_empty() {
+                    return Err(err(format!("{word} {relation}: no values")));
+                }
+                out.push(LiveCmd::Write {
+                    delete: word == "delete",
+                    relation,
+                    values,
+                });
+            }
+            "commit" => out.push(LiveCmd::Commit),
+            "read" => {
+                if rest.is_empty() {
+                    return Err(err("read expects a view name".into()));
+                }
+                out.push(LiveCmd::Read { name: rest.to_string() });
+            }
+            other => return Err(err(format!("unknown live command `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Runs a `--live` workload: registers views against an owned mutable
+/// database, applies interleaved write batches through the storage write
+/// path, keeps every view incrementally consistent, and reports drift
+/// re-arbitrations.
+fn run_live(args: &Args) -> Result<(), DqepError> {
+    let path = args.live.as_ref().expect("checked by run()");
+    let text = std::fs::read_to_string(path)?;
+    let cmds = parse_live(&text).map_err(DqepError::Usage)?;
+    if cmds.is_empty() {
+        return Err(DqepError::Usage(format!("{path}: no commands")));
+    }
+
+    let mut catalog = make_chain_catalog(
+        &SyntheticSpec::paper(args.relations, args.seed),
+        SystemConfig::paper_1994(),
+    );
+    let dist = match args.skew {
+        Some(z) => ValueDistribution::Zipf { exponent: z },
+        None => ValueDistribution::Uniform,
+    };
+    let db = StoredDatabase::generate_with(&catalog, args.seed, dist);
+    let buckets = args.histograms.unwrap_or(16);
+    install_histograms(&db, &mut catalog, buckets)?;
+
+    let env = if args.mode == "static" {
+        Environment::static_compile_time(&catalog.config)
+    } else {
+        Environment::dynamic_compile_time(&catalog.config)
+    };
+    let metrics = std::sync::Arc::new(MetricsRegistry::new());
+    let config = LiveConfig {
+        limits: ResourceLimits {
+            memory_bytes: args.memory_limit,
+            max_rows: args.max_rows,
+            max_io: args.max_io,
+            wall_clock_ms: args.timeout_ms,
+        },
+        dop: args.dop,
+        histogram_buckets: buckets,
+        ..LiveConfig::default()
+    };
+    let mut registry =
+        LiveViewRegistry::new(catalog, db, env, config, std::sync::Arc::clone(&metrics));
+    if let Some(spec) = &args.fault_plan {
+        let plan =
+            FaultPlan::parse(spec).map_err(|e| DqepError::Usage(format!("--fault-plan: {e}")))?;
+        registry.database_mut().disk.set_fault_plan(plan);
+        eprintln!("fault plan armed: {spec}");
+    }
+
+    let mut pending: Vec<WriteOp> = Vec::new();
+    let flush = |registry: &mut LiveViewRegistry,
+                     pending: &mut Vec<WriteOp>|
+     -> Result<(), DqepError> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let outcome = registry.commit(pending)?;
+        println!(
+            "-- commit: {}/{} op(s) applied, {} delta row(s) propagated, \
+             {} re-arbitration(s), {} plan switch(es), {} fallback(s){}",
+            outcome.applied,
+            outcome.attempted,
+            outcome.rows_propagated,
+            outcome.rearbitrations,
+            outcome.plan_switches,
+            outcome.fallbacks,
+            match &outcome.storage_error {
+                Some(e) => format!(" — batch cut short by storage fault: {e}"),
+                None => String::new(),
+            },
+        );
+        pending.clear();
+        Ok(())
+    };
+
+    for cmd in &cmds {
+        match cmd {
+            LiveCmd::View { name, sql, binds } => {
+                // Writes before a registration must be visible to it.
+                flush(&mut registry, &mut pending)?;
+                let binds: Vec<(&str, i64)> =
+                    binds.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                registry.register(name, sql, &binds)?;
+                let rows = registry.snapshot(name).map(|r| r.len()).unwrap_or(0);
+                println!("-- view {name}: registered, {rows} row(s) materialized");
+            }
+            LiveCmd::Write { delete, relation, values } => {
+                let rel = registry
+                    .catalog()
+                    .relation_by_name(relation)
+                    .map_err(|e| DqepError::Usage(e.to_string()))?
+                    .id;
+                pending.push(if *delete {
+                    WriteOp::Delete { relation: rel, values: values.clone() }
+                } else {
+                    WriteOp::Insert { relation: rel, values: values.clone() }
+                });
+            }
+            LiveCmd::Commit => flush(&mut registry, &mut pending)?,
+            LiveCmd::Read { name } => match registry.snapshot(name) {
+                Some(rows) => println!("-- read {name}: {} row(s)", rows.len()),
+                None => return Err(DqepError::Usage(format!("unknown view `{name}`"))),
+            },
+        }
+    }
+    // A trailing uncommitted batch is committed, not dropped.
+    flush(&mut registry, &mut pending)?;
+
+    let views = registry.views();
+    println!(
+        "\n-- {} view(s), {} delta batch(es), {} row(s) propagated, {} re-arbitration(s)",
+        metrics.live_views_registered(),
+        metrics.live_delta_batches(),
+        metrics.live_rows_propagated(),
+        metrics.live_rearbitrations(),
+    );
+    for v in &views {
+        println!(
+            "--   {}: {} row(s), decisions {:?}, {} re-arbitration(s), {} fallback(s)",
+            v.name, v.rows, v.decisions, v.rearbitrations, v.fallbacks
+        );
+    }
+
+    if let Some(dest) = args.explain_json_path.as_deref() {
+        let last = views
+            .last()
+            .ok_or_else(|| DqepError::Usage("no view registered for --explain-json".into()))?;
+        let doc = registry
+            .explain_json(&last.name)
+            .expect("registered views have a materialization trace");
+        match dest {
+            "-" => println!("{doc}"),
+            path => {
+                std::fs::write(path, doc)?;
+                eprintln!("wrote EXPLAIN ANALYZE JSON of view `{}` to {path}", last.name);
+            }
+        }
+    }
+    let report = metrics.report(ServiceStats::default()).to_json();
+    match args.metrics_json.as_deref() {
+        None => {}
+        Some("-") => println!("\n-- metrics (shutdown snapshot):\n{report}"),
+        Some(path) => {
+            std::fs::write(path, &report)?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
     }
     Ok(())
 }
@@ -875,6 +1157,61 @@ mod tests {
         ] {
             assert!(parse_argv(&argv(&flags)).unwrap_err().contains("--run"));
         }
+    }
+
+    #[test]
+    fn parses_live_flags() {
+        let a = parse_argv(&argv(&[
+            "--live", "w.live", "--relations", "2", "--fault-plan", "nth-write=3",
+            "--metrics-json", "m.json", "--explain-json", "e.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.live.as_deref(), Some("w.live"));
+        assert_eq!(a.explain_json_path.as_deref(), Some("e.json"));
+        assert_eq!(a.metrics_json.as_deref(), Some("m.json"));
+        // Mode exclusivity and flag dependencies.
+        assert!(parse_argv(&argv(&["--sql", "q", "--live", "w"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse_argv(&argv(&["--serve", "s", "--live", "w"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse_argv(&argv(&["--sql", "q", "--explain-json", "e"]))
+            .unwrap_err()
+            .contains("--live"));
+        assert!(parse_argv(&argv(&["--live", "w", "--reopt"]))
+            .unwrap_err()
+            .contains("--live"));
+    }
+
+    #[test]
+    fn parses_live_workload_files() {
+        let cmds = parse_live(
+            "# demo\n             view hot = SELECT * FROM R1 WHERE R1.a < :v @ v=50\n             insert R1 1 2 3\n             delete R1 1 2 3\n             commit\n             read hot\n",
+        )
+        .unwrap();
+        assert_eq!(cmds.len(), 5);
+        assert_eq!(
+            cmds[0],
+            LiveCmd::View {
+                name: "hot".into(),
+                sql: "SELECT * FROM R1 WHERE R1.a < :v".into(),
+                binds: vec![("v".into(), 50)],
+            }
+        );
+        assert_eq!(
+            cmds[1],
+            LiveCmd::Write { delete: false, relation: "R1".into(), values: vec![1, 2, 3] }
+        );
+        assert_eq!(
+            cmds[2],
+            LiveCmd::Write { delete: true, relation: "R1".into(), values: vec![1, 2, 3] }
+        );
+        assert_eq!(cmds[3], LiveCmd::Commit);
+        assert_eq!(cmds[4], LiveCmd::Read { name: "hot".into() });
+        assert!(parse_live("view broken").unwrap_err().contains("NAME = SQL"));
+        assert!(parse_live("insert R1").unwrap_err().contains("no values"));
+        assert!(parse_live("frobnicate").unwrap_err().contains("unknown live command"));
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn pred_value(pred: &SelectPred, bindings: &Bindings) -> Result<i64, ExecError> 
     }
 }
 
-fn resolve_pred(
+pub(crate) fn resolve_pred(
     pred: &SelectPred,
     layout: &TupleLayout,
     bindings: &Bindings,
@@ -46,7 +46,7 @@ fn resolve_pred(
 
 /// Orients a join predicate so its first position indexes `left` and its
 /// second indexes `right`.
-fn orient(
+pub(crate) fn orient(
     pred: &JoinPred,
     left: &TupleLayout,
     right: &TupleLayout,

@@ -43,6 +43,7 @@ pub mod adaptive;
 mod batch;
 mod choose;
 mod compile;
+mod delta;
 mod error;
 mod exchange;
 mod exec;
@@ -66,6 +67,7 @@ pub use compile::{
     compile_plan, execute_plan, execute_plan_dop, execute_plan_mode, execute_plan_traced,
     execute_plan_with, run_compiled, run_dynamic,
 };
+pub use delta::{compile_delta_plan, BaseDeltas, Delta, DeltaPipeline};
 pub use error::{ExecError, Resource};
 pub use exchange::{parallel_scan, ExchangeExec};
 pub use exec::{drain, drain_batch, BoxedOperator, Operator};
@@ -77,8 +79,9 @@ pub use governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
 pub use hash_join::{fold_hash_column, hash_key, mix, HASH_SEED};
 pub use metrics::{CpuCounters, ExecSummary, PlanCacheInfo, SharedCounters};
 pub use reopt::{
-    execute_plan_reopt, execute_plan_reopt_ctx, execute_plan_reopt_traced, MaterializedScanExec,
-    ReoptConfig, ReoptCounters, ReoptEvent, ReoptEventKind, ReoptOutcome, ReoptReport, ReoptState,
+    escapes_interval, execute_plan_reopt, execute_plan_reopt_ctx, execute_plan_reopt_traced,
+    MaterializedScanExec, ReoptConfig, ReoptCounters, ReoptEvent, ReoptEventKind, ReoptOutcome,
+    ReoptReport, ReoptState,
 };
 pub use trace::{
     AltAudit, AttemptAudit, ChooseAudit, NodeEstimate, SpanId, SpanRecord, SpanStats,

@@ -220,9 +220,13 @@ pub struct ReoptState {
     inner: Mutex<ReoptInner>,
 }
 
-/// Same escape semantics as the EXPLAIN ANALYZE cardinality drift check:
-/// absolute slack of half a row (rounding) plus a hair of relative slack.
-fn escapes_interval(actual: f64, card: Interval) -> bool {
+/// Whether an observed cardinality falls outside a bind-time interval —
+/// the trigger both for mid-query re-optimization and for live-view
+/// re-arbitration. Same escape semantics as the EXPLAIN ANALYZE
+/// cardinality drift check: absolute slack of half a row (rounding) plus
+/// a hair of relative slack.
+#[must_use]
+pub fn escapes_interval(actual: f64, card: Interval) -> bool {
     let slack = 0.5 + 1e-9 * card.hi().abs().max(1.0);
     actual < card.lo() - slack || actual > card.hi() + slack
 }

@@ -34,6 +34,7 @@
 pub mod admission;
 pub mod decision;
 mod error;
+pub mod live;
 mod metrics;
 pub mod registry;
 mod service;
@@ -41,6 +42,7 @@ mod service;
 pub use admission::{MemoryGrant, MemoryPool};
 pub use decision::{region_key, CachedDecision, RegionKey};
 pub use error::ServiceError;
+pub use live::{CommitOutcome, LiveConfig, LiveViewInfo, LiveViewRegistry, WriteOp};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport};
 pub use registry::{normalize_sql, PreparedRegistry, PreparedStatement, RegistryStats};
 pub use service::{

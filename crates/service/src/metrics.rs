@@ -132,6 +132,8 @@ pub struct MetricsRegistry {
     /// Time successful sessions spent queued before a worker picked them
     /// up (admission wait).
     pub queue_wait: Histogram,
+    /// Per-commit incremental refresh latency across all live views.
+    pub live_refresh: Histogram,
     refused_admission_timeout: AtomicU64,
     refused_grant_too_large: AtomicU64,
     admission_retries: AtomicU64,
@@ -139,6 +141,10 @@ pub struct MetricsRegistry {
     reopt_escapes: AtomicU64,
     reopt_replans: AtomicU64,
     reopt_fallbacks: AtomicU64,
+    live_views_registered: AtomicU64,
+    live_delta_batches: AtomicU64,
+    live_rows_propagated: AtomicU64,
+    live_rearbitrations: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -227,6 +233,71 @@ impl MetricsRegistry {
     pub fn reopt_fallbacks(&self) -> u64 {
         self.reopt_fallbacks.load(Ordering::Relaxed)
     }
+
+    /// Counts one live view registered (and materialized).
+    pub fn record_live_view(&self) {
+        self.live_views_registered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one committed write batch propagated through a live view,
+    /// with the delta rows it produced at the view's root.
+    pub fn record_live_batch(&self, rows_propagated: u64) {
+        self.live_delta_batches.fetch_add(1, Ordering::Relaxed);
+        self.live_rows_propagated.fetch_add(rows_propagated, Ordering::Relaxed);
+    }
+
+    /// Counts one drift-triggered choose-plan re-arbitration of a live
+    /// view.
+    pub fn record_live_rearbitration(&self) {
+        self.live_rearbitrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Live views registered.
+    #[must_use]
+    pub fn live_views_registered(&self) -> u64 {
+        self.live_views_registered.load(Ordering::Relaxed)
+    }
+
+    /// Delta batches applied to live views.
+    #[must_use]
+    pub fn live_delta_batches(&self) -> u64 {
+        self.live_delta_batches.load(Ordering::Relaxed)
+    }
+
+    /// Delta rows emitted at live-view roots.
+    #[must_use]
+    pub fn live_rows_propagated(&self) -> u64 {
+        self.live_rows_propagated.load(Ordering::Relaxed)
+    }
+
+    /// Drift-triggered re-arbitrations fired by live views.
+    #[must_use]
+    pub fn live_rearbitrations(&self) -> u64 {
+        self.live_rearbitrations.load(Ordering::Relaxed)
+    }
+
+    /// A full [`MetricsReport`] combining this registry's collectors with
+    /// the given session/cache accounting.
+    #[must_use]
+    pub fn report(&self, service: ServiceStats) -> MetricsReport {
+        MetricsReport {
+            latency: self.latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            refused_admission_timeout: self.refused_admission_timeout(),
+            refused_grant_too_large: self.refused_grant_too_large(),
+            admission_retries: self.admission_retries(),
+            reopt_checkpoints: self.reopt_checkpoints(),
+            reopt_escapes: self.reopt_escapes(),
+            reopt_replans: self.reopt_replans(),
+            reopt_fallbacks: self.reopt_fallbacks(),
+            live_views_registered: self.live_views_registered(),
+            live_delta_batches: self.live_delta_batches(),
+            live_rows_propagated: self.live_rows_propagated(),
+            live_rearbitrations: self.live_rearbitrations(),
+            live_refresh: self.live_refresh.snapshot(),
+            service,
+        }
+    }
 }
 
 /// Everything the service exports on shutdown (and on demand): histogram
@@ -251,6 +322,16 @@ pub struct MetricsReport {
     pub reopt_replans: u64,
     /// Re-planned runs that reverted to the original arbitration.
     pub reopt_fallbacks: u64,
+    /// Live views registered.
+    pub live_views_registered: u64,
+    /// Delta batches applied to live views.
+    pub live_delta_batches: u64,
+    /// Delta rows emitted at live-view roots.
+    pub live_rows_propagated: u64,
+    /// Drift-triggered re-arbitrations fired by live views.
+    pub live_rearbitrations: u64,
+    /// Per-commit incremental refresh latency across live views.
+    pub live_refresh: HistogramSnapshot,
     /// Session totals and cache counters.
     pub service: ServiceStats,
 }
@@ -326,9 +407,20 @@ impl MetricsReport {
         let _ = writeln!(
             out,
             "  \"reopt\": {{\"checkpoints\": {}, \"escapes\": {}, \"replans\": {}, \
-             \"fallbacks\": {}}}",
+             \"fallbacks\": {}}},",
             self.reopt_checkpoints, self.reopt_escapes, self.reopt_replans, self.reopt_fallbacks,
         );
+        let _ = writeln!(
+            out,
+            "  \"live\": {{\"views_registered\": {}, \"delta_batches\": {}, \
+             \"rows_propagated\": {}, \"rearbitrations\": {}}},",
+            self.live_views_registered,
+            self.live_delta_batches,
+            self.live_rows_propagated,
+            self.live_rearbitrations,
+        );
+        histogram_json(&mut out, "live_refresh_seconds", &self.live_refresh);
+        out.push('\n');
         out.push('}');
         out
     }
@@ -406,18 +498,11 @@ mod tests {
             fallbacks: 1,
             ..Default::default()
         });
-        let report = MetricsReport {
-            latency: m.latency.snapshot(),
-            queue_wait: m.queue_wait.snapshot(),
-            refused_admission_timeout: m.refused_admission_timeout(),
-            refused_grant_too_large: m.refused_grant_too_large(),
-            admission_retries: m.admission_retries(),
-            reopt_checkpoints: m.reopt_checkpoints(),
-            reopt_escapes: m.reopt_escapes(),
-            reopt_replans: m.reopt_replans(),
-            reopt_fallbacks: m.reopt_fallbacks(),
-            service: ServiceStats::default(),
-        };
+        m.record_live_view();
+        m.record_live_batch(7);
+        m.record_live_rearbitration();
+        m.live_refresh.record(Duration::from_micros(40));
+        let report = m.report(ServiceStats::default());
         let json = report.to_json();
         let doc = dqep_executor::parse_json(&json).expect("valid JSON");
         assert_eq!(

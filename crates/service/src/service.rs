@@ -364,18 +364,7 @@ impl QueryService {
     /// counters, plus the session/cache accounting of [`Self::stats`].
     #[must_use]
     pub fn metrics(&self) -> MetricsReport {
-        MetricsReport {
-            latency: self.metrics.latency.snapshot(),
-            queue_wait: self.metrics.queue_wait.snapshot(),
-            refused_admission_timeout: self.metrics.refused_admission_timeout(),
-            refused_grant_too_large: self.metrics.refused_grant_too_large(),
-            admission_retries: self.metrics.admission_retries(),
-            reopt_checkpoints: self.metrics.reopt_checkpoints(),
-            reopt_escapes: self.metrics.reopt_escapes(),
-            reopt_replans: self.metrics.reopt_replans(),
-            reopt_fallbacks: self.metrics.reopt_fallbacks(),
-            service: self.stats(),
-        }
+        self.metrics.report(self.stats())
     }
 
     /// [`Self::metrics`] serialized as a JSON document.

@@ -188,12 +188,47 @@ pub fn install_histograms(
     Ok(())
 }
 
+/// Rebuilds every histogram from the current (post-mutation) table
+/// contents using **unaccounted** reads — maintenance I/O, like index
+/// construction — and without resetting the disk's I/O statistics. The
+/// live-view engine calls this alongside [`StoredDatabase::refresh_stats`]
+/// so re-arbitration after drift costs against the mutated value
+/// distribution, while per-refresh I/O metrics stay untouched.
+pub fn refresh_histograms(db: &StoredDatabase, catalog: &mut Catalog, buckets: usize) {
+    let rel_ids: Vec<RelationId> = catalog.relations().iter().map(|r| r.id).collect();
+    for rel_id in rel_ids {
+        let table = db.table(rel_id);
+        let mut columns: Vec<Vec<i64>> = vec![Vec::new(); table.n_attrs];
+        for &pid in table.heap.pages() {
+            let page = crate::SlottedPage::from_bytes(db.disk.read_unaccounted(pid));
+            for record in page.iter() {
+                for (i, v) in decode_record(record, table.n_attrs).into_iter().enumerate() {
+                    columns[i].push(v);
+                }
+            }
+        }
+        for (i, column) in columns.into_iter().enumerate() {
+            if let Some(h) = Histogram::build(column, buckets) {
+                catalog.set_histogram(
+                    dqep_catalog::AttrId { relation: rel_id, index: i as u32 },
+                    h,
+                );
+            }
+        }
+    }
+}
+
 /// A fully loaded synthetic database.
 #[derive(Debug)]
 pub struct StoredDatabase {
     /// The shared simulated disk (query I/O is read off its stats).
     pub disk: SimDisk,
     tables: HashMap<RelationId, StoredTable>,
+    /// Committed mutations since load (inserts + deletes). Catalog
+    /// statistics derived from this database are stale whenever their
+    /// refresh epoch lags this counter — see
+    /// [`StoredDatabase::refresh_stats`].
+    mutations: u64,
 }
 
 impl StoredDatabase {
@@ -296,7 +331,123 @@ impl StoredDatabase {
             );
         }
         disk.reset_stats();
-        StoredDatabase { disk, tables }
+        StoredDatabase { disk, tables, mutations: 0 }
+    }
+
+    /// Inserts a row into `rel` through the accounted heap write path and
+    /// updates every index on the relation. The heap write is charged and
+    /// faultable; index maintenance (like index construction) is
+    /// unaccounted and happens only after the heap write succeeds, so a
+    /// faulted insert leaves heap and indexes consistent.
+    ///
+    /// The catalog is *not* updated here — call
+    /// [`StoredDatabase::refresh_stats`] after a write batch commits.
+    ///
+    /// # Errors
+    /// Page-write failures from the heap layer (injected faults included).
+    ///
+    /// # Panics
+    /// Panics on an unknown relation or a wrong-arity row.
+    pub fn insert(
+        &mut self,
+        catalog: &Catalog,
+        rel: RelationId,
+        values: &[i64],
+    ) -> Result<crate::heap::Rid, crate::StorageError> {
+        let table = self
+            .tables
+            .get_mut(&rel)
+            .unwrap_or_else(|| panic!("relation {rel:?} not stored"));
+        assert_eq!(values.len(), table.n_attrs, "row arity mismatch");
+        let record = encode_record(values, table.record_len);
+        let rid = table.heap.insert(&record)?;
+        for (&idx_id, tree) in &mut table.indexes {
+            let key_attr = catalog.index(idx_id).attr.index as usize;
+            tree.insert(values[key_attr], rid);
+        }
+        self.mutations += 1;
+        Ok(rid)
+    }
+
+    /// Deletes the first stored row of `rel` whose attribute values equal
+    /// `values`, returning its rid (`None` when no row matches). The row
+    /// is located through the lowest-numbered index when one exists
+    /// (accounted probe + record fetches) or an accounted heap scan
+    /// otherwise; the tombstoning write is accounted and faultable; index
+    /// entries are unhooked (unaccounted) only after the write succeeds.
+    ///
+    /// # Errors
+    /// Page access failures, including injected faults, from the locate
+    /// read or the tombstone write.
+    ///
+    /// # Panics
+    /// Panics on an unknown relation or a wrong-arity row.
+    pub fn delete(
+        &mut self,
+        catalog: &Catalog,
+        rel: RelationId,
+        values: &[i64],
+    ) -> Result<Option<crate::heap::Rid>, crate::StorageError> {
+        let table = self
+            .tables
+            .get_mut(&rel)
+            .unwrap_or_else(|| panic!("relation {rel:?} not stored"));
+        assert_eq!(values.len(), table.n_attrs, "row arity mismatch");
+        let prefix = table.n_attrs * 8;
+        let record = encode_record(values, table.record_len);
+        // Locate the victim: indexed probe when possible, else heap scan.
+        let target = match table.indexes.keys().min().copied() {
+            Some(idx_id) => {
+                let key_attr = catalog.index(idx_id).attr.index as usize;
+                let mut found = None;
+                for rid in table.indexes[&idx_id].lookup(values[key_attr])? {
+                    if table.heap.fetch(rid)?[..prefix] == record[..prefix] {
+                        found = Some(rid);
+                        break;
+                    }
+                }
+                found
+            }
+            None => {
+                let mut found = None;
+                for entry in table.heap.scan_with_rids() {
+                    let (rid, rec) = entry?;
+                    if rec[..prefix] == record[..prefix] {
+                        found = Some(rid);
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        let Some(rid) = target else { return Ok(None) };
+        table.heap.delete(rid)?;
+        for (&idx_id, tree) in &mut table.indexes {
+            let key_attr = catalog.index(idx_id).attr.index as usize;
+            tree.remove(values[key_attr], rid);
+        }
+        self.mutations += 1;
+        Ok(Some(rid))
+    }
+
+    /// Committed mutations since load. Stat consumers compare this against
+    /// the epoch they last refreshed at to detect staleness.
+    #[must_use]
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Pushes live per-relation record counts into the catalog's
+    /// cardinality statistics, returning the mutation epoch the refresh
+    /// covers. This is the invalidation hook that keeps bind-time
+    /// arbitration and drift checks honest after writes: without it,
+    /// `Relation::stats.cardinality` silently reflects the load-time
+    /// snapshot forever.
+    pub fn refresh_stats(&self, catalog: &mut Catalog) -> u64 {
+        for table in self.tables.values() {
+            catalog.set_cardinality(table.relation, table.heap.record_count());
+        }
+        self.mutations
     }
 
     /// The stored table for a relation.
@@ -395,6 +546,86 @@ mod tests {
         let c = StoredDatabase::generate(&cat, 10);
         let rc: Vec<Vec<u8>> = c.table(rel).heap.scan().map(Result::unwrap).collect();
         assert_ne!(ra, rc);
+    }
+
+    #[test]
+    fn write_path_keeps_heap_indexes_and_stats_consistent() {
+        let mut cat = catalog();
+        let mut db = StoredDatabase::generate(&cat, 7);
+        let rel = cat.relation_by_name("r").unwrap().id;
+        assert_eq!(db.mutation_epoch(), 0);
+
+        let rid = db.insert(&cat, rel, &[123, 45]).unwrap();
+        assert_eq!(db.mutation_epoch(), 1);
+        let table = db.table(rel);
+        assert_eq!(table.heap.record_count(), 501);
+        assert_eq!(table.decode(&table.heap.fetch(rid).unwrap()), vec![123, 45]);
+        // Both indexes see the new row.
+        let (idx_a, _) = cat.index_on_attr(cat.relation(rel).attr_id("a").unwrap()).unwrap();
+        assert!(table.indexes[&idx_a].lookup(123).unwrap().contains(&rid));
+
+        // Delete it again by value.
+        let deleted = db.delete(&cat, rel, &[123, 45]).unwrap();
+        assert_eq!(deleted, Some(rid));
+        assert_eq!(db.mutation_epoch(), 2);
+        let table = db.table(rel);
+        assert_eq!(table.heap.record_count(), 500);
+        assert!(!table.indexes[&idx_a].lookup(123).unwrap().contains(&rid));
+        assert_eq!(db.delete(&cat, rel, &[123, 45]).unwrap(), None, "gone");
+
+        // Catalog stats are stale until refreshed.
+        db.insert(&cat, rel, &[7, 8]).unwrap();
+        assert_eq!(cat.relation(rel).stats.cardinality, 500);
+        let epoch = db.refresh_stats(&mut cat);
+        assert_eq!(epoch, db.mutation_epoch());
+        assert_eq!(cat.relation(rel).stats.cardinality, 501);
+    }
+
+    #[test]
+    fn delete_without_index_scans_heap() {
+        let mut cat = catalog();
+        let mut db = StoredDatabase::generate(&cat, 7);
+        let rel = cat.relation_by_name("s").unwrap().id;
+        db.insert(&cat, rel, &[999]).unwrap();
+        assert!(db.delete(&cat, rel, &[999]).unwrap().is_some());
+        assert_eq!(db.table(rel).heap.record_count(), 200);
+        db.refresh_stats(&mut cat);
+        assert_eq!(cat.relation(rel).stats.cardinality, 200);
+    }
+
+    #[test]
+    fn faulted_write_does_not_mutate() {
+        use crate::fault::FaultPlan;
+        let mut cat = catalog();
+        let mut db = StoredDatabase::generate(&cat, 7);
+        let rel = cat.relation_by_name("r").unwrap().id;
+        let mut plan = FaultPlan::none();
+        plan.fail_nth_writes = vec![1];
+        db.disk.set_fault_plan(plan);
+        assert!(db.insert(&cat, rel, &[1, 2]).is_err());
+        db.disk.set_fault_plan(FaultPlan::none());
+        assert_eq!(db.mutation_epoch(), 0);
+        assert_eq!(db.table(rel).heap.record_count(), 500);
+        db.refresh_stats(&mut cat);
+        assert_eq!(cat.relation(rel).stats.cardinality, 500);
+    }
+
+    #[test]
+    fn refresh_histograms_tracks_mutations_without_io_charge() {
+        let mut cat = catalog();
+        let mut db = StoredDatabase::generate(&cat, 7);
+        let rel = cat.relation_by_name("r").unwrap().id;
+        // Skew the data: a burst of identical rows.
+        for _ in 0..200 {
+            db.insert(&cat, rel, &[3, 3]).unwrap();
+        }
+        db.disk.reset_stats();
+        db.refresh_stats(&mut cat);
+        refresh_histograms(&db, &mut cat, 16);
+        assert_eq!(db.disk.stats().total(), 0, "maintenance reads unaccounted");
+        let attr = cat.relation(rel).attr_id("a").unwrap();
+        let h = cat.histogram(attr).expect("histogram installed");
+        assert!(h.total() >= 700, "histogram covers post-write rows");
     }
 
     #[test]

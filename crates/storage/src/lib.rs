@@ -51,7 +51,7 @@ pub use buffer::BufferPool;
 pub use disk::{IoStats, SimDisk};
 pub use error::StorageError;
 pub use fault::FaultPlan;
-pub use gen::{install_histograms, StoredDatabase, StoredTable, ValueDistribution};
+pub use gen::{install_histograms, refresh_histograms, StoredDatabase, StoredTable, ValueDistribution};
 pub use heap::{HeapFile, Rid};
 pub use morsel::{PageClaims, DEFAULT_MORSEL_PAGES};
 pub use page::{PageId, PAGE_SIZE};

@@ -2,14 +2,21 @@
 //!
 //! Layout: a 4-byte header (`n_slots: u16`, `free_end: u16`), a slot array
 //! growing forward from byte 4 (each slot is `offset: u16`, `len: u16`),
-//! and record bytes growing backward from the end of the page. Deletion is
-//! not needed by the experiments and is not implemented; records are
-//! immutable once inserted.
+//! and record bytes growing backward from the end of the page.
+//!
+//! Deletion is **tombstoning**: [`SlottedPage::delete`] marks the slot's
+//! offset with a sentinel and leaves the slot array untouched, so every
+//! later slot keeps its number and record ids stay stable. Record bytes
+//! are not reclaimed — the live-view write path favors rid stability over
+//! space reuse, matching the lazy-deletion B-tree above it.
 
 use crate::page::PAGE_SIZE;
 
 const HEADER: usize = 4;
 const SLOT: usize = 4;
+/// Slot-offset sentinel marking a deleted record. Valid offsets are
+/// strictly below [`PAGE_SIZE`] (2048), so the sentinel is unambiguous.
+const TOMBSTONE: u16 = u16::MAX;
 
 /// An in-memory view over one slotted page's bytes.
 #[derive(Debug)]
@@ -84,19 +91,41 @@ impl SlottedPage {
         Some(n as u16)
     }
 
-    /// The record in `slot`, or `None` when out of range.
+    /// The record in `slot`, or `None` when out of range or deleted.
     #[must_use]
     pub fn get(&self, slot: u16) -> Option<&[u8]> {
         if (slot as usize) >= self.len() {
             return None;
         }
         let slot_base = HEADER + slot as usize * SLOT;
-        let off = read_u16(&self.data[..], slot_base) as usize;
+        let off = read_u16(&self.data[..], slot_base);
+        if off == TOMBSTONE {
+            return None;
+        }
+        let off = off as usize;
         let len = read_u16(&self.data[..], slot_base + 2) as usize;
         Some(&self.data[off..off + len])
     }
 
-    /// Iterates over records in slot order.
+    /// Tombstones the record in `slot`, returning whether a live record
+    /// was deleted. The slot array is left intact (later slots keep their
+    /// numbers); the record bytes are not reclaimed.
+    pub fn delete(&mut self, slot: u16) -> bool {
+        if self.get(slot).is_none() {
+            return false;
+        }
+        let slot_base = HEADER + slot as usize * SLOT;
+        write_u16(&mut self.data[..], slot_base, TOMBSTONE);
+        true
+    }
+
+    /// Number of live (non-tombstoned) records.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Iterates over live records in slot order (tombstones skipped).
     pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
         (0..self.len() as u16).filter_map(move |s| self.get(s))
     }
@@ -173,5 +202,37 @@ mod tests {
     fn oversized_record_panics() {
         let mut p = SlottedPage::new();
         let _ = p.insert(&[0u8; PAGE_SIZE]);
+    }
+
+    #[test]
+    fn delete_tombstones_without_renumbering() {
+        let mut p = SlottedPage::new();
+        p.insert(b"aa").unwrap();
+        p.insert(b"bb").unwrap();
+        p.insert(b"cc").unwrap();
+        assert!(p.delete(1));
+        // Slot 1 is gone; the other slots keep their numbers.
+        assert_eq!(p.get(0), Some(&b"aa"[..]));
+        assert_eq!(p.get(1), None);
+        assert_eq!(p.get(2), Some(&b"cc"[..]));
+        assert_eq!(p.len(), 3, "slot array intact");
+        assert_eq!(p.live_len(), 2);
+        let live: Vec<&[u8]> = p.iter().collect();
+        assert_eq!(live, vec![&b"aa"[..], &b"cc"[..]]);
+        // Double delete and out-of-range delete report false.
+        assert!(!p.delete(1));
+        assert!(!p.delete(9));
+    }
+
+    #[test]
+    fn tombstones_survive_byte_roundtrip() {
+        let mut p = SlottedPage::new();
+        p.insert(b"x").unwrap();
+        p.insert(b"y").unwrap();
+        p.delete(0);
+        let q = SlottedPage::from_bytes(Box::new(*p.as_bytes()));
+        assert_eq!(q.get(0), None);
+        assert_eq!(q.get(1), Some(&b"y"[..]));
+        assert_eq!(q.live_len(), 1);
     }
 }
