@@ -1,0 +1,145 @@
+//! Emits `BENCH_shard.json`: wall-clock scaling of sharded execution
+//! (2, 4, and 8 shards vs a single shard) on I/O-paced replica disks,
+//! plus the skewed case where per-shard arbitration beats forcing the
+//! single-node winner everywhere.
+//!
+//! Usage: `bench_shard [--quick] [OUT_PATH]` (default `BENCH_shard.json`).
+//!
+//! Exits non-zero when a gate fails: scan speedup below 2.5x at 4 shards
+//! (the scale-out acceptance gate — each shard reads a quarter of the
+//! pages, so anything below 2.5x means the exchange or the gather is
+//! eating the win), or the skew case's per-shard arbitration failing to
+//! at least match the forced uniform winner.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use dqep_bench::shard_bench::{measure_skew, shard_cases, ShardMeasurement, SHARD_COUNTS};
+
+/// The scan case must scale at least this much at [`GATE_SHARDS`] shards.
+const GATE_SHARDS: usize = 4;
+const SCAN_GATE: f64 = 2.5;
+/// Per-shard arbitration must beat (or match, with margin for timer
+/// noise) the forced single-node winner on the skewed case.
+const SKEW_GATE: f64 = 1.05;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_shard.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let (scale, latency_us, iters) = if quick { (4_000, 20, 2) } else { (12_000, 50, 3) };
+    let counts: &[usize] = if quick { &SHARD_COUNTS[..3] } else { &SHARD_COUNTS };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!("shard bench: scale={scale} io_latency={latency_us}us iters={iters} cores={cores}");
+
+    let cases = shard_cases(scale, 7, latency_us, counts);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"io_latency_micros\": {latency_us},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"cases\": {{");
+
+    let mut scan_gate_speedup = None;
+    println!(
+        "{:<8} {:>7} {:>10} {:>9} {:>12} {:>8}",
+        "case", "shards", "millis", "speedup", "net_bytes", "frames"
+    );
+    for (ci, case) in cases.iter().enumerate() {
+        let results: Vec<ShardMeasurement> =
+            counts.iter().map(|&n| case.measure(n, iters)).collect();
+        let single_ms = results[0].millis;
+        let _ = writeln!(json, "    \"{}\": {{", case.name);
+        let _ = writeln!(json, "      \"rows\": {},", results[0].rows);
+        for (i, m) in results.iter().enumerate() {
+            let speedup = single_ms / m.millis;
+            println!(
+                "{:<8} {:>7} {:>10.2} {:>8.2}x {:>12} {:>8}",
+                case.name, m.shards, m.millis, speedup, m.net_bytes, m.net_frames
+            );
+            if case.name == "scan" && m.shards == GATE_SHARDS {
+                scan_gate_speedup = Some(speedup);
+            }
+            let comma = if i + 1 < results.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      \"shards{}\": {{ \"millis\": {:.3}, \"speedup\": {:.3}, \
+                 \"net_bytes\": {}, \"net_frames\": {} }}{comma}",
+                m.shards, m.millis, speedup, m.net_bytes, m.net_frames
+            );
+        }
+        let comma = if ci + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+
+    let skew = measure_skew(scale, 7, latency_us, iters);
+    println!(
+        "skew: per-shard {:.2}ms vs forced {:.2}ms = {:.2}x benefit \
+         ({} divergent nodes, {} rows)",
+        skew.divergent_millis,
+        skew.forced_millis,
+        skew.benefit(),
+        skew.divergent_nodes,
+        skew.rows
+    );
+    let _ = writeln!(json, "  \"skew\": {{");
+    let _ = writeln!(json, "    \"divergent_millis\": {:.3},", skew.divergent_millis);
+    let _ = writeln!(json, "    \"forced_millis\": {:.3},", skew.forced_millis);
+    let _ = writeln!(json, "    \"benefit\": {:.3},", skew.benefit());
+    let _ = writeln!(json, "    \"divergent_nodes\": {},", skew.divergent_nodes);
+    let _ = writeln!(json, "    \"rows\": {}", skew.rows);
+    let _ = writeln!(json, "  }},");
+
+    let scan_speedup = scan_gate_speedup.unwrap_or(0.0);
+    let _ = writeln!(json, "  \"gates\": [");
+    let _ = writeln!(
+        json,
+        "    {{ \"case\": \"scan\", \"shards\": {GATE_SHARDS}, \
+         \"required_speedup\": {SCAN_GATE}, \"measured_speedup\": {scan_speedup:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    {{ \"case\": \"skew_divergence\", \"required_benefit\": {SKEW_GATE}, \
+         \"measured_benefit\": {:.3} }}",
+        skew.benefit()
+    );
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::from(1);
+    }
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+    if scan_speedup < SCAN_GATE {
+        eprintln!(
+            "GATE FAILED: scan at {GATE_SHARDS} shards sped up {scan_speedup:.2}x < {SCAN_GATE}x"
+        );
+        failed = true;
+    }
+    if skew.benefit() < SKEW_GATE {
+        eprintln!(
+            "GATE FAILED: per-shard arbitration benefit {:.2}x < {SKEW_GATE}x on the skew case",
+            skew.benefit()
+        );
+        failed = true;
+    }
+    if skew.divergent_nodes == 0 {
+        eprintln!("GATE FAILED: skew case produced no divergent winners");
+        failed = true;
+    }
+    if failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

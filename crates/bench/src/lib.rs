@@ -6,6 +6,7 @@ pub mod observability_bench;
 pub mod parallel_bench;
 pub mod reopt_bench;
 pub mod service_bench;
+pub mod shard_bench;
 
 use std::sync::OnceLock;
 

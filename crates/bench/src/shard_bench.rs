@@ -1,0 +1,292 @@
+//! Sharded-execution benchmark fixtures: the same query executed by a
+//! [`ShardedService`] at 1, 2, 4, and 8 shards, plus the skewed
+//! divergent-winner case.
+//!
+//! Shared by the `bench_shard` binary that emits `BENCH_shard.json`.
+//! Every shard paces its replica's simulated disk with a per-page I/O
+//! latency, so shard workers overlap their I/O stalls exactly like the
+//! intra-query parallelism benchmark overlaps morsel workers — the
+//! near-linear scan/join scaling is observable on a single-core runner
+//! because what scales is simulated I/O wait, not CPU scheduling. The
+//! network exchange is left unpaced here; its pacing knobs are exercised
+//! by the executor benchmarks, and pacing the wire would only subtract a
+//! constant from every configuration equally.
+//!
+//! The skew case is the tentpole argument in miniature: range-partitioned
+//! data with a predicate covering most of shard 0's stripe and none of
+//! the others'. Globally the predicate is selective, so a single-node
+//! arbitration picks the B-tree plan; locally, shard 0 holds almost
+//! nothing *but* matching rows, so its own arbitration picks the file
+//! scan while the empty-stripe shards keep the index. Forcing the global
+//! winner everywhere (`force_uniform_winner`) makes shard 0 fetch most of
+//! its partition through unclustered index probes — the measured benefit
+//! of per-shard arbitration is the ratio of those two wall-clocks.
+
+use std::time::Instant;
+
+use dqep_catalog::{CatalogBuilder, SystemConfig};
+use dqep_service::{ShardConfig, ShardRouting, ShardedService};
+
+/// The shard counts every scaling case is measured at.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One scaling benchmark: the same query against pre-built services at
+/// each shard count (services are built once — data generation and
+/// partitioning are setup, not measurement).
+pub struct ShardBenchCase {
+    /// Benchmark name, stable across runs (used as the JSON key).
+    pub name: &'static str,
+    sql: String,
+    binds: Vec<(String, i64)>,
+    services: Vec<(usize, ShardedService)>,
+}
+
+/// Wall-clock measurement of one case at one shard count.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMeasurement {
+    /// Number of shard replicas executed across.
+    pub shards: usize,
+    /// Result rows per execution.
+    pub rows: u64,
+    /// Mean wall-clock milliseconds per execution.
+    pub millis: f64,
+    /// Cross-shard + gather bytes per execution.
+    pub net_bytes: u64,
+    /// Frames on the wire per execution.
+    pub net_frames: u64,
+}
+
+impl ShardBenchCase {
+    fn binds(&self) -> Vec<(&str, i64)> {
+        self.binds.iter().map(|(n, v)| (n.as_str(), *v)).collect()
+    }
+
+    /// Executes the case once at shard count `shards`, returning rows
+    /// and wire traffic.
+    ///
+    /// # Panics
+    /// Panics if execution fails or the shard count was not built —
+    /// benchmark queries run ungoverned on a fault-free network, so
+    /// failure is a bug.
+    pub fn run(&self, shards: usize) -> (u64, u64, u64) {
+        let (_, svc) = self
+            .services
+            .iter()
+            .find(|(n, _)| *n == shards)
+            .unwrap_or_else(|| panic!("case {} has no {shards}-shard service", self.name));
+        let out = svc
+            .execute(&self.sql, &self.binds())
+            .expect("benchmark query must execute");
+        (out.rows.len() as u64, out.net.bytes, out.net.frames)
+    }
+
+    /// Times `iters` executions at `shards` and averages.
+    ///
+    /// # Panics
+    /// As [`Self::run`]; also panics if the case returns zero rows.
+    pub fn measure(&self, shards: usize, iters: u32) -> ShardMeasurement {
+        let (rows, net_bytes, net_frames) = self.run(shards); // warm-up, untimed
+        assert!(rows > 0, "benchmark case {} produced no rows", self.name);
+        let start = Instant::now();
+        for _ in 0..iters.max(1) {
+            std::hint::black_box(self.run(shards));
+        }
+        ShardMeasurement {
+            shards,
+            rows,
+            millis: start.elapsed().as_secs_f64() * 1e3 / f64::from(iters.max(1)),
+            net_bytes,
+            net_frames,
+        }
+    }
+}
+
+fn config(shards: usize, latency_us: u64, seed: u64) -> ShardConfig {
+    ShardConfig {
+        shards,
+        io_latency_micros: latency_us,
+        data_seed: seed,
+        ..ShardConfig::default()
+    }
+}
+
+/// Full scan of one large relation, gathered to the coordinator: each
+/// shard reads `1/N` of the pages, so the paced I/O divides by the shard
+/// count — the pure-scaling case behind the 4-shard CI gate.
+fn scan_case(rows: u64, seed: u64, latency_us: u64, counts: &[usize]) -> ShardBenchCase {
+    let catalog = || {
+        CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("big", rows, 256, |r| {
+                r.attr("a", rows as f64).attr("b", 64.0).btree("a", false)
+            })
+            .build()
+            .expect("bench catalog")
+    };
+    ShardBenchCase {
+        name: "scan",
+        sql: "SELECT * FROM big WHERE big.a < :v0".into(),
+        binds: vec![("v0".into(), rows as i64 + 1)],
+        services: counts
+            .iter()
+            .map(|&n| (n, ShardedService::new(catalog(), config(n, latency_us, seed))))
+            .collect(),
+    }
+}
+
+/// Two-relation equi-join: both sides scan locally, hash-repartition on
+/// the join key over the exchange, and join shard-locally; scans
+/// dominate under paced I/O, so scaling stays near-linear with the
+/// repartition traffic as visible overhead.
+fn join_case(rows: u64, seed: u64, latency_us: u64, counts: &[usize]) -> ShardBenchCase {
+    let jdomain = (rows / 4).max(1) as f64;
+    let catalog = || {
+        CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("fact", rows, 256, |r| {
+                r.attr("a", rows as f64).attr("j", jdomain).btree("a", false)
+            })
+            .relation("dim", rows / 2, 256, |r| {
+                r.attr("a", (rows / 2) as f64).attr("j", jdomain).btree("j", false)
+            })
+            .build()
+            .expect("bench catalog")
+    };
+    ShardBenchCase {
+        name: "join",
+        sql: "SELECT * FROM fact, dim WHERE fact.j = dim.j AND fact.a < :v0".into(),
+        binds: vec![("v0".into(), rows as i64 + 1)],
+        services: counts
+            .iter()
+            .map(|&n| (n, ShardedService::new(catalog(), config(n, latency_us, seed))))
+            .collect(),
+    }
+}
+
+/// The scaling cases measured at every shard count.
+#[must_use]
+pub fn shard_cases(rows: u64, seed: u64, latency_us: u64, counts: &[usize]) -> Vec<ShardBenchCase> {
+    vec![
+        scan_case(rows, seed, latency_us, counts),
+        join_case(rows, seed, latency_us, counts),
+    ]
+}
+
+/// What the skewed divergent-winner case measured.
+#[derive(Debug, Clone, Copy)]
+pub struct SkewMeasurement {
+    /// Wall-clock ms with per-shard arbitration (the default).
+    pub divergent_millis: f64,
+    /// Wall-clock ms with the single-node winner forced everywhere.
+    pub forced_millis: f64,
+    /// Plan nodes whose winners diverged across shards (must be > 0 for
+    /// the case to mean anything).
+    pub divergent_nodes: usize,
+    /// Result rows (identical in both configurations, asserted).
+    pub rows: u64,
+}
+
+impl SkewMeasurement {
+    /// Speedup of per-shard arbitration over the forced uniform winner.
+    #[must_use]
+    pub fn benefit(&self) -> f64 {
+        self.forced_millis / self.divergent_millis
+    }
+}
+
+/// Builds and measures the skew case: range-partitioned uniform data
+/// with a predicate spanning most of shard 0's stripe (see the module
+/// docs for why the winners diverge).
+///
+/// # Panics
+/// Panics if either configuration fails, produces differing result
+/// multisets, or the default configuration fails to diverge.
+#[must_use]
+pub fn measure_skew(rows: u64, seed: u64, latency_us: u64, iters: u32) -> SkewMeasurement {
+    let shards = 4usize;
+    let catalog = || {
+        CatalogBuilder::new(SystemConfig::paper_1994())
+            .relation("skewed", rows, 256, |r| {
+                r.attr("a", rows as f64).attr("j", 64.0).btree("a", false)
+            })
+            .build()
+            .expect("bench catalog")
+    };
+    let build = |force: bool| {
+        ShardedService::new(
+            catalog(),
+            ShardConfig {
+                routing: ShardRouting::Range { attr: 0 },
+                force_uniform_winner: force,
+                ..config(shards, latency_us, seed)
+            },
+        )
+    };
+    // Shard 0's stripe is [0, rows/4); cover ~20% of it, i.e. ~5% of the
+    // table. Globally that is selective enough for the unclustered
+    // B-tree; on shard 0 it is a fifth of the partition, past the local
+    // break-even, so shard 0's own arbitration picks the file scan.
+    let sql = "SELECT * FROM skewed WHERE skewed.a < :v0";
+    let cutoff = (rows as i64 / i64::try_from(shards).unwrap_or(4)) * 20 / 100;
+    let binds = [("v0", cutoff)];
+
+    let divergent_svc = build(false);
+    let forced_svc = build(true);
+    let time = |svc: &ShardedService| {
+        let warm = svc.execute(sql, &binds).expect("skew case executes");
+        let start = Instant::now();
+        for _ in 0..iters.max(1) {
+            std::hint::black_box(svc.execute(sql, &binds).expect("skew case executes"));
+        }
+        (start.elapsed().as_secs_f64() * 1e3 / f64::from(iters.max(1)), warm)
+    };
+    let (divergent_millis, div_out) = time(&divergent_svc);
+    let (forced_millis, forced_out) = time(&forced_svc);
+
+    let sorted = |mut v: Vec<Vec<i64>>| {
+        v.sort_unstable();
+        v
+    };
+    let rows = forced_out.rows.len() as u64;
+    let divergent_nodes = div_out.divergent_nodes.len();
+    assert!(
+        divergent_nodes > 0 || divergent_millis <= forced_millis,
+        "skew case produced no divergence and no benefit: winners {:?}",
+        div_out.winner_counts()
+    );
+    assert_eq!(
+        sorted(div_out.rows),
+        sorted(forced_out.rows),
+        "winner choice changed the result"
+    );
+    SkewMeasurement {
+        divergent_millis,
+        forced_millis,
+        divergent_nodes,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_cases_execute_at_every_count() {
+        for case in shard_cases(600, 7, 0, &[1, 2]) {
+            for &n in &[1usize, 2] {
+                let (rows, _, _) = case.run(n);
+                assert!(rows > 0, "{} at {n} shards", case.name);
+            }
+            let (one, _, _) = case.run(1);
+            let (two, _, frames) = case.run(2);
+            assert_eq!(one, two, "{}: row count varies with shard count", case.name);
+            assert!(frames > 0, "{}: no wire traffic at 2 shards", case.name);
+        }
+    }
+
+    #[test]
+    fn skew_case_diverges() {
+        let m = measure_skew(2_000, 7, 0, 1);
+        assert!(m.divergent_nodes > 0, "expected divergent winners");
+        assert!(m.rows > 0);
+    }
+}

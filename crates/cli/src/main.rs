@@ -67,6 +67,22 @@
 //!                       to --live as well)
 //! ```
 //!
+//! Sharded execution (with --sql --run):
+//!   --shards N          partition the data across N shard replicas and
+//!                       execute with repartitioning network exchange;
+//!                       choose-plan arbitration runs per shard against
+//!                       shard-local statistics (prints per-shard winners,
+//!                       divergent nodes, and wire traffic)
+//!   --routing R         base-data placement: hash (default) | range
+//!   --force-uniform     resolve the plan once against global statistics
+//!                       and broadcast it (the single-node-winner baseline)
+//!   --net-latency-us U  per-frame link latency, microseconds
+//!   --net-bandwidth B   link bandwidth in bytes/second (0 = unpaced)
+//!   --net-jitter-us U   deterministic per-frame jitter bound
+//!   --link-fault SPEC   drop frames, e.g. nth-frame=3,max-retransmit=2
+//!                       (--metrics-json writes the shard metrics
+//!                       snapshot; --io-latency-us paces each replica)
+//!
 //! Exit codes distinguish failure classes — see [`dqep::DqepError`].
 
 use std::process::ExitCode;
@@ -119,6 +135,13 @@ struct Args {
     queue_timeout_ms: u64,
     io_latency_us: u64,
     metrics_json: Option<String>,
+    shards: Option<usize>,
+    routing: String,
+    force_uniform: bool,
+    net_latency_us: u64,
+    net_bandwidth: u64,
+    net_jitter_us: u64,
+    link_fault: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -158,6 +181,13 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         queue_timeout_ms: 10_000,
         io_latency_us: 0,
         metrics_json: None,
+        shards: None,
+        routing: "hash".to_string(),
+        force_uniform: false,
+        net_latency_us: 0,
+        net_bandwidth: 0,
+        net_jitter_us: 0,
+        link_fault: None,
     };
     let mut i = 0;
     let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -351,6 +381,46 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
                 args.metrics_json = Some(value(argv, i, "--metrics-json")?);
                 i += 2;
             }
+            "--shards" => {
+                let n: usize = value(argv, i, "--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                args.shards = Some(n);
+                i += 2;
+            }
+            "--routing" => {
+                args.routing = value(argv, i, "--routing")?;
+                i += 2;
+            }
+            "--force-uniform" => {
+                args.force_uniform = true;
+                i += 1;
+            }
+            "--net-latency-us" => {
+                args.net_latency_us = value(argv, i, "--net-latency-us")?
+                    .parse()
+                    .map_err(|e| format!("--net-latency-us: {e}"))?;
+                i += 2;
+            }
+            "--net-bandwidth" => {
+                args.net_bandwidth = value(argv, i, "--net-bandwidth")?
+                    .parse()
+                    .map_err(|e| format!("--net-bandwidth: {e}"))?;
+                i += 2;
+            }
+            "--net-jitter-us" => {
+                args.net_jitter_us = value(argv, i, "--net-jitter-us")?
+                    .parse()
+                    .map_err(|e| format!("--net-jitter-us: {e}"))?;
+                i += 2;
+            }
+            "--link-fault" => {
+                args.link_fault = Some(value(argv, i, "--link-fault")?);
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Err("usage: see `dqep` module docs (or the README)".to_string());
             }
@@ -391,8 +461,36 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
     if args.json && !args.explain_analyze {
         return Err("--json requires --explain-analyze".to_string());
     }
-    if args.metrics_json.is_some() && args.serve.is_none() && args.live.is_none() {
-        return Err("--metrics-json requires --serve or --live".to_string());
+    if args.metrics_json.is_some()
+        && args.serve.is_none()
+        && args.live.is_none()
+        && args.shards.is_none()
+    {
+        return Err("--metrics-json requires --serve, --live, or --shards".to_string());
+    }
+    if args.shards.is_some() {
+        if args.sql.is_empty() || !args.run {
+            return Err("--shards requires --sql and --run".to_string());
+        }
+        if args.explain_analyze || args.adaptive {
+            return Err("--shards supports --run (and --reopt), not \
+                        --explain-analyze/--adaptive"
+                .to_string());
+        }
+        if args.routing != "hash" && args.routing != "range" {
+            return Err(format!("--routing must be hash or range, got `{}`", args.routing));
+        }
+    } else {
+        let net_flags = args.net_latency_us > 0
+            || args.net_bandwidth > 0
+            || args.net_jitter_us > 0
+            || args.link_fault.is_some()
+            || args.force_uniform;
+        if net_flags {
+            return Err(
+                "--net-*/--link-fault/--force-uniform require --shards".to_string()
+            );
+        }
     }
     if args.explain_json_path.is_some() && args.live.is_none() {
         return Err("--explain-json requires --live".to_string());
@@ -421,6 +519,9 @@ fn run() -> Result<(), DqepError> {
     }
     if args.live.is_some() {
         return run_live(&args);
+    }
+    if args.shards.is_some() {
+        return run_sharded(&args);
     }
     let mut catalog = make_chain_catalog(
         &SyntheticSpec::paper(args.relations, args.seed),
@@ -915,6 +1016,122 @@ fn parse_workload(text: &str) -> Result<Vec<Request>, String> {
 
 /// Runs a workload file through the prepared-query service and prints
 /// per-session results plus the service's cache and throughput summary.
+/// `--shards N`: execute the query across N partitioned replicas with
+/// repartitioning network exchange and per-shard dynamic-plan
+/// arbitration, then report winners, divergence, and wire traffic.
+fn run_sharded(args: &Args) -> Result<(), DqepError> {
+    let catalog = make_chain_catalog(
+        &SyntheticSpec::paper(args.relations, args.seed),
+        SystemConfig::paper_1994(),
+    );
+    let link_faults = match &args.link_fault {
+        Some(spec) => dqep_executor::LinkFaultPlan::parse(spec)
+            .map_err(|e| DqepError::Usage(format!("--link-fault: {e}")))?,
+        None => dqep_executor::LinkFaultPlan::none(),
+    };
+    let config = dqep_service::ShardConfig {
+        shards: args.shards.unwrap_or(1),
+        net: dqep_executor::NetConfig {
+            latency_micros: args.net_latency_us,
+            bytes_per_second: args.net_bandwidth,
+            jitter_micros: args.net_jitter_us,
+            seed: args.seed,
+        },
+        link_faults,
+        routing: if args.routing == "range" {
+            dqep_service::ShardRouting::Range { attr: 0 }
+        } else {
+            dqep_service::ShardRouting::Hash { attr: 0 }
+        },
+        histogram_buckets: args.histograms.unwrap_or(16),
+        dop: args.dop,
+        limits: ResourceLimits {
+            memory_bytes: args.memory_limit,
+            max_rows: args.max_rows,
+            max_io: args.max_io,
+            wall_clock_ms: args.timeout_ms,
+        },
+        io_latency_micros: args.io_latency_us,
+        data_seed: args.seed,
+        skew: args.skew,
+        memory_pages: args.memory,
+        reopt: args.reopt.then(|| ReoptConfig {
+            max_replans: args.reopt_budget.unwrap_or(2),
+            ..ReoptConfig::default()
+        }),
+        force_uniform_winner: args.force_uniform,
+        ..dqep_service::ShardConfig::default()
+    };
+    let shards = config.shards;
+    println!(
+        "-- sharded execution: {shards} shard(s), {} routing{}",
+        args.routing,
+        if args.force_uniform { ", forced uniform winner" } else { "" },
+    );
+
+    let service = dqep_service::ShardedService::new(catalog, config);
+    let binds: Vec<(&str, i64)> = args.binds.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let started = std::time::Instant::now();
+    let result = service.execute(&args.sql, &binds);
+    let wall = started.elapsed();
+
+    // The metrics snapshot reflects the query whatever its outcome.
+    let write_metrics = |svc: &dqep_service::ShardedService| -> Result<(), DqepError> {
+        if let Some(path) = args.metrics_json.as_deref() {
+            let json = svc.metrics_json();
+            if path == "-" {
+                println!("\n-- metrics (shutdown snapshot):\n{json}");
+            } else {
+                std::fs::write(path, &json)?;
+                eprintln!("wrote metrics snapshot to {path}");
+            }
+        }
+        Ok(())
+    };
+
+    let out = match result {
+        Ok(out) => out,
+        Err(e) => {
+            write_metrics(&service)?;
+            return Err(DqepError::Service(e));
+        }
+    };
+    println!(
+        "-- {} row(s) in {:.3}s wall; per-shard rows: {:?}",
+        out.rows.len(),
+        wall.as_secs_f64(),
+        out.per_shard_rows,
+    );
+    for (s, audits) in out.audits.iter().enumerate() {
+        let winners: Vec<String> = audits
+            .iter()
+            .map(|a| match a.winner {
+                Some(w) => format!("node {} -> alt {w}", a.node),
+                None => format!("node {} -> unresolved", a.node),
+            })
+            .collect();
+        println!("-- shard {s}: {}", if winners.is_empty() {
+            "no arbitration (resolved plan)".to_string()
+        } else {
+            winners.join(", ")
+        });
+    }
+    if out.divergent_nodes.is_empty() {
+        println!("-- winners agree on every choose node");
+    } else {
+        println!(
+            "-- divergent winners on choose node(s) {:?} (local statistics disagree)",
+            out.divergent_nodes
+        );
+    }
+    println!(
+        "-- network: {} frame(s), {} byte(s), {} retransmit(s), {} credit stall(s); \
+         {} fallback(s)",
+        out.net.frames, out.net.bytes, out.net.retransmits, out.net.credit_stalls, out.fallbacks,
+    );
+    write_metrics(&service)
+}
+
 fn serve(args: &Args) -> Result<(), DqepError> {
     let path = args.serve.as_ref().expect("checked by run()");
     let text = std::fs::read_to_string(path)?;
@@ -1100,6 +1317,66 @@ mod tests {
         assert!(parse_argv(&argv(&["--sql", "q", "--reopt", "--adaptive"]))
             .unwrap_err()
             .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn parses_shard_flags() {
+        let a = parse_argv(&argv(&[
+            "--sql", "q", "--run", "--shards", "4", "--routing", "range",
+            "--force-uniform", "--net-latency-us", "20", "--net-bandwidth",
+            "1000000", "--net-jitter-us", "5", "--link-fault",
+            "nth-frame=3,max-retransmit=2", "--metrics-json", "m.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.shards, Some(4));
+        assert_eq!(a.routing, "range");
+        assert!(a.force_uniform);
+        assert_eq!(a.net_latency_us, 20);
+        assert_eq!(a.net_bandwidth, 1_000_000);
+        assert_eq!(a.net_jitter_us, 5);
+        assert_eq!(a.link_fault.as_deref(), Some("nth-frame=3,max-retransmit=2"));
+        assert_eq!(a.metrics_json.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn shards_require_sql_and_run() {
+        assert!(parse_argv(&argv(&["--sql", "q", "--shards", "2"]))
+            .unwrap_err()
+            .contains("--run"));
+        assert!(parse_argv(&argv(&["--serve", "w.sql", "--shards", "2"]))
+            .unwrap_err()
+            .contains("mutually exclusive")
+            || parse_argv(&argv(&["--serve", "w.sql", "--shards", "2"]))
+                .unwrap_err()
+                .contains("--sql"));
+        assert!(parse_argv(&argv(&["--sql", "q", "--run", "--shards", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn net_flags_require_shards() {
+        assert!(parse_argv(&argv(&["--sql", "q", "--run", "--net-latency-us", "9"]))
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(parse_argv(&argv(&["--sql", "q", "--run", "--force-uniform"]))
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(parse_argv(&argv(&[
+            "--sql", "q", "--run", "--shards", "2", "--routing", "zigzag"
+        ]))
+        .unwrap_err()
+        .contains("--routing"));
+    }
+
+    #[test]
+    fn shard_mode_allows_metrics_json_and_reopt() {
+        let a = parse_argv(&argv(&[
+            "--sql", "q", "--run", "--shards", "2", "--metrics-json", "-", "--reopt",
+        ]))
+        .unwrap();
+        assert_eq!(a.shards, Some(2));
+        assert!(a.reopt);
     }
 
     #[test]

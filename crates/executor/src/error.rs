@@ -69,6 +69,9 @@ pub enum ExecError {
     PredicateMismatch(String),
     /// The storage layer failed (injected fault, unallocated page, …).
     Storage(StorageError),
+    /// The (simulated) network failed: a malformed frame, a closed
+    /// channel, or a link whose retransmission budget ran out.
+    Network(String),
     /// The resource governor refused to let the query continue.
     ResourceExhausted(Resource),
     /// The query was cooperatively cancelled.
@@ -88,7 +91,7 @@ impl ExecError {
     #[must_use]
     pub fn is_retryable(&self) -> bool {
         match self {
-            ExecError::Storage(_) => true,
+            ExecError::Storage(_) | ExecError::Network(_) => true,
             ExecError::ResourceExhausted(r) => matches!(r, Resource::Memory { .. }),
             ExecError::UnboundHostVar(_)
             | ExecError::UnresolvedChoosePlan
@@ -108,6 +111,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::PredicateMismatch(p) => write!(f, "predicate does not span inputs: {p}"),
             ExecError::Storage(_) => f.write_str("storage access failed"),
+            ExecError::Network(msg) => write!(f, "network transfer failed: {msg}"),
             ExecError::ResourceExhausted(r) => write!(f, "resource exhausted: {r}"),
             ExecError::Cancelled => f.write_str("query cancelled"),
             ExecError::Internal(msg) => write!(f, "executor invariant violated: {msg}"),

@@ -125,6 +125,15 @@ impl Operator for ExchangeExec<'_> {
         self.pending_err = None;
         self.opened = true;
         let mode = self.ctx.mode;
+        // Pre-size the merge buffer from the workers' own estimates
+        // (known before they run), clamped like the root drain's
+        // pre-sizing — the buffer otherwise regrows from default
+        // capacity on every hot path.
+        let estimated: u64 = self
+            .workers
+            .iter()
+            .filter_map(|w| w.op.estimated_rows())
+            .sum();
         let tasks: Vec<_> = self
             .workers
             .iter_mut()
@@ -141,7 +150,8 @@ impl Operator for ExchangeExec<'_> {
         for w in &self.workers {
             self.ctx.counters.merge_from(&w.counters);
         }
-        let mut merged: Vec<Tuple> = Vec::new();
+        let mut merged: Vec<Tuple> =
+            Vec::with_capacity(estimated.min(crate::exec::MAX_PRESIZE_ROWS) as usize);
         let mut first_err: Option<ExecError> = None;
         for r in results {
             match r {

@@ -84,7 +84,7 @@ pub type BoxedOperator<'a> = Box<dyn Operator + Send + 'a>;
 
 /// Caps speculative `Vec` pre-sizing from [`Operator::estimated_rows`], so
 /// a bad hint cannot ask for unbounded memory up front.
-const MAX_PRESIZE_ROWS: u64 = 1 << 20;
+pub(crate) const MAX_PRESIZE_ROWS: u64 = 1 << 20;
 
 /// Drains an operator to completion, returning all tuples. The output is
 /// pre-sized from the operator's [`Operator::estimated_rows`] hint.

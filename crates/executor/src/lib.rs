@@ -54,6 +54,7 @@ mod hash_join;
 mod index_join;
 mod merge_join;
 mod metrics;
+mod netexchange;
 mod reopt;
 mod scan;
 mod sort;
@@ -78,6 +79,11 @@ pub use explain::{
 pub use governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
 pub use hash_join::{fold_hash_column, hash_key, mix, HASH_SEED};
 pub use metrics::{CpuCounters, ExecSummary, PlanCacheInfo, SharedCounters};
+pub use netexchange::{
+    credit_frames, decode_frame, encode_frame, frame_encoded_len, presized_batch,
+    scatter_by_shard, shard_route, LinkFaultPlan, NetChannel, NetConfig, NetStats, SimNet,
+    FRAME_HEADER_BYTES,
+};
 pub use reopt::{
     escapes_interval, execute_plan_reopt, execute_plan_reopt_ctx, execute_plan_reopt_traced,
     MaterializedScanExec, ReoptConfig, ReoptCounters, ReoptEvent, ReoptEventKind, ReoptOutcome,

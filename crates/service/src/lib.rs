@@ -38,13 +38,17 @@ pub mod live;
 mod metrics;
 pub mod registry;
 mod service;
+pub mod shard;
 
 pub use admission::{MemoryGrant, MemoryPool};
 pub use decision::{region_key, CachedDecision, RegionKey};
 pub use error::ServiceError;
 pub use live::{CommitOutcome, LiveConfig, LiveViewInfo, LiveViewRegistry, WriteOp};
-pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport};
+pub use metrics::{
+    Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport, SHARD_WINNER_SLOTS,
+};
 pub use registry::{normalize_sql, PreparedRegistry, PreparedStatement, RegistryStats};
 pub use service::{
     QueryService, Request, ServiceConfig, ServiceStats, SessionHandle, SessionResult,
 };
+pub use shard::{Shard, ShardConfig, ShardOutcome, ShardRouting, ShardedService};

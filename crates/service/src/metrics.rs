@@ -134,6 +134,10 @@ pub struct MetricsRegistry {
     pub queue_wait: Histogram,
     /// Per-commit incremental refresh latency across all live views.
     pub live_refresh: Histogram,
+    /// Credit-wait of network-exchange sends that actually stalled
+    /// (unstalled sends are not recorded — the histogram reads as "when
+    /// backpressure bit, how hard").
+    pub net_queue_wait: Histogram,
     refused_admission_timeout: AtomicU64,
     refused_grant_too_large: AtomicU64,
     admission_retries: AtomicU64,
@@ -145,7 +149,19 @@ pub struct MetricsRegistry {
     live_delta_batches: AtomicU64,
     live_rows_propagated: AtomicU64,
     live_rearbitrations: AtomicU64,
+    net_bytes: AtomicU64,
+    net_frames: AtomicU64,
+    net_retransmits: AtomicU64,
+    net_credit_stalls: AtomicU64,
+    shard_queries: AtomicU64,
+    shard_winners: [AtomicU64; SHARD_WINNER_SLOTS],
+    shard_divergent_nodes: AtomicU64,
 }
+
+/// Tracked choose-plan alternative indices in the per-winner counters;
+/// higher indices fold into the last slot. Real dynamic plans carry a
+/// handful of alternatives per choose node, so 8 slots lose nothing.
+pub const SHARD_WINNER_SLOTS: usize = 8;
 
 impl MetricsRegistry {
     /// A fresh registry.
@@ -276,6 +292,73 @@ impl MetricsRegistry {
         self.live_rearbitrations.load(Ordering::Relaxed)
     }
 
+    /// Folds the wire-traffic delta of one sharded query into the
+    /// cross-shard totals. Pass the *difference* of two
+    /// [`dqep_executor::NetStats`] snapshots, not a running total.
+    pub fn record_net(&self, delta: &dqep_executor::NetStats) {
+        self.net_bytes.fetch_add(delta.bytes, Ordering::Relaxed);
+        self.net_frames.fetch_add(delta.frames, Ordering::Relaxed);
+        self.net_retransmits.fetch_add(delta.retransmits, Ordering::Relaxed);
+        self.net_credit_stalls.fetch_add(delta.credit_stalls, Ordering::Relaxed);
+    }
+
+    /// Counts one per-shard choose-plan arbitration won by alternative
+    /// `index` (indices past the tracked slots fold into the last).
+    pub fn record_shard_winner(&self, index: usize) {
+        self.shard_winners[index.min(SHARD_WINNER_SLOTS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one completed sharded query with how many of its choose
+    /// nodes resolved to *different* winners on different shards.
+    pub fn record_shard_query(&self, divergent_nodes: u64) {
+        self.shard_queries.fetch_add(1, Ordering::Relaxed);
+        self.shard_divergent_nodes.fetch_add(divergent_nodes, Ordering::Relaxed);
+    }
+
+    /// Cross-shard bytes put on the wire (retransmissions included).
+    #[must_use]
+    pub fn net_bytes(&self) -> u64 {
+        self.net_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cross-shard frames delivered.
+    #[must_use]
+    pub fn net_frames(&self) -> u64 {
+        self.net_frames.load(Ordering::Relaxed)
+    }
+
+    /// Transmissions dropped by link faults and re-sent.
+    #[must_use]
+    pub fn net_retransmits(&self) -> u64 {
+        self.net_retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Sends that blocked on credit backpressure.
+    #[must_use]
+    pub fn net_credit_stalls(&self) -> u64 {
+        self.net_credit_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Per-alternative-index winner counts across all per-shard
+    /// arbitrations.
+    #[must_use]
+    pub fn shard_winners(&self) -> [u64; SHARD_WINNER_SLOTS] {
+        std::array::from_fn(|i| self.shard_winners[i].load(Ordering::Relaxed))
+    }
+
+    /// Sharded queries executed.
+    #[must_use]
+    pub fn shard_queries(&self) -> u64 {
+        self.shard_queries.load(Ordering::Relaxed)
+    }
+
+    /// Choose nodes whose winner diverged across shards, summed over all
+    /// sharded queries.
+    #[must_use]
+    pub fn shard_divergent_nodes(&self) -> u64 {
+        self.shard_divergent_nodes.load(Ordering::Relaxed)
+    }
+
     /// A full [`MetricsReport`] combining this registry's collectors with
     /// the given session/cache accounting.
     #[must_use]
@@ -295,6 +378,14 @@ impl MetricsRegistry {
             live_rows_propagated: self.live_rows_propagated(),
             live_rearbitrations: self.live_rearbitrations(),
             live_refresh: self.live_refresh.snapshot(),
+            net_bytes: self.net_bytes(),
+            net_frames: self.net_frames(),
+            net_retransmits: self.net_retransmits(),
+            net_credit_stalls: self.net_credit_stalls(),
+            net_queue_wait: self.net_queue_wait.snapshot(),
+            shard_queries: self.shard_queries(),
+            shard_winners: self.shard_winners(),
+            shard_divergent_nodes: self.shard_divergent_nodes(),
             service,
         }
     }
@@ -332,6 +423,22 @@ pub struct MetricsReport {
     pub live_rearbitrations: u64,
     /// Per-commit incremental refresh latency across live views.
     pub live_refresh: HistogramSnapshot,
+    /// Cross-shard bytes on the wire (retransmissions included).
+    pub net_bytes: u64,
+    /// Cross-shard frames delivered.
+    pub net_frames: u64,
+    /// Transmissions dropped by link faults and re-sent.
+    pub net_retransmits: u64,
+    /// Sends that blocked on credit backpressure.
+    pub net_credit_stalls: u64,
+    /// Credit-wait of stalled network sends.
+    pub net_queue_wait: HistogramSnapshot,
+    /// Sharded queries executed.
+    pub shard_queries: u64,
+    /// Per-alternative-index winner counts across per-shard arbitrations.
+    pub shard_winners: [u64; SHARD_WINNER_SLOTS],
+    /// Choose nodes whose winner diverged across shards (all queries).
+    pub shard_divergent_nodes: u64,
     /// Session totals and cache counters.
     pub service: ServiceStats,
 }
@@ -420,6 +527,23 @@ impl MetricsReport {
             self.live_rearbitrations,
         );
         histogram_json(&mut out, "live_refresh_seconds", &self.live_refresh);
+        out.push_str(",\n");
+        let winners: Vec<String> =
+            self.shard_winners.iter().map(u64::to_string).collect();
+        let _ = writeln!(
+            out,
+            "  \"shard\": {{\"queries\": {}, \"net_bytes\": {}, \"net_frames\": {}, \
+             \"net_retransmits\": {}, \"net_credit_stalls\": {}, \
+             \"winner_counts\": [{}], \"divergent_nodes\": {}}},",
+            self.shard_queries,
+            self.net_bytes,
+            self.net_frames,
+            self.net_retransmits,
+            self.net_credit_stalls,
+            winners.join(", "),
+            self.shard_divergent_nodes,
+        );
+        histogram_json(&mut out, "net_queue_wait_seconds", &self.net_queue_wait);
         out.push('\n');
         out.push('}');
         out
@@ -523,5 +647,39 @@ mod tests {
         );
         assert!(doc.get("latency_seconds").is_some());
         assert!(doc.get("plan_cache").is_some());
+    }
+
+    #[test]
+    fn shard_counters_are_exported() {
+        let m = MetricsRegistry::new();
+        m.record_net(&dqep_executor::NetStats {
+            frames: 5,
+            bytes: 4096,
+            retransmits: 1,
+            credit_stalls: 2,
+            credit_wait_ns: 1_000,
+        });
+        m.record_shard_winner(0);
+        m.record_shard_winner(2);
+        m.record_shard_winner(99); // folds into the last slot
+        m.record_shard_query(1);
+        m.net_queue_wait.record(Duration::from_micros(3));
+        assert_eq!(m.net_bytes(), 4096);
+        assert_eq!(m.net_frames(), 5);
+        assert_eq!(m.shard_winners()[0], 1);
+        assert_eq!(m.shard_winners()[2], 1);
+        assert_eq!(m.shard_winners()[SHARD_WINNER_SLOTS - 1], 1);
+        let json = m.report(ServiceStats::default()).to_json();
+        let doc = dqep_executor::parse_json(&json).expect("valid JSON");
+        let shard = doc.get("shard").expect("shard section");
+        assert_eq!(
+            shard.get("net_bytes").and_then(dqep_executor::JsonValue::as_num),
+            Some(4096.0)
+        );
+        assert_eq!(
+            shard.get("divergent_nodes").and_then(dqep_executor::JsonValue::as_num),
+            Some(1.0)
+        );
+        assert!(doc.get("net_queue_wait_seconds").is_some());
     }
 }

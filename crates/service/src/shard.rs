@@ -1,0 +1,1304 @@
+//! Sharded query execution: partitioned replicas, repartitioning network
+//! exchange, and **per-shard** dynamic-plan arbitration.
+//!
+//! A [`ShardedService`] partitions every relation of one generated
+//! database across `N` shard replicas (hash or range routing on a chosen
+//! attribute). Each shard owns its own [`StoredDatabase`], its own
+//! **local catalog statistics** (cardinalities refreshed and histograms
+//! rebuilt from its partition alone), its own resource governor, and its
+//! own tracer. The coordinator optimizes each query **once** into
+//! dynamic per-relation access plans and broadcasts them; every shard
+//! then resolves its *own* winner at bind time, because choose-plan
+//! arbitration runs against the shard-local catalog. On skewed
+//! partitions the shards legitimately disagree — a shard holding three
+//! rows of a relation picks the index plan while a shard holding the
+//! bulk scans — which is the paper's start-up-time decision procedure
+//! applied per data partition. `force_uniform_winner` disables exactly
+//! this: the coordinator resolves the plans against its *global*
+//! statistics and broadcasts the already-resolved (choose-free) plans,
+//! the baseline the shard benchmark beats.
+//!
+//! Joins run as hash-repartitioning exchange stages: both sides are
+//! routed with the batched multiply-xor kernel
+//! ([`dqep_executor::shard_route`]) on the join key, so co-partitioning
+//! is guaranteed by construction and the union of shard-local joins is
+//! exactly the global join. Batches travel as length-prefixed columnar
+//! frames over a simulated network ([`SimNet`]) with per-link pacing,
+//! deterministic fault injection, and credit-based backpressure; every
+//! byte is accounted. The final gather merges order-preservingly (k-way
+//! merge by the `ORDER BY` column) or deterministically concatenates in
+//! shard order.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use dqep_algebra::LogicalExpr;
+use dqep_catalog::{AttrId, Catalog, RelationId};
+use dqep_core::Optimizer;
+use dqep_cost::{Bindings, Environment};
+use dqep_executor::{
+    compile_dynamic_plan, credit_frames, decode_frame, drain, drain_batch, encode_frame,
+    execute_plan_reopt_ctx, presized_batch, scatter_by_shard, ChooseAudit, ExecContext, ExecError,
+    ExecMode, LinkFaultPlan, NetChannel, NetConfig, NetStats, ReoptConfig, ResourceLimits,
+    RowBatch, SharedCounters, SimNet, Tracer, Tuple, TupleLayout, BATCH_CAPACITY,
+};
+use dqep_plan::{evaluate_startup, PlanNode};
+use dqep_sql::{parse_query, ParsedPredicate};
+use dqep_storage::{install_histograms, refresh_histograms, StoredDatabase, ValueDistribution};
+
+use crate::error::ServiceError;
+use crate::metrics::MetricsRegistry;
+
+/// How base rows are placed on shards at load time. Repartitioning
+/// exchanges always hash on the *join key* regardless — this only decides
+/// the initial layout, and with it how skewed the per-shard statistics
+/// come out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRouting {
+    /// Hash the given attribute index through the batched multiply-xor
+    /// kernel: near-uniform placement whatever the value distribution.
+    Hash {
+        /// Attribute index to hash (clamped to the relation's arity).
+        attr: u32,
+    },
+    /// Contiguous ranges of the attribute's domain: shard
+    /// `⌊value · N / domain⌋`. Under a skewed value distribution this
+    /// deliberately produces *unequal* partitions — the setting where
+    /// per-shard arbitration diverges from the global winner.
+    Range {
+        /// Attribute index to range-partition on (clamped to arity).
+        attr: u32,
+    },
+}
+
+impl ShardRouting {
+    fn attr_index(self, arity: usize) -> usize {
+        let attr = match self {
+            ShardRouting::Hash { attr } | ShardRouting::Range { attr } => attr as usize,
+        };
+        attr.min(arity.saturating_sub(1))
+    }
+}
+
+/// Tuning knobs of a [`ShardedService`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shard replicas (minimum 1).
+    pub shards: usize,
+    /// Pacing of every inter-shard link.
+    pub net: NetConfig,
+    /// Deterministic link faults installed on the network at start.
+    pub link_faults: LinkFaultPlan,
+    /// Base-data placement policy.
+    pub routing: ShardRouting,
+    /// Buckets of the per-shard histograms (and the coordinator's).
+    pub histogram_buckets: usize,
+    /// Tuple or batch execution on every shard.
+    pub exec_mode: ExecMode,
+    /// Intra-shard degree of parallelism for local access plans.
+    pub dop: usize,
+    /// Per-shard resource budgets (each shard gets its own governor).
+    pub limits: ResourceLimits,
+    /// Simulated per-page I/O latency on every shard's disk, µs.
+    pub io_latency_micros: u64,
+    /// Seed of the deterministic global database the partitions are
+    /// routed from.
+    pub data_seed: u64,
+    /// Zipf exponent applied to the *selection* attribute (index 0) of
+    /// every relation; join attributes stay uniform. `None`: uniform.
+    pub skew: Option<f64>,
+    /// Memory grant in pages for bind-time arbitration (`None`: the
+    /// environment's expected grant). Each shard arbitrates and executes
+    /// under this grant independently — a shard is its own node.
+    pub memory_pages: Option<f64>,
+    /// Mid-query re-optimization budget for the per-shard access stages;
+    /// `None` (default) arbitrates once at bind time.
+    pub reopt: Option<ReoptConfig>,
+    /// Resolve every choose-plan at the coordinator against the global
+    /// statistics and broadcast the resolved plan — the "single-node
+    /// winner everywhere" baseline. Default `false`: per-shard winners.
+    pub force_uniform_winner: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 2,
+            net: NetConfig::default(),
+            link_faults: LinkFaultPlan::none(),
+            routing: ShardRouting::Hash { attr: 0 },
+            histogram_buckets: 16,
+            exec_mode: ExecMode::default(),
+            dop: 1,
+            limits: ResourceLimits::unlimited(),
+            io_latency_micros: 0,
+            data_seed: 42,
+            skew: None,
+            memory_pages: None,
+            reopt: None,
+            force_uniform_winner: false,
+        }
+    }
+}
+
+/// One shard replica: its partition of the data plus its local view of
+/// the statistics.
+#[derive(Debug)]
+pub struct Shard {
+    /// The shard's partition, with all catalog indexes built.
+    pub db: StoredDatabase,
+    /// The shard-local catalog: global schema, **local** cardinalities
+    /// and histograms. This is what makes per-shard arbitration differ —
+    /// the same dynamic plan costed against different statistics.
+    pub catalog: Catalog,
+}
+
+/// What one sharded query returns.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// The merged result rows, in [`ShardOutcome::layout`] order.
+    pub rows: Vec<Tuple>,
+    /// Column layout of the result: the query's relations concatenated
+    /// in `FROM` order (the canonical layout parity tests remap to).
+    pub layout: TupleLayout,
+    /// Result rows contributed by each shard.
+    pub per_shard_rows: Vec<u64>,
+    /// Choose-plan audit trails per shard, in arbitration order. Audits
+    /// for the same plan node carry the same `node` id on every shard,
+    /// so winners are comparable across shards.
+    pub audits: Vec<Vec<ChooseAudit>>,
+    /// Plan nodes whose winning alternative differed between shards.
+    pub divergent_nodes: Vec<u64>,
+    /// Wire traffic of this query alone (cross-shard + gather frames).
+    pub net: NetStats,
+    /// Retryable failures absorbed across all shards (choose-plan
+    /// fallbacks plus chunked-join degradations).
+    pub fallbacks: u64,
+}
+
+impl ShardOutcome {
+    /// How often each alternative index won a per-shard arbitration.
+    #[must_use]
+    pub fn winner_counts(&self) -> BTreeMap<usize, u64> {
+        let mut counts = BTreeMap::new();
+        for audit in self.audits.iter().flatten() {
+            if let Some(w) = audit.winner {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Whether at least one choose node resolved differently on
+    /// different shards.
+    #[must_use]
+    pub fn divergent(&self) -> bool {
+        !self.divergent_nodes.is_empty()
+    }
+}
+
+/// The distributed form of one parsed query: per-relation dynamic access
+/// plans plus the repartitioning join chain gluing them together.
+struct DistPlan {
+    rels: Vec<RelationId>,
+    access: Vec<Arc<PlanNode>>,
+    joins: Vec<JoinStage>,
+    order_by: Option<AttrId>,
+}
+
+/// One repartitioning join stage: the accumulated left side joins
+/// `rels[index + 1]` on `left_attr = right_attr`; any further equi-join
+/// predicates between the two sides apply as residual filters.
+struct JoinStage {
+    left_attr: AttrId,
+    right_attr: AttrId,
+    residual: Vec<(AttrId, AttrId)>,
+}
+
+/// Per-stage channel fan-out/fan-in of one shard. `None` marks the
+/// shard's own slot (self-partitions never touch the wire).
+struct StageWires {
+    left_out: Vec<Option<NetChannel>>,
+    left_in: Vec<Option<NetChannel>>,
+    right_out: Vec<Option<NetChannel>>,
+    right_in: Vec<Option<NetChannel>>,
+}
+
+struct ShardWires {
+    stages: Vec<StageWires>,
+    gather: NetChannel,
+}
+
+/// What a shard worker reports back besides the rows it pushed over its
+/// gather link.
+struct ShardRun {
+    rows_out: u64,
+    fallbacks: u64,
+    /// Audits synthesized from start-up decisions on the re-optimizing
+    /// path (where resolved plans carry no choose operators to audit).
+    synth_audits: Vec<ChooseAudit>,
+}
+
+/// A sharded query service: `N` partitioned replicas joined by a
+/// simulated repartitioning network, with per-shard bind-time
+/// arbitration. See the module docs for the architecture.
+pub struct ShardedService {
+    catalog: Catalog,
+    env: Environment,
+    config: ShardConfig,
+    shards: Vec<Shard>,
+    net: SimNet,
+    metrics: Arc<MetricsRegistry>,
+    completed: std::sync::atomic::AtomicU64,
+    failed: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("shards", &self.shards.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedService {
+    /// Builds the service: generates the global database
+    /// deterministically, routes every relation's rows to its shard,
+    /// loads each partition with all indexes, and refreshes each shard's
+    /// catalog statistics (cardinalities *and* histograms) from its
+    /// partition alone. The coordinator keeps global statistics with
+    /// histograms over the full data.
+    ///
+    /// # Panics
+    /// Panics when the catalog's page size differs from the storage page
+    /// size (misconfiguration, same contract as database generation).
+    #[must_use]
+    pub fn new(mut catalog: Catalog, config: ShardConfig) -> ShardedService {
+        let shards = config.shards.max(1);
+        let dist = config.skew.map_or(ValueDistribution::Uniform, |exponent| {
+            ValueDistribution::Zipf { exponent }
+        });
+        // Skew only the selection attribute; join columns stay uniform so
+        // estimation error is localized where the routing can see it.
+        let global = StoredDatabase::generate_profiled(&catalog, config.data_seed, |_, ai| {
+            if ai == 0 {
+                dist
+            } else {
+                ValueDistribution::Uniform
+            }
+        });
+        install_histograms(&global, &mut catalog, config.histogram_buckets)
+            .unwrap_or_else(|e| unreachable!("fresh disk cannot fault: {e}"));
+
+        let rows = global.export_rows();
+        let parts = partition_rows(&catalog, &rows, config.routing, shards);
+        let shards: Vec<Shard> = parts
+            .iter()
+            .map(|part| {
+                let db = StoredDatabase::from_rows(&catalog, part);
+                db.disk.set_io_latency_micros(config.io_latency_micros);
+                let mut local = catalog.clone();
+                db.refresh_stats(&mut local);
+                refresh_histograms(&db, &mut local, config.histogram_buckets);
+                Shard { db, catalog: local }
+            })
+            .collect();
+
+        let net = SimNet::new(config.net);
+        net.set_link_faults(config.link_faults.clone());
+        let env = Environment::dynamic_compile_time(&catalog.config);
+        ShardedService {
+            catalog,
+            env,
+            config,
+            shards,
+            net,
+            metrics: Arc::new(MetricsRegistry::new()),
+            completed: std::sync::atomic::AtomicU64::new(0),
+            failed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The coordinator's (global-statistics) catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shard replicas, for inspection in tests and benchmarks.
+    #[must_use]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The shared metrics registry (cross-shard traffic, queue-wait,
+    /// winner counts accumulate here across queries).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Replaces the link fault plan for subsequent queries.
+    pub fn set_link_faults(&self, plan: LinkFaultPlan) {
+        self.net.set_link_faults(plan);
+    }
+
+    /// The metrics snapshot as JSON — the same schema the serving layer
+    /// exports, with the `shard` section populated (cross-shard traffic,
+    /// per-link queue-wait histogram, winner counts, divergence).
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        use std::sync::atomic::Ordering;
+        let stats = crate::ServiceStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            ..crate::ServiceStats::default()
+        };
+        self.metrics.report(stats).to_json()
+    }
+
+    /// Parses, distributes, and executes one query across all shards.
+    ///
+    /// # Errors
+    /// [`ServiceError::Sql`] / [`ServiceError::Optimizer`] /
+    /// [`ServiceError::Bind`] for coordinator-side failures;
+    /// [`ServiceError::Exec`] when any shard fails (network faults past
+    /// the retransmission budget included).
+    pub fn execute(&self, sql: &str, binds: &[(&str, i64)]) -> Result<ShardOutcome, ServiceError> {
+        let query = parse_query(sql, &self.catalog).map_err(|e| ServiceError::Sql(e.to_string()))?;
+        let mut bindings = query.bindings(binds).map_err(ServiceError::Bind)?;
+        if let Some(pages) = self.config.memory_pages {
+            bindings = bindings.with_memory(pages);
+        }
+        let memory_pages = bindings
+            .memory_pages
+            .unwrap_or_else(|| self.env.memory.expected());
+        let memory_bytes = (memory_pages * f64::from(self.catalog.config.page_size)) as usize;
+
+        let plan = self.distribute(&query.expr, &query.predicates, query.order_by, &bindings)?;
+        let outcome = self.run(&plan, &bindings, memory_bytes);
+        match &outcome {
+            Ok(ok) => {
+                for audit in ok.audits.iter().flatten() {
+                    if let Some(w) = audit.winner {
+                        self.metrics.record_shard_winner(w);
+                    }
+                }
+                self.metrics.record_shard_query(ok.divergent_nodes.len() as u64);
+                self.metrics.record_net(&ok.net);
+                self.completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.metrics.record_shard_query(0);
+                self.failed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// Splits the query into per-relation dynamic access plans (optimized
+    /// once, at the coordinator) and the join chain between them.
+    fn distribute(
+        &self,
+        expr: &LogicalExpr,
+        predicates: &[ParsedPredicate],
+        order_by: Option<AttrId>,
+        bindings: &Bindings,
+    ) -> Result<DistPlan, ServiceError> {
+        let mut rels = Vec::new();
+        collect_relations(expr, &mut rels);
+
+        let optimizer = Optimizer::new(&self.catalog, &self.env);
+        let mut access = Vec::with_capacity(rels.len());
+        for &rel in &rels {
+            let mut node = LogicalExpr::Get { relation: rel };
+            for pred in predicates {
+                if let ParsedPredicate::Select(sp) = pred {
+                    if sp.attr.relation == rel {
+                        node = LogicalExpr::Select {
+                            input: Box::new(node),
+                            predicate: *sp,
+                        };
+                    }
+                }
+            }
+            let mut plan = optimizer
+                .optimize(&node)
+                .map_err(|e| ServiceError::Optimizer(e.to_string()))?
+                .plan;
+            if self.config.force_uniform_winner {
+                // The baseline: one global arbitration, broadcast resolved.
+                plan = evaluate_startup(&plan, &self.catalog, &self.env, bindings).resolved;
+            }
+            access.push(plan);
+        }
+
+        let mut joins = Vec::with_capacity(rels.len().saturating_sub(1));
+        for i in 1..rels.len() {
+            let joined = &rels[..i];
+            let next = rels[i];
+            let mut applicable: Vec<(AttrId, AttrId)> = Vec::new();
+            for pred in predicates {
+                if let ParsedPredicate::Join(jp) = pred {
+                    if joined.contains(&jp.left.relation) && jp.right.relation == next {
+                        applicable.push((jp.left, jp.right));
+                    } else if joined.contains(&jp.right.relation) && jp.left.relation == next {
+                        applicable.push((jp.right, jp.left));
+                    }
+                }
+            }
+            let Some(&(left_attr, right_attr)) = applicable.first() else {
+                return Err(ServiceError::Sql(format!(
+                    "sharded execution needs an equi-join predicate connecting relation {next} \
+                     to the preceding FROM relations (cross products are not distributed)"
+                )));
+            };
+            joins.push(JoinStage {
+                left_attr,
+                right_attr,
+                residual: applicable[1..].to_vec(),
+            });
+        }
+        Ok(DistPlan { rels, access, joins, order_by })
+    }
+
+    /// Runs the distributed plan: one worker thread per shard, the
+    /// coordinator draining the gather links on the current thread.
+    fn run(
+        &self,
+        plan: &DistPlan,
+        bindings: &Bindings,
+        memory_bytes: usize,
+    ) -> Result<ShardOutcome, ServiceError> {
+        let n = self.shards.len();
+        let net_before = self.net.stats();
+        let (mut wires, gather_rx) = self.wire_up(plan, n);
+        let tracers: Vec<Arc<Tracer>> = (0..n).map(|_| Arc::new(Tracer::new())).collect();
+
+        let (runs, per_shard) = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (s, shard) in self.shards.iter().enumerate() {
+                let shard_wires = wires.remove(0);
+                let tracer = Arc::clone(&tracers[s]);
+                let metrics = Arc::clone(&self.metrics);
+                let (env, config) = (&self.env, &self.config);
+                handles.push(scope.spawn(move || {
+                    let result = run_shard(
+                        s,
+                        shard,
+                        plan,
+                        &shard_wires,
+                        env,
+                        bindings,
+                        memory_bytes,
+                        config,
+                        tracer,
+                        &metrics,
+                    );
+                    // Whatever happened, unblock every peer: close this
+                    // shard's fan-in and fan-out (idempotent), so neither
+                    // senders nor receivers wait on a dead shard.
+                    for stage in &shard_wires.stages {
+                        for ch in stage
+                            .left_out
+                            .iter()
+                            .chain(&stage.left_in)
+                            .chain(&stage.right_out)
+                            .chain(&stage.right_in)
+                            .flatten()
+                        {
+                            ch.close();
+                        }
+                    }
+                    shard_wires.gather.close();
+                    result
+                }));
+            }
+
+            // The coordinator gathers while the shards run; draining one
+            // link fully before the next keeps the merge deterministic.
+            let mut per_shard: Vec<Result<Vec<Tuple>, ExecError>> = Vec::with_capacity(n);
+            for rx in &gather_rx {
+                let mut rows = Vec::new();
+                let mut err = None;
+                while let Some(frame) = rx.recv() {
+                    if err.is_some() {
+                        continue; // keep draining so senders never block
+                    }
+                    match decode_frame(&frame) {
+                        Ok(batch) => rows.extend(batch.iter()),
+                        Err(e) => err = Some(e),
+                    }
+                }
+                per_shard.push(err.map_or(Ok(rows), Err));
+            }
+            let runs: Vec<Result<ShardRun, ExecError>> = handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(ExecError::Network("shard worker panicked".into())))
+                })
+                .collect();
+            (runs, per_shard)
+        });
+
+        let mut shard_rows = Vec::with_capacity(n);
+        let mut fallbacks = 0;
+        let mut audits: Vec<Vec<ChooseAudit>> = Vec::with_capacity(n);
+        for (s, run) in runs.into_iter().enumerate() {
+            let run = run.map_err(ServiceError::Exec)?;
+            let rows = match per_shard[s].as_ref() {
+                Ok(rows) => rows,
+                Err(e) => return Err(ServiceError::Exec(e.clone())),
+            };
+            debug_assert_eq!(rows.len() as u64, run.rows_out, "gather lost frames");
+            fallbacks += run.fallbacks;
+            let mut shard_audits = tracers[s].report().audits;
+            shard_audits.extend(run.synth_audits);
+            audits.push(shard_audits);
+            shard_rows.push(rows.len() as u64);
+        }
+        let per_shard: Vec<Vec<Tuple>> = per_shard
+            .into_iter()
+            .map(|r| r.unwrap_or_default()) // errors already returned above
+            .collect();
+
+        let layout = canonical_layout(&self.catalog, &plan.rels);
+        let rows = match plan.order_by {
+            Some(attr) => kway_merge(per_shard, layout.require(attr)),
+            None => per_shard.concat(),
+        };
+
+        let mut winners_by_node: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+        for audit in audits.iter().flatten() {
+            if let Some(w) = audit.winner {
+                winners_by_node.entry(audit.node).or_default().insert(w);
+            }
+        }
+        let divergent_nodes: Vec<u64> = winners_by_node
+            .iter()
+            .filter(|(_, winners)| winners.len() > 1)
+            .map(|(&node, _)| node)
+            .collect();
+
+        Ok(ShardOutcome {
+            rows,
+            layout,
+            per_shard_rows: shard_rows,
+            audits,
+            divergent_nodes,
+            net: self.net.stats().since(&net_before),
+            fallbacks,
+        })
+    }
+
+    /// Creates the full channel matrix: per join stage, a left-side and a
+    /// right-side link for every ordered shard pair, plus one gather link
+    /// per shard to the coordinator (node `n`). Channel credits are
+    /// pre-sized from the coordinator's cardinality estimates — the same
+    /// `estimated_rows` pre-sizing the in-memory exchange applies to its
+    /// merge buffer.
+    fn wire_up(&self, plan: &DistPlan, n: usize) -> (Vec<ShardWires>, Vec<NetChannel>) {
+        let mut wires: Vec<ShardWires> = (0..n)
+            .map(|s| ShardWires {
+                stages: (0..plan.joins.len())
+                    .map(|_| StageWires {
+                        left_out: (0..n).map(|_| None).collect(),
+                        left_in: (0..n).map(|_| None).collect(),
+                        right_out: (0..n).map(|_| None).collect(),
+                        right_in: (0..n).map(|_| None).collect(),
+                    })
+                    .collect(),
+                gather: self.net.channel(s, n, credit_frames(None)),
+            })
+            .collect();
+        let gather_rx: Vec<NetChannel> = wires.iter().map(|w| w.gather.clone()).collect();
+        for (j, _) in plan.joins.iter().enumerate() {
+            // The right side of stage j is base relation j+1: its scan
+            // cardinality is known, and each of the n² links carries
+            // roughly a 1/n² share of it.
+            let right_card = self.catalog.relation(plan.rels[j + 1]).stats.cardinality;
+            let per_link = (right_card / (n * n).max(1) as u64).max(1);
+            for from in 0..n {
+                for to in 0..n {
+                    if from == to {
+                        continue;
+                    }
+                    let left = self.net.channel(from, to, credit_frames(None));
+                    wires[to].stages[j].left_in[from] = Some(left.clone());
+                    wires[from].stages[j].left_out[to] = Some(left);
+                    let right = self.net.channel(from, to, credit_frames(Some(per_link)));
+                    wires[to].stages[j].right_in[from] = Some(right.clone());
+                    wires[from].stages[j].right_out[to] = Some(right);
+                }
+            }
+        }
+        (wires, gather_rx)
+    }
+}
+
+/// The result layout: the query's relations concatenated in `FROM`
+/// order. The distributed join chain produces exactly this order on
+/// every shard.
+fn canonical_layout(catalog: &Catalog, rels: &[RelationId]) -> TupleLayout {
+    let mut layout = TupleLayout::base(catalog, rels[0]);
+    for &rel in &rels[1..] {
+        layout = layout.concat(&TupleLayout::base(catalog, rel));
+    }
+    layout
+}
+
+fn collect_relations(expr: &LogicalExpr, out: &mut Vec<RelationId>) {
+    match expr {
+        LogicalExpr::Get { relation } => out.push(*relation),
+        LogicalExpr::Select { input, .. } => collect_relations(input, out),
+        LogicalExpr::Join { left, right, .. } => {
+            collect_relations(left, out);
+            collect_relations(right, out);
+        }
+    }
+}
+
+/// Order-preserving k-way merge of per-shard runs already sorted on
+/// column `key`; ties resolve by shard index, so the merge is fully
+/// deterministic.
+fn kway_merge(mut runs: Vec<Vec<Tuple>>, key: usize) -> Vec<Tuple> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut heads = vec![0usize; runs.len()];
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(i64, usize)> = None;
+        for (s, run) in runs.iter().enumerate() {
+            if let Some(row) = run.get(heads[s]) {
+                let k = row[key];
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, s));
+                }
+            }
+        }
+        let Some((_, s)) = best else { break };
+        out.push(std::mem::take(&mut runs[s][heads[s]]));
+        heads[s] += 1;
+    }
+    out
+}
+
+/// The body of one shard worker: local access stages with shard-local
+/// arbitration, repartitioning joins, optional local sort, gather.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    s: usize,
+    shard: &Shard,
+    plan: &DistPlan,
+    wires: &ShardWires,
+    env: &Environment,
+    bindings: &Bindings,
+    memory_bytes: usize,
+    config: &ShardConfig,
+    tracer: Arc<Tracer>,
+    metrics: &MetricsRegistry,
+) -> Result<ShardRun, ExecError> {
+    let ctx = ExecContext::with_limits(SharedCounters::new(), config.limits)
+        .with_mode(config.exec_mode)
+        .with_dop(config.dop)
+        .with_tracer(tracer);
+    let mut synth_audits = Vec::new();
+
+    let mut current = run_access(
+        shard,
+        &plan.access[0],
+        env,
+        bindings,
+        memory_bytes,
+        config,
+        &ctx,
+        metrics,
+        &mut synth_audits,
+    )?;
+    let mut layout = TupleLayout::base(&shard.catalog, plan.rels[0]);
+
+    for (j, stage) in plan.joins.iter().enumerate() {
+        let right_rel = plan.rels[j + 1];
+        let right_rows = run_access(
+            shard,
+            &plan.access[j + 1],
+            env,
+            bindings,
+            memory_bytes,
+            config,
+            &ctx,
+            metrics,
+            &mut synth_audits,
+        )?;
+        let right_layout = TupleLayout::base(&shard.catalog, right_rel);
+        let lkey = layout.require(stage.left_attr);
+        let rkey = right_layout.require(stage.right_attr);
+
+        let stage_wires = &wires.stages[j];
+        let left_mine = repartition(
+            s,
+            current,
+            layout.width(),
+            lkey,
+            &stage_wires.left_out,
+            &stage_wires.left_in,
+            metrics,
+        )?;
+        let right_mine = repartition(
+            s,
+            right_rows,
+            right_layout.width(),
+            rkey,
+            &stage_wires.right_out,
+            &stage_wires.right_in,
+            metrics,
+        )?;
+        current = local_hash_join(&left_mine, lkey, &right_mine, rkey, &ctx)?;
+        layout = layout.concat(&right_layout);
+        for &(la, ra) in &stage.residual {
+            let (lp, rp) = (layout.require(la), layout.require(ra));
+            current.retain(|row| row[lp] == row[rp]);
+        }
+    }
+
+    if let Some(attr) = plan.order_by {
+        let c = layout.require(attr);
+        current.sort_by_key(|row| row[c]);
+    }
+
+    send_rows(&wires.gather, &current, layout.width(), metrics)?;
+    Ok(ShardRun {
+        rows_out: current.len() as u64,
+        fallbacks: ctx.counters.fallbacks(),
+        synth_audits,
+    })
+}
+
+/// Runs one per-relation access plan locally. The plan still carries its
+/// choose operators (unless the coordinator pre-resolved them), so
+/// compiling against the *shard's* catalog is what turns bind-time
+/// arbitration into a per-shard decision — the audit lands in the
+/// shard's tracer. With re-optimization enabled, the access stage runs
+/// through the checkpointing driver instead, and the start-up decisions
+/// are synthesized into audits.
+#[allow(clippy::too_many_arguments)]
+fn run_access(
+    shard: &Shard,
+    plan: &Arc<PlanNode>,
+    env: &Environment,
+    bindings: &Bindings,
+    memory_bytes: usize,
+    config: &ShardConfig,
+    ctx: &ExecContext,
+    metrics: &MetricsRegistry,
+    synth_audits: &mut Vec<ChooseAudit>,
+) -> Result<Vec<Tuple>, ExecError> {
+    if let Some(reopt) = config.reopt {
+        let outcome =
+            execute_plan_reopt_ctx(plan, &shard.db, &shard.catalog, env, bindings, reopt, ctx)?;
+        metrics.record_reopt(&outcome.report.counters);
+        for d in &outcome.startup.decisions {
+            synth_audits.push(ChooseAudit {
+                node: d.choose_plan.0,
+                bind_values: Vec::new(),
+                memory_pages: bindings.memory_pages,
+                alternatives: Vec::new(),
+                preferred: d.chosen_index,
+                attempts: Vec::new(),
+                winner: Some(d.chosen_index),
+                fallbacks: 0,
+            });
+        }
+        return Ok(outcome.rows);
+    }
+    let mut op =
+        compile_dynamic_plan(plan, &shard.db, &shard.catalog, env, bindings, memory_bytes, ctx)?;
+    match ctx.mode {
+        ExecMode::Tuple => drain(op.as_mut()),
+        ExecMode::Batch => drain_batch(op.as_mut()),
+    }
+}
+
+/// One repartitioning exchange: hash-scatters `rows` on `key` across all
+/// shards, sending cross-shard partitions as columnar frames and keeping
+/// the self-partition local. A dedicated sender thread keeps this shard
+/// receiving while it sends, so bounded credits can never deadlock the
+/// all-to-all: receivers are always live, and the sender closes its
+/// links the moment it finishes.
+fn repartition(
+    s: usize,
+    rows: Vec<Tuple>,
+    width: usize,
+    key: usize,
+    outs: &[Option<NetChannel>],
+    ins: &[Option<NetChannel>],
+    metrics: &MetricsRegistry,
+) -> Result<Vec<Tuple>, ExecError> {
+    std::thread::scope(|scope| {
+        let sender = scope.spawn(|| {
+            let result = send_partitions(s, &rows, width, key, outs, metrics);
+            for ch in outs.iter().flatten() {
+                ch.close();
+            }
+            result
+        });
+        let mut mine: Vec<Tuple> = Vec::new();
+        let mut recv_err: Option<ExecError> = None;
+        for ch in ins.iter().flatten() {
+            while let Some(frame) = ch.recv() {
+                if recv_err.is_some() {
+                    continue; // drain so peers never block on a dead link
+                }
+                match decode_frame(&frame) {
+                    Ok(batch) => mine.extend(batch.iter()),
+                    Err(e) => recv_err = Some(e),
+                }
+            }
+        }
+        let local = sender
+            .join()
+            .unwrap_or_else(|_| Err(ExecError::Network("repartition sender panicked".into())))?;
+        if let Some(e) = recv_err {
+            return Err(e);
+        }
+        mine.extend(local);
+        Ok(mine)
+    })
+}
+
+/// Scatter-and-send half of [`repartition`]: batches rows, routes each
+/// batch with the multiply-xor kernel, flushes full per-destination
+/// batches as frames, and returns the self-partition. Destination
+/// batches are pre-sized from the expected per-shard share.
+fn send_partitions(
+    s: usize,
+    rows: &[Tuple],
+    width: usize,
+    key: usize,
+    outs: &[Option<NetChannel>],
+    metrics: &MetricsRegistry,
+) -> Result<Vec<Tuple>, ExecError> {
+    let shards = outs.len();
+    let per_shard = (rows.len() / shards.max(1)).max(1) as u64;
+    let mut dest: Vec<RowBatch> = (0..shards)
+        .map(|_| presized_batch(width, Some(per_shard)))
+        .collect();
+    let mut local: Vec<Tuple> = Vec::with_capacity(per_shard as usize);
+    let mut input = RowBatch::with_capacity(width, BATCH_CAPACITY);
+    let (mut hashes, mut dests) = (Vec::new(), Vec::new());
+    let flush = |t: usize, batch: &mut RowBatch, local: &mut Vec<Tuple>| -> Result<(), ExecError> {
+        if batch.rows() == 0 {
+            return Ok(());
+        }
+        if t == s {
+            local.extend(batch.iter());
+        } else if let Some(ch) = &outs[t] {
+            let waited = ch.send(encode_frame(batch))?;
+            if !waited.is_zero() {
+                metrics.net_queue_wait.record(waited);
+            }
+        }
+        batch.clear();
+        Ok(())
+    };
+    for chunk in rows.chunks(BATCH_CAPACITY) {
+        input.clear();
+        for row in chunk {
+            input.push_row(row);
+        }
+        scatter_by_shard(&input, &[key], &mut dest, &mut hashes, &mut dests);
+        for (t, batch) in dest.iter_mut().enumerate() {
+            if batch.rows() >= BATCH_CAPACITY {
+                flush(t, batch, &mut local)?;
+            }
+        }
+    }
+    for (t, batch) in dest.iter_mut().enumerate() {
+        flush(t, batch, &mut local)?;
+    }
+    Ok(local)
+}
+
+/// Streams result rows over the gather link as columnar frames.
+fn send_rows(
+    ch: &NetChannel,
+    rows: &[Tuple],
+    width: usize,
+    metrics: &MetricsRegistry,
+) -> Result<(), ExecError> {
+    let mut batch = RowBatch::with_capacity(width, BATCH_CAPACITY);
+    for chunk in rows.chunks(BATCH_CAPACITY) {
+        batch.clear();
+        for row in chunk {
+            batch.push_row(row);
+        }
+        let waited = ch.send(encode_frame(&batch))?;
+        if !waited.is_zero() {
+            metrics.net_queue_wait.record(waited);
+        }
+    }
+    Ok(())
+}
+
+/// Shard-local in-memory hash join of two co-partitioned row sets,
+/// emitting `left ⊗ right` concatenations. The build side is the
+/// smaller input; its hash table memory is reserved with the shard's
+/// governor, and a refusal degrades to a **chunked build** (the build
+/// side is processed in grant-sized pieces, re-scanning the probe side
+/// per piece) instead of failing — counted as one fallback, the same
+/// graceful-degradation contract choose-plan gives retryable opens.
+fn local_hash_join(
+    left: &[Tuple],
+    lkey: usize,
+    right: &[Tuple],
+    rkey: usize,
+    ctx: &ExecContext,
+) -> Result<Vec<Tuple>, ExecError> {
+    let build_left = left.len() <= right.len();
+    let (build, bkey, probe, pkey) = if build_left {
+        (left, lkey, right, rkey)
+    } else {
+        (right, rkey, left, lkey)
+    };
+    // Per-row footprint: the key map entry plus the row reference.
+    let bytes_per_row = (build.first().map_or(0, Vec::len) * 8 + 48) as u64;
+    let full = (build.len() as u64).saturating_mul(bytes_per_row).max(1);
+
+    let mut granted = 0u64;
+    let mut refusal = None;
+    for divisor in [1u64, 2, 4, 8] {
+        let ask = (full / divisor).max(bytes_per_row.max(1));
+        match ctx.governor.try_reserve_memory(ask) {
+            Ok(()) => {
+                granted = ask;
+                break;
+            }
+            Err(e) if e.is_retryable() => refusal = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    if granted == 0 {
+        return Err(refusal.unwrap_or_else(|| {
+            ExecError::Network("memory reservation failed without an error".into())
+        }));
+    }
+    if granted < full {
+        ctx.counters.add_fallbacks(1);
+    }
+
+    let chunk_rows = ((granted / bytes_per_row.max(1)).max(1) as usize).min(build.len().max(1));
+    let mut out = Vec::new();
+    for build_chunk in build.chunks(chunk_rows) {
+        let mut table: HashMap<i64, Vec<&Tuple>> = HashMap::with_capacity(build_chunk.len());
+        for row in build_chunk {
+            table.entry(row[bkey]).or_default().push(row);
+        }
+        for probe_row in probe {
+            if let Some(matches) = table.get(&probe_row[pkey]) {
+                for &build_row in matches {
+                    let (l, r) = if build_left {
+                        (build_row, probe_row)
+                    } else {
+                        (probe_row, build_row)
+                    };
+                    let mut joined = Vec::with_capacity(l.len() + r.len());
+                    joined.extend_from_slice(l);
+                    joined.extend_from_slice(r);
+                    out.push(joined);
+                }
+            }
+        }
+    }
+    ctx.governor.release_memory(granted);
+    Ok(out)
+}
+
+/// Routes every relation's exported rows to its shard. Hash routing goes
+/// through the batched kernel ([`shard_route`] via a throwaway batch);
+/// range routing slices the attribute's domain into `shards` contiguous
+/// stripes.
+fn partition_rows(
+    catalog: &Catalog,
+    rows: &HashMap<RelationId, Vec<Vec<i64>>>,
+    routing: ShardRouting,
+    shards: usize,
+) -> Vec<HashMap<RelationId, Vec<Vec<i64>>>> {
+    let mut parts: Vec<HashMap<RelationId, Vec<Vec<i64>>>> =
+        (0..shards).map(|_| HashMap::new()).collect();
+    static EMPTY: Vec<Vec<i64>> = Vec::new();
+    for rel in catalog.relations() {
+        let rel_rows = rows.get(&rel.id).unwrap_or(&EMPTY);
+        let attr = routing.attr_index(rel.attributes.len());
+        let dests: Vec<usize> = match routing {
+            ShardRouting::Hash { .. } => {
+                let mut dests = Vec::with_capacity(rel_rows.len());
+                let (mut hash_scratch, mut dest_scratch) = (Vec::new(), Vec::new());
+                let width = rel.attributes.len();
+                let mut batch = RowBatch::with_capacity(width, BATCH_CAPACITY);
+                for chunk in rel_rows.chunks(BATCH_CAPACITY) {
+                    batch.clear();
+                    for row in chunk {
+                        batch.push_row(row);
+                    }
+                    dqep_executor::shard_route(
+                        &batch,
+                        &[attr],
+                        shards,
+                        &mut hash_scratch,
+                        &mut dest_scratch,
+                    );
+                    dests.extend(dest_scratch.iter().map(|&d| d as usize));
+                }
+                dests
+            }
+            ShardRouting::Range { .. } => {
+                let domain = rel.attributes[attr].domain_size.max(1.0);
+                rel_rows
+                    .iter()
+                    .map(|row| {
+                        let v = row[attr].max(0) as f64;
+                        ((v * shards as f64 / domain) as usize).min(shards - 1)
+                    })
+                    .collect()
+            }
+        };
+        for part in &mut parts {
+            part.insert(rel.id, Vec::new());
+        }
+        for (row, &d) in rel_rows.iter().zip(&dests) {
+            if let Some(bucket) = parts[d].get_mut(&rel.id) {
+                bucket.push(row.clone());
+            }
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqep_catalog::{make_chain_catalog, SyntheticSpec, SystemConfig};
+
+    fn chain_sql(n: usize) -> String {
+        let from: Vec<String> = (1..=n).map(|i| format!("R{i}")).collect();
+        let mut preds: Vec<String> =
+            (1..n).map(|i| format!("R{i}.jr = R{}.jl", i + 1)).collect();
+        preds.extend((1..=n).map(|i| format!("R{i}.a < :v{i}")));
+        format!("SELECT * FROM {} WHERE {}", from.join(", "), preds.join(" AND "))
+    }
+
+    fn catalog(relations: usize) -> Catalog {
+        make_chain_catalog(&SyntheticSpec::paper(relations, 7), SystemConfig::paper_1994())
+    }
+
+    fn single_node_rows(relations: usize, binds: &[(&str, i64)], sql: &str) -> Vec<Tuple> {
+        // The single-node baseline shares catalog, seed, and distribution
+        // with the sharded service's global database.
+        let svc = ShardedService::new(
+            catalog(relations),
+            ShardConfig { shards: 1, ..ShardConfig::default() },
+        );
+        svc.execute(sql, binds).expect("single shard executes").rows
+    }
+
+    fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn partitions_cover_the_data_exactly() {
+        let cat = catalog(2);
+        let config = ShardConfig { shards: 4, ..ShardConfig::default() };
+        let svc = ShardedService::new(cat, config);
+        for rel in svc.catalog().relations() {
+            let total: u64 = svc
+                .shards()
+                .iter()
+                .map(|s| s.db.table(rel.id).heap.record_count())
+                .sum();
+            assert_eq!(total, rel.stats.cardinality, "{}", rel.name);
+            // Shard-local catalogs hold the partition's cardinality.
+            for shard in svc.shards() {
+                assert_eq!(
+                    shard.catalog.relation(rel.id).stats.cardinality,
+                    shard.db.table(rel.id).heap.record_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_join_matches_single_node_multiset() {
+        let sql = chain_sql(2);
+        let binds = [("v1", 600i64), ("v2", 600i64)];
+        let baseline = single_node_rows(2, &binds, &sql);
+        for shards in [2usize, 4] {
+            let svc = ShardedService::new(
+                catalog(2),
+                ShardConfig { shards, ..ShardConfig::default() },
+            );
+            let out = svc.execute(&sql, &binds).expect("sharded run");
+            assert_eq!(
+                sorted(out.rows.clone()),
+                sorted(baseline.clone()),
+                "{shards} shards"
+            );
+            assert_eq!(out.per_shard_rows.len(), shards);
+            if shards > 1 {
+                assert!(out.net.frames > 0, "joins repartition over the wire");
+                assert!(out.net.bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn order_by_merges_order_preservingly() {
+        let sql = format!("{} ORDER BY R1.a", chain_sql(2));
+        let binds = [("v1", 500i64), ("v2", 500i64)];
+        let svc = ShardedService::new(
+            catalog(2),
+            ShardConfig { shards: 3, ..ShardConfig::default() },
+        );
+        let out = svc.execute(&sql, &binds).expect("sorted run");
+        let key = out.layout.require(
+            svc.catalog().relation_by_name("R1").expect("R1").attr_id("a").expect("a"),
+        );
+        assert!(out.rows.windows(2).all(|w| w[0][key] <= w[1][key]), "globally ordered");
+        assert_eq!(
+            sorted(out.rows.clone()),
+            sorted(single_node_rows(2, &binds, &sql))
+        );
+    }
+
+    #[test]
+    fn per_shard_arbitration_audits_are_recorded() {
+        let svc = ShardedService::new(
+            catalog(1),
+            ShardConfig { shards: 2, ..ShardConfig::default() },
+        );
+        let out = svc
+            .execute("SELECT * FROM R1 WHERE R1.a < :v1", &[("v1", 30)])
+            .expect("runs");
+        assert_eq!(out.audits.len(), 2);
+        for shard_audits in &out.audits {
+            assert!(
+                shard_audits.iter().all(|a| a.winner.is_some()),
+                "every arbitration resolved"
+            );
+        }
+        assert!(!out.winner_counts().is_empty(), "winners counted");
+    }
+
+    #[test]
+    fn link_faults_within_budget_preserve_results() {
+        let sql = chain_sql(2);
+        let binds = [("v1", 700i64), ("v2", 700i64)];
+        let baseline = single_node_rows(2, &binds, &sql);
+        let svc = ShardedService::new(
+            catalog(2),
+            ShardConfig {
+                shards: 2,
+                link_faults: LinkFaultPlan {
+                    fail_nth_frames: vec![1, 2],
+                    max_retransmits: 4,
+                },
+                ..ShardConfig::default()
+            },
+        );
+        let out = svc.execute(&sql, &binds).expect("faults absorbed");
+        assert_eq!(sorted(out.rows.clone()), sorted(baseline));
+        assert!(out.net.retransmits > 0, "drops were retransmitted");
+    }
+
+    #[test]
+    fn exhausted_retransmission_budget_fails_the_query() {
+        let svc = ShardedService::new(
+            catalog(2),
+            ShardConfig {
+                shards: 2,
+                link_faults: LinkFaultPlan {
+                    fail_nth_frames: vec![1, 1, 1],
+                    max_retransmits: 1,
+                },
+                ..ShardConfig::default()
+            },
+        );
+        let err = svc
+            .execute(&chain_sql(2), &[("v1", 900), ("v2", 900)])
+            .expect_err("budget exhausted");
+        assert!(
+            matches!(err, ServiceError::Exec(ExecError::Network(_))),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn range_routing_with_skew_diverges_winners() {
+        let svc = ShardedService::new(
+            catalog(1),
+            ShardConfig {
+                shards: 4,
+                routing: ShardRouting::Range { attr: 0 },
+                skew: Some(1.2),
+                ..ShardConfig::default()
+            },
+        );
+        // A selective predicate: shards with almost no matching rows
+        // favour the index path, the bulk shard favours the scan.
+        let out = svc
+            .execute("SELECT * FROM R1 WHERE R1.a < :v1", &[("v1", 40)])
+            .expect("runs");
+        assert!(
+            out.divergent(),
+            "skewed range partitions should disagree: {:?}",
+            out.winner_counts()
+        );
+        // Forcing the global winner removes the divergence.
+        let forced = ShardedService::new(
+            catalog(1),
+            ShardConfig {
+                shards: 4,
+                routing: ShardRouting::Range { attr: 0 },
+                skew: Some(1.2),
+                force_uniform_winner: true,
+                ..ShardConfig::default()
+            },
+        );
+        let fout = forced
+            .execute("SELECT * FROM R1 WHERE R1.a < :v1", &[("v1", 40)])
+            .expect("runs");
+        assert!(!fout.divergent(), "resolved broadcast cannot diverge");
+        assert_eq!(sorted(out.rows), sorted(fout.rows), "same result either way");
+    }
+
+    #[test]
+    fn metrics_accumulate_shard_counters() {
+        let svc = ShardedService::new(
+            catalog(2),
+            ShardConfig { shards: 2, ..ShardConfig::default() },
+        );
+        svc.execute(&chain_sql(2), &[("v1", 500), ("v2", 500)]).expect("runs");
+        let m = svc.metrics();
+        assert_eq!(m.shard_queries(), 1);
+        assert!(m.net_bytes() > 0);
+        assert!(m.net_frames() > 0);
+        assert!(m.shard_winners().iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn kway_merge_is_ordered_and_complete() {
+        let runs = vec![
+            vec![vec![1i64, 10], vec![4, 11]],
+            vec![vec![2i64, 20]],
+            vec![],
+            vec![vec![2i64, 30], vec![9, 31]],
+        ];
+        let merged = kway_merge(runs, 0);
+        let keys: Vec<i64> = merged.iter().map(|r| r[0]).collect();
+        assert_eq!(keys, vec![1, 2, 2, 4, 9]);
+        // Ties resolve by shard index: shard 1's row precedes shard 3's.
+        assert_eq!(merged[1], vec![2, 20]);
+        assert_eq!(merged[2], vec![2, 30]);
+    }
+}

@@ -334,6 +334,84 @@ impl StoredDatabase {
         StoredDatabase { disk, tables, mutations: 0 }
     }
 
+    /// Builds a database holding exactly the given rows per relation —
+    /// the constructor shard replicas are loaded through: the coordinator
+    /// routes the globally generated rows to shards, and each shard
+    /// materializes its partition with this. Every catalog index is
+    /// built; loading is unaccounted (like [`StoredDatabase::generate`])
+    /// and I/O counters are reset afterwards. Relations absent from
+    /// `rows` are created empty.
+    ///
+    /// # Panics
+    /// Panics when the catalog's page size differs from the storage page
+    /// size, or on a wrong-arity row.
+    #[must_use]
+    pub fn from_rows(
+        catalog: &Catalog,
+        rows: &HashMap<RelationId, Vec<Vec<i64>>>,
+    ) -> StoredDatabase {
+        assert_eq!(
+            catalog.config.page_size as usize, PAGE_SIZE,
+            "catalog page size must match storage PAGE_SIZE"
+        );
+        let disk = SimDisk::new();
+        let mut tables = HashMap::new();
+        static EMPTY: Vec<Vec<i64>> = Vec::new();
+        for rel in catalog.relations() {
+            let mut heap = HeapFile::new(disk.clone());
+            let mut indexes: HashMap<IndexId, BTree> = rel
+                .indexes
+                .iter()
+                .map(|&id| (id, BTree::new(disk.clone())))
+                .collect();
+            for values in rows.get(&rel.id).unwrap_or(&EMPTY) {
+                assert_eq!(values.len(), rel.attributes.len(), "row arity mismatch");
+                let record = encode_record(values, rel.stats.record_len as usize);
+                // A fresh disk has no fault plan and base-table appends
+                // are unaccounted, so loading cannot fail.
+                let rid = heap.append(&record).unwrap_or_else(|e| {
+                    unreachable!("load-time append on a fresh disk failed: {e}")
+                });
+                for (&idx_id, tree) in &mut indexes {
+                    let key_attr = catalog.index(idx_id).attr.index as usize;
+                    tree.insert(values[key_attr], rid);
+                }
+            }
+            tables.insert(
+                rel.id,
+                StoredTable {
+                    relation: rel.id,
+                    heap,
+                    indexes,
+                    n_attrs: rel.attributes.len(),
+                    record_len: rel.stats.record_len as usize,
+                },
+            );
+        }
+        disk.reset_stats();
+        StoredDatabase { disk, tables, mutations: 0 }
+    }
+
+    /// Decodes every live row of every relation with **unaccounted**
+    /// reads — the coordinator's bulk export when partitioning a
+    /// generated database across shards. Row order is heap order per
+    /// relation, so the export is deterministic.
+    #[must_use]
+    pub fn export_rows(&self) -> HashMap<RelationId, Vec<Vec<i64>>> {
+        let mut out = HashMap::new();
+        for table in self.tables.values() {
+            let mut rows = Vec::with_capacity(table.heap.record_count() as usize);
+            for &pid in table.heap.pages() {
+                let page = crate::SlottedPage::from_bytes(self.disk.read_unaccounted(pid));
+                for record in page.iter() {
+                    rows.push(decode_record(record, table.n_attrs));
+                }
+            }
+            out.insert(table.relation, rows);
+        }
+        out
+    }
+
     /// Inserts a row into `rel` through the accounted heap write path and
     /// updates every index on the relation. The heap write is charged and
     /// faultable; index maintenance (like index construction) is
@@ -626,6 +704,36 @@ mod tests {
         let attr = cat.relation(rel).attr_id("a").unwrap();
         let h = cat.histogram(attr).expect("histogram installed");
         assert!(h.total() >= 700, "histogram covers post-write rows");
+    }
+
+    #[test]
+    fn from_rows_roundtrips_export() {
+        let cat = catalog();
+        let db = StoredDatabase::generate(&cat, 7);
+        let rows = db.export_rows();
+        let rel_r = cat.relation_by_name("r").unwrap().id;
+        let rel_s = cat.relation_by_name("s").unwrap().id;
+        assert_eq!(rows[&rel_r].len(), 500);
+        assert_eq!(rows[&rel_s].len(), 200);
+
+        // Keep only rows with even `a` — a synthetic shard partition.
+        let mut part: HashMap<RelationId, Vec<Vec<i64>>> = HashMap::new();
+        part.insert(
+            rel_r,
+            rows[&rel_r].iter().filter(|r| r[0] % 2 == 0).cloned().collect(),
+        );
+        let shard = StoredDatabase::from_rows(&cat, &part);
+        let kept = part[&rel_r].len() as u64;
+        assert_eq!(shard.table(rel_r).heap.record_count(), kept);
+        assert_eq!(shard.table(rel_s).heap.record_count(), 0, "absent relation is empty");
+        assert_eq!(shard.disk.stats().total(), 0, "load I/O is reset");
+
+        // Indexes cover exactly the partition's rows.
+        let (idx_a, _) = cat.index_on_attr(cat.relation(rel_r).attr_id("a").unwrap()).unwrap();
+        assert_eq!(shard.table(rel_r).indexes[&idx_a].len(), kept);
+
+        // Re-export equals the partition (heap order preserved).
+        assert_eq!(shard.export_rows()[&rel_r], part[&rel_r]);
     }
 
     #[test]
