@@ -21,7 +21,9 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use dqep_bench::observability_bench::{observability_case, ObsMeasurement};
+use dqep_bench::observability_bench::{
+    observability_case, sharded_observability_case, ObsMeasurement,
+};
 
 /// Gate: the A/A bound on tracing-disabled overhead must stay below this.
 const GATE_PCT: f64 = 5.0;
@@ -87,6 +89,48 @@ fn main() -> ExitCode {
     println!("disabled overhead (A/A bound): {disabled_pct:.2}% (gate < {GATE_PCT}%)");
     println!("enabled overhead: {enabled_pct:.2}% over {spans} spans");
 
+    // Sharded A/A: the distributed default (trace off) keeps shard
+    // tracers in audit-only mode, so its overhead should also be noise.
+    // The enabled gate is *effective* overhead — enabled minus the A/A
+    // noise floor measured in the same session — so a noisy host cannot
+    // fail the gate on jitter alone.
+    let (sh_scale, sh_iters) = if quick { (10_000, 18) } else { (16_000, 24) };
+    println!("\nsharded (2 shards x dop 2): scale={sh_scale} iters={sh_iters}");
+    let sharded = sharded_observability_case(sh_scale, 7);
+    let _ = sharded.run(false);
+    let _ = sharded.run(true);
+    let mut sh_a = Vec::with_capacity(sh_iters);
+    let mut sh_b = Vec::with_capacity(sh_iters);
+    let mut sh_on = Vec::with_capacity(sh_iters);
+    for i in 0..sh_iters {
+        if i % 2 == 0 {
+            sh_a.push(sharded.run(false));
+            sh_b.push(sharded.run(false));
+        } else {
+            sh_b.push(sharded.run(false));
+            sh_a.push(sharded.run(false));
+        }
+        sh_on.push(sharded.run(true));
+    }
+    let sh_rows = sh_a[0].rows;
+    assert!(
+        sh_b.iter().chain(&sh_on).all(|m| m.rows == sh_rows),
+        "distributed tracing changed the result row count"
+    );
+    let sh_spans = sh_on[0].spans;
+    let (sa, sb, son) = (median_ms(&sh_a), median_ms(&sh_b), median_ms(&sh_on));
+    let sh_disabled_pct = (sa - sb).abs() / sa.min(sb) * 100.0;
+    let sh_enabled_pct = (son - sa.min(sb)) / sa.min(sb) * 100.0;
+    let sh_effective_pct = (sh_enabled_pct - sh_disabled_pct).max(0.0);
+    println!("{:<22} {:>10.3}", "disabled (A)", sa);
+    println!("{:<22} {:>10.3}", "disabled (B)", sb);
+    println!("{:<22} {:>10.3}", "enabled", son);
+    println!("sharded disabled overhead (A/A bound): {sh_disabled_pct:.2}% (gate < {GATE_PCT}%)");
+    println!(
+        "sharded enabled overhead: {sh_enabled_pct:.2}% raw, {sh_effective_pct:.2}% over the \
+         noise floor (gate < {GATE_PCT}%), {sh_spans} spans"
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"iters\": {iters},");
@@ -99,8 +143,24 @@ fn main() -> ExitCode {
     let _ = writeln!(
         json,
         "  \"gate\": {{ \"metric\": \"disabled_overhead_pct\", \"required_below\": {GATE_PCT}, \
-         \"measured\": {disabled_pct:.3} }}"
+         \"measured\": {disabled_pct:.3} }},"
     );
+    let _ = writeln!(json, "  \"sharded\": {{");
+    let _ = writeln!(json, "    \"iters\": {sh_iters},");
+    let _ = writeln!(json, "    \"rows\": {sh_rows},");
+    let _ = writeln!(json, "    \"spans\": {sh_spans},");
+    let _ = writeln!(json, "    \"disabled_a_median_ms\": {sa:.4},");
+    let _ = writeln!(json, "    \"disabled_b_median_ms\": {sb:.4},");
+    let _ = writeln!(json, "    \"enabled_median_ms\": {son:.4},");
+    let _ = writeln!(json, "    \"enabled_overhead_pct\": {sh_enabled_pct:.3},");
+    let _ = writeln!(
+        json,
+        "    \"gates\": [\n      {{ \"metric\": \"sharded_disabled_overhead_pct\", \
+         \"required_below\": {GATE_PCT}, \"measured\": {sh_disabled_pct:.3} }},\n      \
+         {{ \"metric\": \"sharded_effective_enabled_overhead_pct\", \
+         \"required_below\": {GATE_PCT}, \"measured\": {sh_effective_pct:.3} }}\n    ]"
+    );
+    let _ = writeln!(json, "  }}");
     json.push_str("}\n");
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("bench_observability: cannot write {out_path}: {e}");
@@ -112,6 +172,20 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_observability: disabled-overhead bound {disabled_pct:.2}% breaches the \
              {GATE_PCT}% gate"
+        );
+        return ExitCode::FAILURE;
+    }
+    if sh_disabled_pct >= GATE_PCT {
+        eprintln!(
+            "bench_observability: sharded disabled-overhead bound {sh_disabled_pct:.2}% \
+             breaches the {GATE_PCT}% gate"
+        );
+        return ExitCode::FAILURE;
+    }
+    if sh_effective_pct >= GATE_PCT {
+        eprintln!(
+            "bench_observability: sharded effective enabled overhead {sh_effective_pct:.2}% \
+             breaches the {GATE_PCT}% gate"
         );
         return ExitCode::FAILURE;
     }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dqep_algebra::{CompareOp, HostVar, JoinPred, LogicalExpr, SelectPred};
-use dqep_catalog::{Catalog, CatalogBuilder, SystemConfig};
+use dqep_catalog::{make_chain_catalog, Catalog, CatalogBuilder, SyntheticSpec, SystemConfig};
 use dqep_cost::{Bindings, Environment};
 use dqep_core::Optimizer;
 use dqep_executor::{
@@ -142,6 +142,72 @@ impl ObservabilityBenchCase {
             rows: summary.rows,
             millis: started.elapsed().as_secs_f64() * 1e3,
             spans: report.spans.len(),
+        }
+    }
+}
+
+/// Distributed-tracing overhead fixture: the same join executed through
+/// two identical 2-shard services, one with cross-shard trace propagation
+/// off (the default — shard tracers audit only) and one with it on
+/// (frame headers carry trace context, send/receive spans record wire
+/// accounting, the coordinator merges the per-shard timelines).
+pub struct ShardedObsCase {
+    untraced: dqep_service::ShardedService,
+    traced: dqep_service::ShardedService,
+    sql: String,
+    bind: i64,
+}
+
+/// Builds the sharded fixture: a 2-relation chain catalog with `scale`
+/// rows per relation — large enough that per-query work dominates the
+/// shard-thread spawn jitter the A/A bound has to see through.
+#[must_use]
+pub fn sharded_observability_case(scale: u64, seed: u64) -> ShardedObsCase {
+    let spec = SyntheticSpec {
+        n_relations: 2,
+        min_cardinality: scale,
+        max_cardinality: scale + scale / 4,
+        record_len: 128,
+        domain_factor_min: 0.2,
+        domain_factor_max: 1.25,
+        seed,
+    };
+    let service = |trace: bool| {
+        let catalog = make_chain_catalog(&spec, SystemConfig::paper_1994());
+        let config = dqep_service::ShardConfig {
+            shards: 2,
+            dop: 2,
+            data_seed: seed,
+            trace,
+            ..dqep_service::ShardConfig::default()
+        };
+        dqep_service::ShardedService::new(catalog, config)
+    };
+    ShardedObsCase {
+        untraced: service(false),
+        traced: service(true),
+        sql: "SELECT * FROM R1, R2 WHERE R1.jr = R2.jl AND R1.a < :x".to_string(),
+        bind: (scale / 2) as i64,
+    }
+}
+
+impl ShardedObsCase {
+    /// Executes the query once on the untraced (`traced = false`) or
+    /// traced service, reporting wall time and recorded spans.
+    ///
+    /// # Panics
+    /// Panics if execution fails — the fixture runs fault-free.
+    #[must_use]
+    pub fn run(&self, traced: bool) -> ObsMeasurement {
+        let service = if traced { &self.traced } else { &self.untraced };
+        let started = Instant::now();
+        let out = service
+            .execute(&self.sql, &[("x", self.bind)])
+            .expect("sharded bench execution");
+        ObsMeasurement {
+            rows: out.rows.len() as u64,
+            millis: started.elapsed().as_secs_f64() * 1e3,
+            spans: out.trace.as_ref().map_or(0, |t| t.spans.len()),
         }
     }
 }

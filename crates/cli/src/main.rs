@@ -81,7 +81,24 @@
 //!   --net-jitter-us U   deterministic per-frame jitter bound
 //!   --link-fault SPEC   drop frames, e.g. nth-frame=3,max-retransmit=2
 //!                       (--metrics-json writes the shard metrics
-//!                       snapshot; --io-latency-us paces each replica)
+//!                       snapshot; --io-latency-us paces each replica;
+//!                       --explain-analyze prints the merged distributed
+//!                       trace: coordinator, per-shard subtrees, and
+//!                       network send/receive spans with wire accounting)
+//!
+//! Observability (any mode):
+//!   --journal-json PATH dump the always-on structured event journal
+//!                       (arbitration winners, interval escapes, re-plans,
+//!                       degradation steps, live drift, shard divergence,
+//!                       link faults, admission refusals) as JSON on exit,
+//!                       fatal-error exits included; `-` prints to stdout
+//!   --metrics-prom PATH write the metrics snapshot in Prometheus text
+//!                       exposition format (requires --serve/--live/--shards)
+//!   --metrics-interval-ms MS
+//!                       sample metrics every MS milliseconds while the
+//!                       workload runs: appends one JSON-lines window per
+//!                       tick to the --metrics-json file and rewrites the
+//!                       --metrics-prom file each tick
 //!
 //! Exit codes distinguish failure classes — see [`dqep::DqepError`].
 
@@ -97,8 +114,8 @@ use dqep_executor::{
 };
 use dqep_plan::{evaluate_startup, render_plan, to_dot};
 use dqep_service::{
-    LiveConfig, LiveViewRegistry, MetricsRegistry, QueryService, Request, ServiceConfig,
-    ServiceStats, WriteOp,
+    LiveConfig, LiveViewRegistry, MetricsRegistry, MetricsReport, QueryService, Request,
+    ServiceConfig, ServiceStats, WriteOp,
 };
 use dqep_sql::parse_query;
 use dqep_storage::{install_histograms, FaultPlan, StoredDatabase, ValueDistribution};
@@ -135,6 +152,9 @@ struct Args {
     queue_timeout_ms: u64,
     io_latency_us: u64,
     metrics_json: Option<String>,
+    metrics_prom: Option<String>,
+    metrics_interval_ms: Option<u64>,
+    journal_json: Option<String>,
     shards: Option<usize>,
     routing: String,
     force_uniform: bool,
@@ -181,6 +201,9 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
         queue_timeout_ms: 10_000,
         io_latency_us: 0,
         metrics_json: None,
+        metrics_prom: None,
+        metrics_interval_ms: None,
+        journal_json: None,
         shards: None,
         routing: "hash".to_string(),
         force_uniform: false,
@@ -381,6 +404,24 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
                 args.metrics_json = Some(value(argv, i, "--metrics-json")?);
                 i += 2;
             }
+            "--metrics-prom" => {
+                args.metrics_prom = Some(value(argv, i, "--metrics-prom")?);
+                i += 2;
+            }
+            "--metrics-interval-ms" => {
+                let ms: u64 = value(argv, i, "--metrics-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-interval-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--metrics-interval-ms must be at least 1".to_string());
+                }
+                args.metrics_interval_ms = Some(ms);
+                i += 2;
+            }
+            "--journal-json" => {
+                args.journal_json = Some(value(argv, i, "--journal-json")?);
+                i += 2;
+            }
             "--shards" => {
                 let n: usize = value(argv, i, "--shards")?
                     .parse()
@@ -461,21 +502,27 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
     if args.json && !args.explain_analyze {
         return Err("--json requires --explain-analyze".to_string());
     }
-    if args.metrics_json.is_some()
-        && args.serve.is_none()
-        && args.live.is_none()
-        && args.shards.is_none()
-    {
+    let workload_mode = args.serve.is_some() || args.live.is_some() || args.shards.is_some();
+    if args.metrics_json.is_some() && !workload_mode {
         return Err("--metrics-json requires --serve, --live, or --shards".to_string());
+    }
+    if args.metrics_prom.is_some() && !workload_mode {
+        return Err("--metrics-prom requires --serve, --live, or --shards".to_string());
+    }
+    if args.metrics_interval_ms.is_some()
+        && args.metrics_json.is_none()
+        && args.metrics_prom.is_none()
+    {
+        return Err("--metrics-interval-ms requires --metrics-json or --metrics-prom".to_string());
     }
     if args.shards.is_some() {
         if args.sql.is_empty() || !args.run {
             return Err("--shards requires --sql and --run".to_string());
         }
-        if args.explain_analyze || args.adaptive {
-            return Err("--shards supports --run (and --reopt), not \
-                        --explain-analyze/--adaptive"
-                .to_string());
+        if args.adaptive {
+            return Err(
+                "--shards supports --run/--reopt/--explain-analyze, not --adaptive".to_string()
+            );
         }
         if args.routing != "hash" && args.routing != "range" {
             return Err(format!("--routing must be hash or range, got `{}`", args.routing));
@@ -503,7 +550,21 @@ fn parse_argv(argv: &[String]) -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            let e = DqepError::Usage(e);
+            eprintln!("dqep: {e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    let result = run(&args);
+    // The flight recorder is flushed on every exit path — fatal errors
+    // included — so post-mortem debugging always has the event journal.
+    if let Err(e) = dump_journal(&args) {
+        eprintln!("dqep: journal dump failed: {e}");
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("dqep: {e}");
@@ -512,16 +573,127 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), DqepError> {
-    let args = parse_args().map_err(DqepError::Usage)?;
+/// Writes the structured event journal to the `--journal-json`
+/// destination (`-` = stdout). A no-op without the flag.
+fn dump_journal(args: &Args) -> Result<(), DqepError> {
+    let Some(dest) = args.journal_json.as_deref() else {
+        return Ok(());
+    };
+    let json = dqep_executor::journal().to_json();
+    match dest {
+        "-" => println!("{json}"),
+        path => {
+            std::fs::write(path, &json)?;
+            eprintln!("wrote event journal to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Writes the shutdown metrics snapshot to the `--metrics-json` and
+/// `--metrics-prom` destinations. With `--metrics-interval-ms` the JSON
+/// file is an append-only time series, so the final snapshot appends one
+/// last line instead of replacing the windows sampled during the run.
+fn write_metric_outputs(args: &Args, report: &MetricsReport) -> Result<(), DqepError> {
+    match args.metrics_json.as_deref() {
+        None => {}
+        Some("-") => println!("\n-- metrics (shutdown snapshot):\n{}", report.to_json()),
+        Some(path) if args.metrics_interval_ms.is_some() => {
+            append_line(
+                path,
+                &format!("{{\"window\": \"final\", \"metrics\": {}}}", report.to_json_line()),
+            )?;
+            eprintln!("appended final metrics window to {path}");
+        }
+        Some(path) => {
+            std::fs::write(path, report.to_json())?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+    }
+    match args.metrics_prom.as_deref() {
+        None => {}
+        Some("-") => print!("\n{}", report.to_prometheus()),
+        Some(path) => {
+            std::fs::write(path, report.to_prometheus())?;
+            eprintln!("wrote Prometheus exposition to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Appends one line to `path`, creating the file if needed.
+fn append_line(path: &str, line: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{line}")
+}
+
+/// Runs `body` under a background metrics sampler: every
+/// `--metrics-interval-ms` window it appends one JSON-lines snapshot to
+/// the `--metrics-json` file and rewrites the `--metrics-prom` file, so
+/// the exports are a live time series rather than a shutdown-only dump.
+/// Without the flag it is exactly `body()`.
+fn with_sampler<T>(
+    args: &Args,
+    snapshot: &(dyn Fn() -> MetricsReport + Sync),
+    body: impl FnOnce() -> T,
+) -> T {
+    let Some(interval) = args.metrics_interval_ms else {
+        return body();
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = AtomicBool::new(false);
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        let sampler = scope.spawn(|| {
+            let jsonl = args.metrics_json.as_deref().filter(|p| *p != "-");
+            let prom = args.metrics_prom.as_deref().filter(|p| *p != "-");
+            let period = std::time::Duration::from_millis(interval);
+            let nap = std::time::Duration::from_millis(interval.clamp(1, 5));
+            let mut window = 0u64;
+            loop {
+                let deadline = std::time::Instant::now() + period;
+                while std::time::Instant::now() < deadline {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(nap);
+                }
+                window += 1;
+                let report = snapshot();
+                if let Some(path) = jsonl {
+                    let line = format!(
+                        "{{\"window\": {window}, \"elapsed_ms\": {}, \"metrics\": {}}}",
+                        started.elapsed().as_millis(),
+                        report.to_json_line(),
+                    );
+                    if append_line(path, &line).is_err() {
+                        return; // an unwritable path will not get better
+                    }
+                }
+                if let Some(path) = prom {
+                    if std::fs::write(path, report.to_prometheus()).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+        let out = body();
+        stop.store(true, Ordering::Relaxed);
+        let _ = sampler.join();
+        out
+    })
+}
+
+fn run(args: &Args) -> Result<(), DqepError> {
     if args.serve.is_some() {
-        return serve(&args);
+        return serve(args);
     }
     if args.live.is_some() {
-        return run_live(&args);
+        return run_live(args);
     }
     if args.shards.is_some() {
-        return run_sharded(&args);
+        return run_sharded(args);
     }
     let mut catalog = make_chain_catalog(
         &SyntheticSpec::paper(args.relations, args.seed),
@@ -904,79 +1076,78 @@ fn run_live(args: &Args) -> Result<(), DqepError> {
         Ok(())
     };
 
-    for cmd in &cmds {
-        match cmd {
-            LiveCmd::View { name, sql, binds } => {
-                // Writes before a registration must be visible to it.
-                flush(&mut registry, &mut pending)?;
-                let binds: Vec<(&str, i64)> =
-                    binds.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-                registry.register(name, sql, &binds)?;
-                let rows = registry.snapshot(name).map(|r| r.len()).unwrap_or(0);
-                println!("-- view {name}: registered, {rows} row(s) materialized");
+    // The workload runs under the live sampler; the metrics snapshot is
+    // written afterwards whatever the outcome, so a failing commit still
+    // leaves a usable post-mortem export.
+    let snapshot = || metrics.report(ServiceStats::default());
+    let result = with_sampler(args, &snapshot, || -> Result<(), DqepError> {
+        for cmd in &cmds {
+            match cmd {
+                LiveCmd::View { name, sql, binds } => {
+                    // Writes before a registration must be visible to it.
+                    flush(&mut registry, &mut pending)?;
+                    let binds: Vec<(&str, i64)> =
+                        binds.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                    registry.register(name, sql, &binds)?;
+                    let rows = registry.snapshot(name).map(|r| r.len()).unwrap_or(0);
+                    println!("-- view {name}: registered, {rows} row(s) materialized");
+                }
+                LiveCmd::Write { delete, relation, values } => {
+                    let rel = registry
+                        .catalog()
+                        .relation_by_name(relation)
+                        .map_err(|e| DqepError::Usage(e.to_string()))?
+                        .id;
+                    pending.push(if *delete {
+                        WriteOp::Delete { relation: rel, values: values.clone() }
+                    } else {
+                        WriteOp::Insert { relation: rel, values: values.clone() }
+                    });
+                }
+                LiveCmd::Commit => flush(&mut registry, &mut pending)?,
+                LiveCmd::Read { name } => match registry.snapshot(name) {
+                    Some(rows) => println!("-- read {name}: {} row(s)", rows.len()),
+                    None => return Err(DqepError::Usage(format!("unknown view `{name}`"))),
+                },
             }
-            LiveCmd::Write { delete, relation, values } => {
-                let rel = registry
-                    .catalog()
-                    .relation_by_name(relation)
-                    .map_err(|e| DqepError::Usage(e.to_string()))?
-                    .id;
-                pending.push(if *delete {
-                    WriteOp::Delete { relation: rel, values: values.clone() }
-                } else {
-                    WriteOp::Insert { relation: rel, values: values.clone() }
-                });
-            }
-            LiveCmd::Commit => flush(&mut registry, &mut pending)?,
-            LiveCmd::Read { name } => match registry.snapshot(name) {
-                Some(rows) => println!("-- read {name}: {} row(s)", rows.len()),
-                None => return Err(DqepError::Usage(format!("unknown view `{name}`"))),
-            },
         }
-    }
-    // A trailing uncommitted batch is committed, not dropped.
-    flush(&mut registry, &mut pending)?;
+        // A trailing uncommitted batch is committed, not dropped.
+        flush(&mut registry, &mut pending)?;
 
-    let views = registry.views();
-    println!(
-        "\n-- {} view(s), {} delta batch(es), {} row(s) propagated, {} re-arbitration(s)",
-        metrics.live_views_registered(),
-        metrics.live_delta_batches(),
-        metrics.live_rows_propagated(),
-        metrics.live_rearbitrations(),
-    );
-    for v in &views {
+        let views = registry.views();
         println!(
-            "--   {}: {} row(s), decisions {:?}, {} re-arbitration(s), {} fallback(s)",
-            v.name, v.rows, v.decisions, v.rearbitrations, v.fallbacks
+            "\n-- {} view(s), {} delta batch(es), {} row(s) propagated, {} re-arbitration(s)",
+            metrics.live_views_registered(),
+            metrics.live_delta_batches(),
+            metrics.live_rows_propagated(),
+            metrics.live_rearbitrations(),
         );
-    }
+        for v in &views {
+            println!(
+                "--   {}: {} row(s), decisions {:?}, {} re-arbitration(s), {} fallback(s)",
+                v.name, v.rows, v.decisions, v.rearbitrations, v.fallbacks
+            );
+        }
 
-    if let Some(dest) = args.explain_json_path.as_deref() {
-        let last = views
-            .last()
-            .ok_or_else(|| DqepError::Usage("no view registered for --explain-json".into()))?;
-        let doc = registry
-            .explain_json(&last.name)
-            .expect("registered views have a materialization trace");
-        match dest {
-            "-" => println!("{doc}"),
-            path => {
-                std::fs::write(path, doc)?;
-                eprintln!("wrote EXPLAIN ANALYZE JSON of view `{}` to {path}", last.name);
+        if let Some(dest) = args.explain_json_path.as_deref() {
+            let last = views
+                .last()
+                .ok_or_else(|| DqepError::Usage("no view registered for --explain-json".into()))?;
+            let doc = registry
+                .explain_json(&last.name)
+                .expect("registered views have a materialization trace");
+            match dest {
+                "-" => println!("{doc}"),
+                path => {
+                    std::fs::write(path, doc)?;
+                    eprintln!("wrote EXPLAIN ANALYZE JSON of view `{}` to {path}", last.name);
+                }
             }
         }
-    }
-    let report = metrics.report(ServiceStats::default()).to_json();
-    match args.metrics_json.as_deref() {
-        None => {}
-        Some("-") => println!("\n-- metrics (shutdown snapshot):\n{report}"),
-        Some(path) => {
-            std::fs::write(path, &report)?;
-            eprintln!("wrote metrics snapshot to {path}");
-        }
-    }
-    Ok(())
+        Ok(())
+    });
+    write_metric_outputs(args, &metrics.report(ServiceStats::default()))?;
+    result
 }
 
 /// Parses a workload file: one statement per line, optional
@@ -1060,76 +1231,95 @@ fn run_sharded(args: &Args) -> Result<(), DqepError> {
             ..ReoptConfig::default()
         }),
         force_uniform_winner: args.force_uniform,
+        trace: args.explain_analyze,
         ..dqep_service::ShardConfig::default()
     };
     let shards = config.shards;
-    println!(
-        "-- sharded execution: {shards} shard(s), {} routing{}",
-        args.routing,
-        if args.force_uniform { ", forced uniform winner" } else { "" },
-    );
+    let system = catalog.config;
+    // With --json, stdout carries only the JSON document.
+    let narrate = !args.json;
+    if narrate {
+        println!(
+            "-- sharded execution: {shards} shard(s), {} routing{}",
+            args.routing,
+            if args.force_uniform { ", forced uniform winner" } else { "" },
+        );
+    }
 
     let service = dqep_service::ShardedService::new(catalog, config);
     let binds: Vec<(&str, i64)> = args.binds.iter().map(|(n, v)| (n.as_str(), *v)).collect();
     let started = std::time::Instant::now();
-    let result = service.execute(&args.sql, &binds);
+    let snapshot = || service.metrics_report();
+    let result = with_sampler(args, &snapshot, || service.execute(&args.sql, &binds));
     let wall = started.elapsed();
-
-    // The metrics snapshot reflects the query whatever its outcome.
-    let write_metrics = |svc: &dqep_service::ShardedService| -> Result<(), DqepError> {
-        if let Some(path) = args.metrics_json.as_deref() {
-            let json = svc.metrics_json();
-            if path == "-" {
-                println!("\n-- metrics (shutdown snapshot):\n{json}");
-            } else {
-                std::fs::write(path, &json)?;
-                eprintln!("wrote metrics snapshot to {path}");
-            }
-        }
-        Ok(())
-    };
 
     let out = match result {
         Ok(out) => out,
         Err(e) => {
-            write_metrics(&service)?;
+            // The metrics snapshot reflects the query whatever its outcome.
+            write_metric_outputs(args, &service.metrics_report())?;
             return Err(DqepError::Service(e));
         }
     };
-    println!(
-        "-- {} row(s) in {:.3}s wall; per-shard rows: {:?}",
-        out.rows.len(),
-        wall.as_secs_f64(),
-        out.per_shard_rows,
-    );
-    for (s, audits) in out.audits.iter().enumerate() {
-        let winners: Vec<String> = audits
-            .iter()
-            .map(|a| match a.winner {
-                Some(w) => format!("node {} -> alt {w}", a.node),
-                None => format!("node {} -> unresolved", a.node),
-            })
-            .collect();
-        println!("-- shard {s}: {}", if winners.is_empty() {
-            "no arbitration (resolved plan)".to_string()
-        } else {
-            winners.join(", ")
-        });
-    }
-    if out.divergent_nodes.is_empty() {
-        println!("-- winners agree on every choose node");
-    } else {
+    if narrate {
         println!(
-            "-- divergent winners on choose node(s) {:?} (local statistics disagree)",
-            out.divergent_nodes
+            "-- {} row(s) in {:.3}s wall; per-shard rows: {:?}",
+            out.rows.len(),
+            wall.as_secs_f64(),
+            out.per_shard_rows,
         );
+        for (s, audits) in out.audits.iter().enumerate() {
+            let winners: Vec<String> = audits
+                .iter()
+                .map(|a| match a.winner {
+                    Some(w) => format!("node {} -> alt {w}", a.node),
+                    None => format!("node {} -> unresolved", a.node),
+                })
+                .collect();
+            println!("-- shard {s}: {}", if winners.is_empty() {
+                "no arbitration (resolved plan)".to_string()
+            } else {
+                winners.join(", ")
+            });
+        }
+        if out.divergent_nodes.is_empty() {
+            println!("-- winners agree on every choose node");
+        } else {
+            println!(
+                "-- divergent winners on choose node(s) {:?} (local statistics disagree)",
+                out.divergent_nodes
+            );
+        }
+        println!(
+            "-- network: {} frame(s), {} byte(s), {} retransmit(s), {} credit stall(s); \
+             {} fallback(s)",
+            out.net.frames, out.net.bytes, out.net.retransmits, out.net.credit_stalls,
+            out.fallbacks,
+        );
+        // Per-link deltas for this query: each entry is one directed
+        // channel's traffic, so the wire totals above decompose exactly.
+        for l in &out.links {
+            println!(
+                "-- link {}->{}: {} frame(s), {} byte(s), {} retransmit(s), \
+                 {} credit stall(s) ({:.3}ms waiting)",
+                l.from,
+                l.to,
+                l.stats.frames,
+                l.stats.bytes,
+                l.stats.retransmits,
+                l.stats.credit_stalls,
+                l.stats.credit_wait_ns as f64 / 1e6,
+            );
+        }
     }
-    println!(
-        "-- network: {} frame(s), {} byte(s), {} retransmit(s), {} credit stall(s); \
-         {} fallback(s)",
-        out.net.frames, out.net.bytes, out.net.retransmits, out.net.credit_stalls, out.fallbacks,
-    );
-    write_metrics(&service)
+    if let Some(report) = &out.trace {
+        if args.json {
+            println!("{}", explain_json(report, &system));
+        } else {
+            print!("\n{}", render_explain(report, &system));
+        }
+    }
+    write_metric_outputs(args, &service.metrics_report())
 }
 
 fn serve(args: &Args) -> Result<(), DqepError> {
@@ -1177,7 +1367,7 @@ fn serve(args: &Args) -> Result<(), DqepError> {
         ..ServiceConfig::default()
     };
     let service = QueryService::new(catalog, config);
-    let system = service.catalog().config.clone();
+    let system = service.catalog().config;
     let config = &system;
 
     let sessions: Vec<Request> = std::iter::repeat_with(|| workload.clone())
@@ -1192,7 +1382,8 @@ fn serve(args: &Args) -> Result<(), DqepError> {
         service.workers()
     );
     let started = std::time::Instant::now();
-    let results = service.run_batch(sessions);
+    let snapshot = || service.metrics();
+    let results = with_sampler(args, &snapshot, || service.run_batch(sessions));
     let wall = started.elapsed();
 
     let mut failed = 0usize;
@@ -1239,14 +1430,11 @@ fn serve(args: &Args) -> Result<(), DqepError> {
     );
 
     // Shutdown metrics snapshot: latency/queue-wait histograms, refusal
-    // counters, cache rates.
-    let metrics = service.metrics_json();
-    match args.metrics_json.as_deref() {
-        Some("-") | None => println!("\n-- metrics (shutdown snapshot):\n{metrics}"),
-        Some(path) => {
-            std::fs::write(path, &metrics)?;
-            eprintln!("wrote metrics snapshot to {path}");
-        }
+    // counters, cache rates. Printed by default; the flags redirect it.
+    if args.metrics_json.is_none() && args.metrics_prom.is_none() {
+        println!("\n-- metrics (shutdown snapshot):\n{}", service.metrics_json());
+    } else {
+        write_metric_outputs(args, &service.metrics())?;
     }
 
     match first_error {
@@ -1367,6 +1555,46 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("--routing"));
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let a = parse_argv(&argv(&[
+            "--sql", "q", "--run", "--shards", "2", "--journal-json", "j.json",
+            "--metrics-prom", "m.prom", "--metrics-json", "m.jsonl",
+            "--metrics-interval-ms", "50",
+        ]))
+        .unwrap();
+        assert_eq!(a.journal_json.as_deref(), Some("j.json"));
+        assert_eq!(a.metrics_prom.as_deref(), Some("m.prom"));
+        assert_eq!(a.metrics_interval_ms, Some(50));
+        // The journal is always on, so the dump flag works in any mode.
+        let a = parse_argv(&argv(&["--sql", "q", "--journal-json", "-"])).unwrap();
+        assert_eq!(a.journal_json.as_deref(), Some("-"));
+        // The exports require a workload mode, and the sampler an export.
+        assert!(parse_argv(&argv(&["--sql", "q", "--run", "--metrics-prom", "m"]))
+            .unwrap_err()
+            .contains("--metrics-prom requires"));
+        assert!(parse_argv(&argv(&["--serve", "w", "--metrics-interval-ms", "10"]))
+            .unwrap_err()
+            .contains("--metrics-interval-ms requires"));
+        assert!(parse_argv(&argv(&[
+            "--serve", "w", "--metrics-json", "m", "--metrics-interval-ms", "0"
+        ]))
+        .unwrap_err()
+        .contains("at least 1"));
+    }
+
+    #[test]
+    fn shards_allow_explain_analyze_but_not_adaptive() {
+        let a =
+            parse_argv(&argv(&["--sql", "q", "--shards", "2", "--explain-analyze", "--json"]))
+                .unwrap();
+        assert_eq!(a.shards, Some(2));
+        assert!(a.explain_analyze && a.run && a.json);
+        assert!(parse_argv(&argv(&["--sql", "q", "--run", "--shards", "2", "--adaptive"]))
+            .unwrap_err()
+            .contains("--adaptive"));
     }
 
     #[test]

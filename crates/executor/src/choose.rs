@@ -138,9 +138,18 @@ impl<'a> ChoosePlanExec<'a> {
         order
     }
 
-    /// Hands a completed arbitration audit to the tracer, if tracing.
+    /// Hands a completed arbitration audit to the tracer, if tracing, and
+    /// records the arbitration outcome in the flight-recorder journal.
     fn flush_audit(&self, audit: ChooseAudit) {
         if let Some(tracer) = self.ctx.tracer.as_ref() {
+            crate::journal::journal().record(
+                crate::journal::EventKind::ArbitrationWinner,
+                tracer.trace_id(),
+                crate::journal::NO_ID,
+                audit.node,
+                audit.winner.map_or(crate::journal::NO_ID, |w| w as u64),
+                audit.fallbacks,
+            );
             tracer.audit(audit);
         }
     }

@@ -119,6 +119,31 @@ fn render_span(out: &mut String, report: &TraceReport, record: &SpanRecord, dept
         s.io.writes,
         s.mem_peak,
     );
+    if let Some(net) = &record.net {
+        if net.sent {
+            let _ = writeln!(
+                out,
+                "{pad}  net: link {}->{} sent {} frame(s), {} byte(s), {} retransmit(s), \
+                 {} credit stall(s) ({:.3}ms waiting)",
+                net.from,
+                net.to,
+                net.frames,
+                net.bytes,
+                net.retransmits,
+                net.credit_stalls,
+                net.credit_wait_ns as f64 / 1e6,
+            );
+        } else {
+            let remote = net
+                .remote_span
+                .map_or("none".to_string(), |r| format!("span {r}"));
+            let _ = writeln!(
+                out,
+                "{pad}  net: link {}->{} received (remote {remote})",
+                net.from, net.to,
+            );
+        }
+    }
     for child in report.children_of(record.id) {
         render_span(out, report, child, depth + 1, config);
     }
@@ -260,7 +285,10 @@ fn jopt(v: Option<bool>) -> &'static str {
 /// (nullable), `actual`, and the two drift flags (nullable booleans).
 #[must_use]
 pub fn explain_json(report: &TraceReport, config: &SystemConfig) -> String {
-    let mut out = String::from("{\"explain_analyze\":{\"nodes\":[");
+    let mut out = format!(
+        "{{\"explain_analyze\":{{\"trace_id\":{},\"nodes\":[",
+        report.trace_id
+    );
     for (i, record) in report.spans.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -313,6 +341,27 @@ pub fn explain_json(report: &TraceReport, config: &SystemConfig) -> String {
             s.mem_peak,
             jnum(s.simulated_seconds(config)),
         );
+        let _ = write!(out, ",\"start_ns\":{}", record.start_ns);
+        match &record.net {
+            Some(net) => {
+                let _ = write!(
+                    out,
+                    ",\"net\":{{\"from\":{},\"to\":{},\"sent\":{},\"bytes\":{},\"frames\":{},\
+                     \"retransmits\":{},\"credit_stalls\":{},\"credit_wait_ns\":{},\
+                     \"remote_span\":{}}}",
+                    net.from,
+                    net.to,
+                    net.sent,
+                    net.bytes,
+                    net.frames,
+                    net.retransmits,
+                    net.credit_stalls,
+                    net.credit_wait_ns,
+                    net.remote_span.map_or("null".into(), |r| r.to_string()),
+                );
+            }
+            None => out.push_str(",\"net\":null"),
+        }
         let _ = write!(
             out,
             ",\"card_drift\":{},\"cost_drift\":{}}}",
@@ -679,6 +728,12 @@ pub fn validate_explain_json(text: &str) -> Result<(), String> {
     if nodes.is_empty() {
         return Err("\"nodes\" must not be empty".into());
     }
+    if let Some(v) = ea.get("trace_id") {
+        match v.as_num() {
+            Some(n) if n >= 0.0 => {}
+            _ => return Err("\"trace_id\" must be a non-negative number".into()),
+        }
+    }
     for (i, node) in nodes.iter().enumerate() {
         let ctx = format!("nodes[{i}]");
         let span = require_num(node, "span", &ctx)?;
@@ -738,6 +793,45 @@ pub fn validate_explain_json(text: &str) -> Result<(), String> {
         }
         require_nullable_bool(node, "card_drift", &ctx)?;
         require_nullable_bool(node, "cost_drift", &ctx)?;
+        // Distributed-tracing fields are additive: validated when present.
+        if let Some(v) = node.get("start_ns") {
+            match v.as_num() {
+                Some(n) if n >= 0.0 => {}
+                _ => return Err(format!("{ctx}: \"start_ns\" must be a non-negative number")),
+            }
+        }
+        match node.get("net") {
+            None | Some(JsonValue::Null) => {}
+            Some(net @ JsonValue::Obj(_)) => {
+                for key in [
+                    "from",
+                    "to",
+                    "bytes",
+                    "frames",
+                    "retransmits",
+                    "credit_stalls",
+                    "credit_wait_ns",
+                ] {
+                    let v = require_num(net, key, &format!("{ctx}.net"))?;
+                    if v < 0.0 {
+                        return Err(format!("{ctx}.net: \"{key}\" is negative"));
+                    }
+                }
+                match net.get("sent") {
+                    Some(JsonValue::Bool(_)) => {}
+                    _ => return Err(format!("{ctx}.net: \"sent\" must be a boolean")),
+                }
+                match net.get("remote_span") {
+                    Some(JsonValue::Null | JsonValue::Num(_)) => {}
+                    _ => {
+                        return Err(format!(
+                            "{ctx}.net: \"remote_span\" must be a number or null"
+                        ))
+                    }
+                }
+            }
+            _ => return Err(format!("{ctx}: \"net\" must be an object or null")),
+        }
     }
     let audits = ea
         .get("audits")
@@ -892,6 +986,8 @@ mod tests {
             estimate: None,
             dop: 1,
             stats: SpanStats::default(),
+            start_ns: 0,
+            net: None,
         });
         report.reopt = state.report();
         let config = SystemConfig::paper_1994();
@@ -921,6 +1017,8 @@ mod tests {
             }),
             dop: 1,
             stats: SpanStats::default(),
+            start_ns: 0,
+            net: None,
         };
         assert_eq!(card_drift(&record), None, "never opened: not evaluated");
         record.stats.opens = 1;

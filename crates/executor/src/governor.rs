@@ -332,6 +332,15 @@ impl ExecContext {
         self
     }
 
+    /// The same context with the initial span parent overridden, so a
+    /// compiled subtree nests under an externally opened span (e.g. a
+    /// shard's root span in a distributed trace).
+    #[must_use]
+    pub fn with_span_parent(mut self, parent: crate::trace::SpanId) -> ExecContext {
+        self.span_parent = Some(parent);
+        self
+    }
+
     /// The same context with `mode` overridden.
     #[must_use]
     pub fn with_mode(mut self, mode: ExecMode) -> ExecContext {

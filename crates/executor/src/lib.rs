@@ -52,6 +52,7 @@ mod filter;
 mod governor;
 mod hash_join;
 mod index_join;
+mod journal;
 mod merge_join;
 mod metrics;
 mod netexchange;
@@ -78,11 +79,15 @@ pub use explain::{
 };
 pub use governor::{ExecContext, ExecMode, ResourceGovernor, ResourceLimits};
 pub use hash_join::{fold_hash_column, hash_key, mix, HASH_SEED};
+pub use journal::{
+    journal, monotonic_ns, validate_journal_json, EventKind, Journal, JournalEvent,
+    JOURNAL_CAPACITY, NO_ID,
+};
 pub use metrics::{CpuCounters, ExecSummary, PlanCacheInfo, SharedCounters};
 pub use netexchange::{
-    credit_frames, decode_frame, encode_frame, frame_encoded_len, presized_batch,
-    scatter_by_shard, shard_route, LinkFaultPlan, NetChannel, NetConfig, NetStats, SimNet,
-    FRAME_HEADER_BYTES,
+    credit_frames, decode_frame, decode_frame_traced, encode_frame, encode_frame_traced,
+    frame_encoded_len, presized_batch, scatter_by_shard, shard_route, FrameTrace, LinkFaultPlan,
+    NetChannel, NetConfig, NetStats, SimNet, FRAME_HEADER_BYTES,
 };
 pub use reopt::{
     escapes_interval, execute_plan_reopt, execute_plan_reopt_ctx, execute_plan_reopt_traced,
@@ -90,7 +95,7 @@ pub use reopt::{
     ReoptReport, ReoptState,
 };
 pub use trace::{
-    AltAudit, AttemptAudit, ChooseAudit, NodeEstimate, SpanId, SpanRecord, SpanStats,
-    TraceReport, TracedExec, Tracer,
+    merge_distributed, AltAudit, AttemptAudit, ChooseAudit, NetSpanStats, NodeEstimate, SpanId,
+    SpanRecord, SpanStats, TraceReport, TracedExec, Tracer,
 };
 pub use tuple::{Tuple, TupleLayout};

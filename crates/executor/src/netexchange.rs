@@ -38,11 +38,27 @@ use crate::batch::{RowBatch, BATCH_CAPACITY};
 use crate::error::ExecError;
 use crate::hash_join::{fold_hash_column, mix, HASH_SEED};
 
-/// Bytes of the frame header: width, row count, selection length.
-pub const FRAME_HEADER_BYTES: usize = 12;
+/// Bytes of the frame header: width, row count, selection length, trace
+/// id, parent span.
+pub const FRAME_HEADER_BYTES: usize = 24;
 
 /// Sentinel selection length meaning "dense batch, no selection vector".
 const NO_SELECTION: u32 = u32::MAX;
+
+/// Sentinel parent-span slot meaning "no span attached".
+const NO_SPAN: u32 = u32::MAX;
+
+/// Trace context carried in every frame header: which query timeline the
+/// frame belongs to (`0` = untraced) and the sender-side network span it
+/// is a child of, when the sender records spans. Receivers use it to link
+/// their receive spans back to the remote sender.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameTrace {
+    /// Trace id of the sending query; `0` means "no trace".
+    pub trace_id: u64,
+    /// The sender's network-send span, when one was recorded.
+    pub span: Option<u64>,
+}
 
 /// The exact wire size of `batch` once encoded.
 #[must_use]
@@ -53,15 +69,25 @@ pub fn frame_encoded_len(batch: &RowBatch) -> usize {
 }
 
 /// Serializes a columnar batch into one self-describing frame:
-/// `[width:u32][rows:u32][sel_len:u32][columns…][selection…]`, all
-/// little-endian. Columns are written physical-row-complete (the
-/// selection vector, when present, is carried verbatim), so decoding
-/// reproduces the batch exactly — including which rows are live.
+/// `[width:u32][rows:u32][sel_len:u32][trace_id:u64][parent_span:u32]`
+/// followed by `[columns…][selection…]`, all little-endian. Columns are
+/// written physical-row-complete (the selection vector, when present, is
+/// carried verbatim), so decoding reproduces the batch exactly —
+/// including which rows are live. No trace context is stamped; see
+/// [`encode_frame_traced`].
 ///
 /// Single copy: each column slice is appended to the wire buffer in one
 /// pass; no row-wise gather happens.
 #[must_use]
 pub fn encode_frame(batch: &RowBatch) -> Vec<u8> {
+    encode_frame_traced(batch, FrameTrace::default())
+}
+
+/// [`encode_frame`] with trace context stamped into the header, so the
+/// receiving side can parent its receive span under the sender's network
+/// span. Span ids above `u32::MAX - 1` degrade to "no span" on the wire.
+#[must_use]
+pub fn encode_frame_traced(batch: &RowBatch, trace: FrameTrace) -> Vec<u8> {
     let mut out = Vec::with_capacity(frame_encoded_len(batch));
     out.extend_from_slice(&(batch.width() as u32).to_le_bytes());
     out.extend_from_slice(&(batch.rows() as u32).to_le_bytes());
@@ -69,6 +95,13 @@ pub fn encode_frame(batch: &RowBatch) -> Vec<u8> {
         None => out.extend_from_slice(&NO_SELECTION.to_le_bytes()),
         Some(sel) => out.extend_from_slice(&(sel.len() as u32).to_le_bytes()),
     }
+    out.extend_from_slice(&trace.trace_id.to_le_bytes());
+    let span = trace
+        .span
+        .and_then(|s| u32::try_from(s).ok())
+        .filter(|&s| s != NO_SPAN)
+        .unwrap_or(NO_SPAN);
+    out.extend_from_slice(&span.to_le_bytes());
     for c in 0..batch.width() {
         for v in batch.column(c) {
             out.extend_from_slice(&v.to_le_bytes());
@@ -88,15 +121,32 @@ fn read_u32(bytes: &[u8], at: usize) -> u32 {
     u32::from_le_bytes(b)
 }
 
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
 /// Deserializes a frame produced by [`encode_frame`] back into a
-/// [`RowBatch`]. Columns are filled straight from the wire buffer
-/// (single copy); the selection vector, when present, is validated
-/// against the physical row count.
+/// [`RowBatch`], discarding the trace context. See
+/// [`decode_frame_traced`].
 ///
 /// # Errors
 /// [`ExecError::Network`] when the frame is truncated, has trailing
 /// bytes, or carries an out-of-range selection index.
 pub fn decode_frame(bytes: &[u8]) -> Result<RowBatch, ExecError> {
+    decode_frame_traced(bytes).map(|(batch, _)| batch)
+}
+
+/// Deserializes a frame back into a [`RowBatch`] plus the [`FrameTrace`]
+/// stamped by the sender. Columns are filled straight from the wire
+/// buffer (single copy); the selection vector, when present, is
+/// validated against the physical row count.
+///
+/// # Errors
+/// [`ExecError::Network`] when the frame is truncated, has trailing
+/// bytes, or carries an out-of-range selection index.
+pub fn decode_frame_traced(bytes: &[u8]) -> Result<(RowBatch, FrameTrace), ExecError> {
     let malformed = |what: &str| ExecError::Network(format!("malformed frame: {what}"));
     if bytes.len() < FRAME_HEADER_BYTES {
         return Err(malformed("truncated header"));
@@ -104,6 +154,13 @@ pub fn decode_frame(bytes: &[u8]) -> Result<RowBatch, ExecError> {
     let width = read_u32(bytes, 0) as usize;
     let rows = read_u32(bytes, 4) as usize;
     let sel_len = read_u32(bytes, 8);
+    let trace = FrameTrace {
+        trace_id: read_u64(bytes, 12),
+        span: match read_u32(bytes, 20) {
+            NO_SPAN => None,
+            s => Some(u64::from(s)),
+        },
+    };
     let col_bytes = width
         .checked_mul(rows)
         .and_then(|n| n.checked_mul(8))
@@ -135,7 +192,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<RowBatch, ExecError> {
         }
         batch.set_selection(sel);
     }
-    Ok(batch)
+    Ok((batch, trace))
 }
 
 /// Pacing and determinism knobs of a simulated network — the network
@@ -269,6 +326,18 @@ struct NetCounters {
     credit_wait_ns: AtomicU64,
 }
 
+impl NetCounters {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            frames: self.frames.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            credit_stalls: self.credit_stalls.load(Ordering::Relaxed),
+            credit_wait_ns: self.credit_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct NetInner {
     config: NetConfig,
@@ -323,6 +392,7 @@ impl SimNet {
                 state: Mutex::new(ChanState { queue: VecDeque::new(), closed: false }),
                 space: Condvar::new(),
                 data: Condvar::new(),
+                counters: NetCounters::default(),
             }),
         }
     }
@@ -330,14 +400,7 @@ impl SimNet {
     /// A snapshot of the wire-traffic totals.
     #[must_use]
     pub fn stats(&self) -> NetStats {
-        let t = &self.inner.totals;
-        NetStats {
-            frames: t.frames.load(Ordering::Relaxed),
-            bytes: t.bytes.load(Ordering::Relaxed),
-            retransmits: t.retransmits.load(Ordering::Relaxed),
-            credit_stalls: t.credit_stalls.load(Ordering::Relaxed),
-            credit_wait_ns: t.credit_wait_ns.load(Ordering::Relaxed),
-        }
+        self.inner.totals.snapshot()
     }
 }
 
@@ -352,6 +415,9 @@ struct ChanShared {
     state: Mutex<ChanState>,
     space: Condvar,
     data: Condvar,
+    // Per-link traffic counters, shared by all clones of the channel so
+    // sender and receiver halves observe the same link totals.
+    counters: NetCounters,
 }
 
 /// One bounded, paced, fault-injectable point-to-point frame channel.
@@ -400,12 +466,23 @@ impl NetChannel {
         };
         let config = self.net.inner.config;
         let totals = &self.net.inner.totals;
+        let link = &self.state.counters;
         if drops > budget {
             // The dropped transmissions still hit the wire before the
             // sender gives up.
             let spent = u64::from(budget) + 1;
             totals.bytes.fetch_add(frame.len() as u64 * spent, Ordering::Relaxed);
             totals.retransmits.fetch_add(spent - 1, Ordering::Relaxed);
+            link.bytes.fetch_add(frame.len() as u64 * spent, Ordering::Relaxed);
+            link.retransmits.fetch_add(spent - 1, Ordering::Relaxed);
+            crate::journal::journal().record(
+                crate::journal::EventKind::LinkFault,
+                0,
+                u64::from(self.from_node()),
+                u64::from(self.to_node()),
+                u64::from(drops),
+                crate::journal::NO_ID,
+            );
             return Err(ExecError::Network(format!(
                 "frame {ordinal} dropped {drops} time(s); retransmission budget {budget} exhausted"
             )));
@@ -418,6 +495,18 @@ impl NetChannel {
         }
         totals.bytes.fetch_add(frame.len() as u64 * (u64::from(drops) + 1), Ordering::Relaxed);
         totals.retransmits.fetch_add(u64::from(drops), Ordering::Relaxed);
+        link.bytes.fetch_add(frame.len() as u64 * (u64::from(drops) + 1), Ordering::Relaxed);
+        link.retransmits.fetch_add(u64::from(drops), Ordering::Relaxed);
+        if drops > 0 {
+            crate::journal::journal().record(
+                crate::journal::EventKind::LinkFault,
+                0,
+                u64::from(self.from_node()),
+                u64::from(self.to_node()),
+                u64::from(drops),
+                ordinal,
+            );
+        }
 
         let mut state = self.state.state.lock().unwrap_or_else(PoisonError::into_inner);
         let mut waited = Duration::ZERO;
@@ -427,19 +516,40 @@ impl NetChannel {
                 state = self.state.space.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
             waited = start.elapsed();
+            let waited_ns = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
             totals.credit_stalls.fetch_add(1, Ordering::Relaxed);
-            totals
-                .credit_wait_ns
-                .fetch_add(u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+            totals.credit_wait_ns.fetch_add(waited_ns, Ordering::Relaxed);
+            link.credit_stalls.fetch_add(1, Ordering::Relaxed);
+            link.credit_wait_ns.fetch_add(waited_ns, Ordering::Relaxed);
         }
         if state.closed {
             return Err(ExecError::Network("receiver closed the channel".into()));
         }
         state.queue.push_back(frame);
         totals.frames.fetch_add(1, Ordering::Relaxed);
+        link.frames.fetch_add(1, Ordering::Relaxed);
         drop(state);
         self.state.data.notify_one();
         Ok(waited)
+    }
+
+    /// A snapshot of this link's own traffic counters (shared by all
+    /// clones of the channel).
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.state.counters.snapshot()
+    }
+
+    /// The sending node of this link.
+    #[must_use]
+    pub fn from_node(&self) -> u32 {
+        (self.link >> 32) as u32
+    }
+
+    /// The receiving node of this link.
+    #[must_use]
+    pub fn to_node(&self) -> u32 {
+        (self.link & 0xffff_ffff) as u32
     }
 
     /// Receives the next frame, blocking until one arrives; `None` once
@@ -597,6 +707,44 @@ mod tests {
             // Re-encoding the decoded batch reproduces the frame bytes.
             assert_eq!(encode_frame(&decoded), frame, "selection={selection}");
         }
+    }
+
+    #[test]
+    fn trace_context_roundtrips() {
+        let batch = sample_batch(true);
+        for (trace_id, span) in [(0u64, None), (7, Some(3u64)), (u64::MAX, Some(0))] {
+            let frame = encode_frame_traced(&batch, FrameTrace { trace_id, span });
+            assert_eq!(frame.len(), frame_encoded_len(&batch));
+            let (decoded, trace) = decode_frame_traced(&frame).expect("valid frame");
+            assert_eq!(trace, FrameTrace { trace_id, span });
+            assert_eq!(decoded.selection(), batch.selection());
+        }
+        // Untraced encoding carries the zero context.
+        let (_, trace) = decode_frame_traced(&encode_frame(&batch)).expect("valid frame");
+        assert_eq!(trace, FrameTrace::default());
+        // Oversized span ids degrade to "no span" rather than aliasing.
+        let frame =
+            encode_frame_traced(&batch, FrameTrace { trace_id: 1, span: Some(u64::MAX) });
+        let (_, trace) = decode_frame_traced(&frame).expect("valid frame");
+        assert_eq!(trace.span, None);
+    }
+
+    #[test]
+    fn per_link_stats_track_one_channel() {
+        let net = SimNet::new(NetConfig::default());
+        let a = net.channel(3, 1, 8);
+        let b = net.channel(2, 1, 8);
+        a.send(vec![1, 2]).expect("send");
+        a.send(vec![3]).expect("send");
+        b.send(vec![4]).expect("send");
+        assert_eq!(a.from_node(), 3);
+        assert_eq!(a.to_node(), 1);
+        assert_eq!(a.stats().frames, 2);
+        assert_eq!(a.stats().bytes, 3);
+        assert_eq!(b.stats().frames, 1);
+        assert_eq!(net.stats().frames, 3, "global totals still aggregate");
+        // Receiver clones observe the same link counters.
+        assert_eq!(a.clone().stats().frames, 2);
     }
 
     #[test]

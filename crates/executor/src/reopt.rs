@@ -288,6 +288,14 @@ impl ReoptState {
                     card.hi()
                 ),
             });
+            crate::journal::journal().record(
+                crate::journal::EventKind::IntervalEscape,
+                0,
+                crate::journal::NO_ID,
+                node.0,
+                actual,
+                card.hi() as u64,
+            );
         }
         escaped
     }
@@ -353,6 +361,14 @@ impl ReoptState {
             observed: None,
             detail: detail.to_string(),
         });
+        crate::journal::journal().record(
+            crate::journal::EventKind::Replan,
+            0,
+            crate::journal::NO_ID,
+            node.0,
+            inner.counters.replans_adopted,
+            crate::journal::NO_ID,
+        );
     }
 
     /// Records a retryably failed checkpoint or re-plan (the original
@@ -381,6 +397,14 @@ impl ReoptState {
             observed: None,
             detail: detail.to_string(),
         });
+        crate::journal::journal().record(
+            crate::journal::EventKind::DegradationStep,
+            0,
+            crate::journal::NO_ID,
+            node.0,
+            inner.counters.memory_degradations,
+            crate::journal::NO_ID,
+        );
     }
 
     /// Records a choose-plan arbitration that applied checkpoint

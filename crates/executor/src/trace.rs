@@ -17,6 +17,7 @@
 //! same argument (all fields are sums, except the memory high-water which
 //! merges with `max`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,6 +32,16 @@ use crate::exec::{BoxedOperator, Operator};
 use crate::governor::{ExecContext, ResourceGovernor};
 use crate::metrics::{CpuCounters, SharedCounters};
 use crate::tuple::{Tuple, TupleLayout};
+
+/// Process-wide trace-id allocator: every [`Tracer`] created with
+/// [`Tracer::new`] or [`Tracer::audit_only`] gets a distinct non-zero id,
+/// so journal events and frame headers from concurrent queries never
+/// collide. Zero is the "no trace" sentinel on the wire.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Index of a span inside its [`Tracer`]. Stable for the tracer's
 /// lifetime; parents always have smaller ids than their children because
@@ -112,6 +123,40 @@ impl SpanStats {
     }
 }
 
+/// Wire accounting attached to a network-exchange span: one side of one
+/// simulated link, reconciled against the channel's own [`NetCounters`]
+/// so the sum of all send-span byte totals equals the query's
+/// `NetStats::since` delta exactly.
+///
+/// [`NetCounters`]: crate::netexchange::NetStats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetSpanStats {
+    /// Sending node id (shards `0..n`, coordinator `n`).
+    pub from: u32,
+    /// Receiving node id.
+    pub to: u32,
+    /// `true` for the sending side of the link (which carries the byte
+    /// accounting), `false` for the receiving side (which carries the
+    /// propagated remote span id, and no bytes — so totals never double
+    /// count).
+    pub sent: bool,
+    /// Bytes put on the wire, including retransmissions and frames burnt
+    /// by an exhausted retransmission budget.
+    pub bytes: u64,
+    /// Frames delivered.
+    pub frames: u64,
+    /// Frames retransmitted after an injected drop.
+    pub retransmits: u64,
+    /// Sends that blocked on credit backpressure.
+    pub credit_stalls: u64,
+    /// Nanoseconds spent blocked on credit.
+    pub credit_wait_ns: u64,
+    /// The peer's span id recovered from the frame header (receive side
+    /// only): proof the trace context propagated across the wire. Remapped
+    /// into merged-report coordinates by [`merge_distributed`].
+    pub remote_span: Option<u64>,
+}
+
 /// One traced operator: identity, estimate, and measured totals.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
@@ -133,6 +178,11 @@ pub struct SpanRecord {
     pub dop: usize,
     /// Measured totals, merged across workers where applicable.
     pub stats: SpanStats,
+    /// Monotonic nanoseconds (process-wide epoch, shared with the event
+    /// journal) at which the span was opened.
+    pub start_ns: u64,
+    /// Wire accounting, present only on network-exchange spans.
+    pub net: Option<NetSpanStats>,
 }
 
 /// One choose-plan arbitration alternative as considered at bind time.
@@ -186,16 +236,66 @@ struct TracerInner {
 /// Collector for one traced execution. Cheap to share (`Arc`); wrappers
 /// only take its lock twice per operator (span creation and the single
 /// flush on close), never per row.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Tracer {
     inner: Mutex<TracerInner>,
+    trace_id: u64,
+    record_spans: bool,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
 }
 
 impl Tracer {
-    /// A fresh, empty tracer.
+    /// A fresh, empty tracer with a new process-unique trace id.
     #[must_use]
     pub fn new() -> Tracer {
-        Tracer::default()
+        Tracer {
+            inner: Mutex::default(),
+            trace_id: next_trace_id(),
+            record_spans: true,
+        }
+    }
+
+    /// A tracer participating in an existing distributed trace: spans it
+    /// records carry `trace_id`, so per-shard reports can be merged into
+    /// one connected timeline and frame headers stamp the shared id.
+    #[must_use]
+    pub fn with_trace_id(trace_id: u64) -> Tracer {
+        Tracer {
+            inner: Mutex::default(),
+            trace_id,
+            record_spans: true,
+        }
+    }
+
+    /// A tracer that collects choose-plan audits but records **no spans**:
+    /// [`node_span`] returns `None` under it, so the compiled tree stays
+    /// byte-identical to the untraced one. This is how the sharded service
+    /// keeps its always-on arbitration audits without paying the
+    /// per-operator wrapper cost when EXPLAIN ANALYZE is off.
+    #[must_use]
+    pub fn audit_only() -> Tracer {
+        Tracer {
+            inner: Mutex::default(),
+            trace_id: next_trace_id(),
+            record_spans: false,
+        }
+    }
+
+    /// The distributed trace id all this tracer's spans belong to.
+    #[must_use]
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Whether this tracer records spans (false for [`Tracer::audit_only`]).
+    #[must_use]
+    pub fn records_spans(&self) -> bool {
+        self.record_spans
     }
 
     /// Registers a new span and returns its id.
@@ -208,6 +308,7 @@ impl Tracer {
         parent: Option<SpanId>,
         dop: usize,
     ) -> SpanId {
+        let start_ns = crate::journal::monotonic_ns();
         let mut inner = self.inner.lock();
         let id = SpanId(inner.spans.len());
         inner.spans.push(SpanRecord {
@@ -219,8 +320,17 @@ impl Tracer {
             estimate,
             dop,
             stats: SpanStats::default(),
+            start_ns,
+            net: None,
         });
         id
+    }
+
+    /// Attaches wire accounting to a network-exchange span.
+    pub fn set_net(&self, id: SpanId, net: NetSpanStats) {
+        if let Some(record) = self.inner.lock().spans.get_mut(id.0) {
+            record.net = Some(net);
+        }
     }
 
     /// Merges a wrapper's locally accumulated totals into `id`'s record.
@@ -241,6 +351,7 @@ impl Tracer {
     pub fn report(&self) -> TraceReport {
         let inner = self.inner.lock();
         TraceReport {
+            trace_id: self.trace_id,
             spans: inner.spans.clone(),
             audits: inner.audits.clone(),
             reopt: crate::reopt::ReoptReport::default(),
@@ -252,6 +363,9 @@ impl Tracer {
 /// audit trails, in creation order (top-down).
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
+    /// The distributed trace id shared by every span (0 for a default
+    /// report that never saw a tracer).
+    pub trace_id: u64,
     /// All spans; a span's id is its index.
     pub spans: Vec<SpanRecord>,
     /// Choose-plan audits, in arbitration order.
@@ -275,6 +389,65 @@ impl TraceReport {
             .iter()
             .filter(|s| s.parent == Some(id))
             .collect()
+    }
+}
+
+/// Merges a distributed execution's per-shard trace reports into the
+/// coordinator's report, producing one connected span tree.
+///
+/// The coordinator's spans keep their ids (its root — span 0 — becomes
+/// the merged root). Each shard's spans are appended in shard order with
+/// their ids and parents shifted by that shard's offset; a shard-local
+/// root (parent `None`) is re-parented onto the coordinator root, so the
+/// merged report has exactly one root. Receive-side network spans carry
+/// the sender's *local* span id recovered from the frame header; those
+/// are remapped through the sender's offset (`net.from` names the sending
+/// shard), which keeps the cross-wire link pointing at the right span in
+/// merged coordinates. The invariants the JSON schema validator enforces
+/// — `id == index`, `parent < id` — are preserved by construction.
+///
+/// Audits concatenate in the same order (coordinator first), and the
+/// coordinator's reopt report is kept.
+#[must_use]
+pub fn merge_distributed(coord: &TraceReport, shards: &[TraceReport]) -> TraceReport {
+    let mut spans: Vec<SpanRecord> = coord.spans.clone();
+    let coord_root = (!spans.is_empty()).then_some(SpanId(0));
+    let mut offsets = Vec::with_capacity(shards.len());
+    for shard in shards {
+        let offset = spans.len();
+        offsets.push(offset);
+        for span in &shard.spans {
+            let mut merged = span.clone();
+            merged.id = SpanId(span.id.0 + offset);
+            merged.parent = match span.parent {
+                Some(p) => Some(SpanId(p.0 + offset)),
+                None => coord_root,
+            };
+            spans.push(merged);
+        }
+    }
+    // Second pass: remap propagated remote span ids into merged
+    // coordinates. `net.from` identifies the sending shard, whose offset
+    // shifts the id; a sender outside the shard range (the coordinator
+    // never sends) leaves the id untouched.
+    for span in &mut spans {
+        if let Some(net) = &mut span.net {
+            if let Some(remote) = net.remote_span {
+                if let Some(&offset) = offsets.get(net.from as usize) {
+                    net.remote_span = Some(remote + offset as u64);
+                }
+            }
+        }
+    }
+    let mut audits = coord.audits.clone();
+    for shard in shards {
+        audits.extend(shard.audits.iter().cloned());
+    }
+    TraceReport {
+        trace_id: coord.trace_id,
+        spans,
+        audits,
+        reopt: coord.reopt.clone(),
     }
 }
 
@@ -415,7 +588,7 @@ impl Drop for TracedExec<'_> {
 /// tracing is disabled, so the untraced compile path pays one branch.
 #[must_use]
 pub fn node_span(ctx: &ExecContext, node: &PlanNode) -> Option<(SpanId, ExecContext)> {
-    let tracer = ctx.tracer.as_ref()?;
+    let tracer = ctx.tracer.as_ref().filter(|t| t.records_spans())?;
     let span = tracer.span(
         node.op.to_string(),
         node.op.name(),

@@ -45,10 +45,11 @@ pub use decision::{region_key, CachedDecision, RegionKey};
 pub use error::ServiceError;
 pub use live::{CommitOutcome, LiveConfig, LiveViewInfo, LiveViewRegistry, WriteOp};
 pub use metrics::{
-    Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport, SHARD_WINNER_SLOTS,
+    lint_prometheus, Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport,
+    SHARD_WINNER_SLOTS,
 };
 pub use registry::{normalize_sql, PreparedRegistry, PreparedStatement, RegistryStats};
 pub use service::{
     QueryService, Request, ServiceConfig, ServiceStats, SessionHandle, SessionResult,
 };
-pub use shard::{Shard, ShardConfig, ShardOutcome, ShardRouting, ShardedService};
+pub use shard::{LinkTraffic, Shard, ShardConfig, ShardOutcome, ShardRouting, ShardedService};

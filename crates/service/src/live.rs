@@ -527,6 +527,14 @@ impl LiveViewRegistry {
     ) -> Result<(), ServiceError> {
         self.metrics.record_live_rearbitration();
         self.views[i].rearbitrations += 1;
+        dqep_executor::journal().record(
+            dqep_executor::EventKind::LiveDrift,
+            0,
+            dqep_executor::NO_ID,
+            self.views[i].plan.id.0,
+            actual as u64,
+            self.views[i].rearbitrations,
+        );
 
         let mut observations = Observations::new();
         observations.insert(self.views[i].plan.id, actual);

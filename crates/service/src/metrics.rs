@@ -12,6 +12,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use dqep_executor::{journal, EventKind, ExecError, Resource, NO_ID};
+
 use crate::error::ServiceError;
 use crate::service::{ServiceStats, SessionResult};
 
@@ -140,6 +142,8 @@ pub struct MetricsRegistry {
     pub net_queue_wait: Histogram,
     refused_admission_timeout: AtomicU64,
     refused_grant_too_large: AtomicU64,
+    refused_link_fault: AtomicU64,
+    refused_memory_exhausted: AtomicU64,
     admission_retries: AtomicU64,
     reopt_checkpoints: AtomicU64,
     reopt_escapes: AtomicU64,
@@ -183,13 +187,30 @@ impl MetricsRegistry {
                 self.latency.record(total_latency);
                 self.queue_wait.record(result.queue_wait);
             }
-            Err(ServiceError::AdmissionTimeout { .. }) => {
-                self.refused_admission_timeout.fetch_add(1, Ordering::Relaxed);
+            Err(e) => self.classify_failure(e),
+        }
+    }
+
+    /// Classifies one failed query into the refusal counters: admission
+    /// timeouts and oversized grants keep their dedicated buckets, a
+    /// network error (retransmission budget exhausted on a link fault)
+    /// counts as a link-fault refusal, and a refused memory reservation
+    /// (the shard-join degradation ladder running dry included) counts as
+    /// a memory-exhaustion refusal. Each classified refusal also lands an
+    /// [`EventKind::AdmissionRefusal`] event in the flight recorder.
+    pub fn classify_failure(&self, error: &ServiceError) {
+        let bucket = match error {
+            ServiceError::AdmissionTimeout { .. } => Some(&self.refused_admission_timeout),
+            ServiceError::GrantTooLarge { .. } => Some(&self.refused_grant_too_large),
+            ServiceError::Exec(ExecError::Network(_)) => Some(&self.refused_link_fault),
+            ServiceError::Exec(ExecError::ResourceExhausted(Resource::Memory { .. })) => {
+                Some(&self.refused_memory_exhausted)
             }
-            Err(ServiceError::GrantTooLarge { .. }) => {
-                self.refused_grant_too_large.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(_) => {}
+            _ => None,
+        };
+        if let Some(counter) = bucket {
+            let total = counter.fetch_add(1, Ordering::Relaxed) + 1;
+            journal().record(EventKind::AdmissionRefusal, 0, NO_ID, NO_ID, total, NO_ID);
         }
     }
 
@@ -203,6 +224,20 @@ impl MetricsRegistry {
     #[must_use]
     pub fn refused_grant_too_large(&self) -> u64 {
         self.refused_grant_too_large.load(Ordering::Relaxed)
+    }
+
+    /// Queries failed by a link fault exhausting its retransmission
+    /// budget.
+    #[must_use]
+    pub fn refused_link_fault(&self) -> u64 {
+        self.refused_link_fault.load(Ordering::Relaxed)
+    }
+
+    /// Queries failed by an unservable memory reservation (every rung of
+    /// a degradation ladder refused).
+    #[must_use]
+    pub fn refused_memory_exhausted(&self) -> u64 {
+        self.refused_memory_exhausted.load(Ordering::Relaxed)
     }
 
     /// Counts one admission that was granted only on its retry rung.
@@ -368,6 +403,8 @@ impl MetricsRegistry {
             queue_wait: self.queue_wait.snapshot(),
             refused_admission_timeout: self.refused_admission_timeout(),
             refused_grant_too_large: self.refused_grant_too_large(),
+            refused_link_fault: self.refused_link_fault(),
+            refused_memory_exhausted: self.refused_memory_exhausted(),
             admission_retries: self.admission_retries(),
             reopt_checkpoints: self.reopt_checkpoints(),
             reopt_escapes: self.reopt_escapes(),
@@ -403,6 +440,11 @@ pub struct MetricsReport {
     pub refused_admission_timeout: u64,
     /// Sessions refused for requesting more than the pool holds.
     pub refused_grant_too_large: u64,
+    /// Queries failed by a link fault exhausting its retransmission
+    /// budget.
+    pub refused_link_fault: u64,
+    /// Queries failed by an unservable memory reservation.
+    pub refused_memory_exhausted: u64,
     /// Admissions that succeeded only after a backoff-and-retry.
     pub admission_retries: u64,
     /// Pipeline-breaker checkpoints observed across all sessions.
@@ -477,12 +519,15 @@ impl MetricsReport {
             out,
             "  \"sessions\": {{\"completed\": {}, \"failed\": {}, \
              \"refused_admission_timeout\": {}, \"refused_grant_too_large\": {}, \
+             \"refused_link_fault\": {}, \"refused_memory_exhausted\": {}, \
              \"admission_retries\": {}, \"fallbacks\": {}, \"rows\": {}, \
              \"simulated_io_pages\": {}}},",
             s.completed,
             s.failed,
             self.refused_admission_timeout,
             self.refused_grant_too_large,
+            self.refused_link_fault,
+            self.refused_memory_exhausted,
             self.admission_retries,
             s.totals.fallbacks,
             s.totals.rows,
@@ -548,6 +593,205 @@ impl MetricsReport {
         out.push('}');
         out
     }
+
+    /// The report as one line of JSON (same schema as [`Self::to_json`],
+    /// newlines collapsed) — the unit of the append-only JSON-lines
+    /// time-series export.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        self.to_json().replace('\n', "")
+    }
+
+    /// The report as a Prometheus text exposition: `# HELP`/`# TYPE`
+    /// metadata, `dqep_`-prefixed counters, and histogram summaries with
+    /// `quantile` labels plus `_sum`/`_count` series.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        let s = &self.service;
+        counter("dqep_sessions_completed_total", "Sessions completed successfully.", s.completed);
+        counter("dqep_sessions_failed_total", "Sessions that failed.", s.failed);
+        counter(
+            "dqep_refused_admission_timeout_total",
+            "Sessions refused by admission timeout.",
+            self.refused_admission_timeout,
+        );
+        counter(
+            "dqep_refused_grant_too_large_total",
+            "Sessions refused for requesting more memory than the pool holds.",
+            self.refused_grant_too_large,
+        );
+        counter(
+            "dqep_refused_link_fault_total",
+            "Queries failed by an exhausted link retransmission budget.",
+            self.refused_link_fault,
+        );
+        counter(
+            "dqep_refused_memory_exhausted_total",
+            "Queries failed by an unservable memory reservation.",
+            self.refused_memory_exhausted,
+        );
+        counter(
+            "dqep_admission_retries_total",
+            "Admissions granted only on a retry rung.",
+            self.admission_retries,
+        );
+        counter("dqep_fallbacks_total", "Retryable failures absorbed by fallback.", s.totals.fallbacks);
+        counter(
+            "dqep_reopt_checkpoints_total",
+            "Pipeline-breaker checkpoints observed.",
+            self.reopt_checkpoints,
+        );
+        counter(
+            "dqep_reopt_escapes_total",
+            "Checkpoint observations outside their estimate interval.",
+            self.reopt_escapes,
+        );
+        counter("dqep_reopt_replans_total", "Mid-query re-plans adopted.", self.reopt_replans);
+        counter(
+            "dqep_reopt_fallbacks_total",
+            "Re-planned runs reverted to the original arbitration.",
+            self.reopt_fallbacks,
+        );
+        counter(
+            "dqep_live_views_registered_total",
+            "Live views registered.",
+            self.live_views_registered,
+        );
+        counter(
+            "dqep_live_delta_batches_total",
+            "Committed write batches propagated through live views.",
+            self.live_delta_batches,
+        );
+        counter(
+            "dqep_live_rearbitrations_total",
+            "Drift-triggered live-view re-arbitrations.",
+            self.live_rearbitrations,
+        );
+        counter("dqep_shard_queries_total", "Sharded queries executed.", self.shard_queries);
+        counter(
+            "dqep_shard_divergent_nodes_total",
+            "Choose nodes whose winner diverged across shards.",
+            self.shard_divergent_nodes,
+        );
+        counter("dqep_net_bytes_total", "Cross-shard bytes on the wire.", self.net_bytes);
+        counter("dqep_net_frames_total", "Cross-shard frames delivered.", self.net_frames);
+        counter(
+            "dqep_net_retransmits_total",
+            "Transmissions dropped by link faults and re-sent.",
+            self.net_retransmits,
+        );
+        counter(
+            "dqep_net_credit_stalls_total",
+            "Sends blocked on credit backpressure.",
+            self.net_credit_stalls,
+        );
+        let _ = writeln!(out, "# HELP dqep_shard_winner_total Per-shard arbitration wins by alternative index.");
+        let _ = writeln!(out, "# TYPE dqep_shard_winner_total counter");
+        for (i, &wins) in self.shard_winners.iter().enumerate() {
+            let _ = writeln!(out, "dqep_shard_winner_total{{alternative=\"{i}\"}} {wins}");
+        }
+        let mut summary = |name: &str, help: &str, h: &HistogramSnapshot| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", pnum(h.p50_seconds));
+            let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", pnum(h.p95_seconds));
+            let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", pnum(h.p99_seconds));
+            let _ = writeln!(out, "{name}_sum {}", pnum(h.mean_seconds * h.count as f64));
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        };
+        summary(
+            "dqep_latency_seconds",
+            "Submission-to-completion latency of successful sessions.",
+            &self.latency,
+        );
+        summary("dqep_queue_wait_seconds", "Admission-queue wait of successful sessions.", &self.queue_wait);
+        summary(
+            "dqep_live_refresh_seconds",
+            "Per-commit incremental refresh latency of live views.",
+            &self.live_refresh,
+        );
+        summary(
+            "dqep_net_queue_wait_seconds",
+            "Credit-wait of stalled network sends.",
+            &self.net_queue_wait,
+        );
+        out
+    }
+}
+
+/// A Prometheus sample value: finite floats print plainly, non-finite
+/// ones as `NaN` (the exposition format's spelling).
+fn pnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "NaN".into()
+    }
+}
+
+/// Lints a Prometheus text exposition: every non-comment line must be a
+/// `name[{labels}] value` sample whose metric family was declared by a
+/// preceding `# TYPE` line with a known type, sample values must parse as
+/// floats, and `_sum`/`_count` series must belong to a declared summary.
+///
+/// # Errors
+/// A description of the first malformed line.
+pub fn lint_prometheus(text: &str) -> Result<(), String> {
+    let mut families: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    let valid_name =
+        |s: &str| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    for (no, line) in text.lines().enumerate() {
+        let n = no + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| format!("line {n}: TYPE without a name"))?;
+            let kind = it.next().ok_or_else(|| format!("line {n}: TYPE without a type"))?;
+            if !valid_name(name) {
+                return Err(format!("line {n}: invalid metric name `{name}`"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                return Err(format!("line {n}: unknown metric type `{kind}`"));
+            }
+            families.insert(name, kind);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and free comments
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: sample without a value"))?;
+        let name = name_part.split('{').next().unwrap_or(name_part);
+        if name_part.contains('{') && !name_part.ends_with('}') {
+            return Err(format!("line {n}: unterminated label set"));
+        }
+        if !valid_name(name) {
+            return Err(format!("line {n}: invalid sample name `{name}`"));
+        }
+        if value_part != "NaN" && value_part.parse::<f64>().is_err() {
+            return Err(format!("line {n}: unparseable sample value `{value_part}`"));
+        }
+        let family = families.get(name).copied().or_else(|| {
+            name.strip_suffix("_sum")
+                .or_else(|| name.strip_suffix("_count"))
+                .and_then(|base| families.get(base).copied().filter(|k| *k == "summary" || *k == "histogram"))
+        });
+        if family.is_none() {
+            return Err(format!("line {n}: sample `{name}` has no preceding # TYPE"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -681,5 +925,78 @@ mod tests {
             Some(1.0)
         );
         assert!(doc.get("net_queue_wait_seconds").is_some());
+    }
+
+    #[test]
+    fn classify_failure_buckets_refusals() {
+        let m = MetricsRegistry::new();
+        m.classify_failure(&crate::ServiceError::Exec(ExecError::Network(
+            "link 0->1 exhausted".into(),
+        )));
+        m.classify_failure(&crate::ServiceError::Exec(ExecError::ResourceExhausted(
+            Resource::Memory { requested: 10, limit: 1 },
+        )));
+        m.classify_failure(&crate::ServiceError::AdmissionTimeout { waited_ms: 5 });
+        m.classify_failure(&crate::ServiceError::Shutdown); // unclassified: no bucket
+        assert_eq!(m.refused_link_fault(), 1);
+        assert_eq!(m.refused_memory_exhausted(), 1);
+        let report = m.report(ServiceStats::default());
+        assert_eq!(report.refused_link_fault, 1);
+        assert_eq!(report.refused_memory_exhausted, 1);
+        assert_eq!(report.refused_admission_timeout, 1);
+        let doc = dqep_executor::parse_json(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("sessions")
+                .and_then(|s| s.get("refused_link_fault"))
+                .and_then(dqep_executor::JsonValue::as_num),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_passes_lint() {
+        let m = MetricsRegistry::new();
+        m.latency.record(Duration::from_millis(3));
+        m.record_shard_winner(1);
+        m.record_net(&dqep_executor::NetStats {
+            frames: 2,
+            bytes: 128,
+            retransmits: 0,
+            credit_stalls: 0,
+            credit_wait_ns: 0,
+        });
+        let text = m.report(ServiceStats::default()).to_prometheus();
+        lint_prometheus(&text).expect("exposition lints clean");
+        assert!(text.contains("# TYPE dqep_latency_seconds summary"));
+        assert!(text.contains("dqep_latency_seconds{quantile=\"0.95\"}"));
+        assert!(text.contains("dqep_latency_seconds_count 1"));
+        assert!(text.contains("dqep_net_bytes_total 128"));
+        assert!(text.contains("dqep_shard_winner_total{alternative=\"1\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_lint_rejects_malformed_text() {
+        assert!(lint_prometheus("dqep_orphan_total 1\n").is_err(), "sample without TYPE");
+        assert!(
+            lint_prometheus("# TYPE x widget\nx 1\n").is_err(),
+            "unknown metric type"
+        );
+        assert!(
+            lint_prometheus("# TYPE x counter\nx notanumber\n").is_err(),
+            "unparseable value"
+        );
+        assert!(
+            lint_prometheus("# TYPE x counter\nx_sum 1\n").is_err(),
+            "_sum on a counter family"
+        );
+        assert!(lint_prometheus("# TYPE x summary\nx_sum 1\nx_count 2\n").is_ok());
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_parses() {
+        let m = MetricsRegistry::new();
+        let line = m.report(ServiceStats::default()).to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(dqep_executor::parse_json(&line).is_ok());
     }
 }

@@ -372,6 +372,12 @@ impl QueryService {
     pub fn metrics_json(&self) -> String {
         self.metrics().to_json()
     }
+
+    /// [`Self::metrics`] in Prometheus text exposition format.
+    #[must_use]
+    pub fn metrics_prom(&self) -> String {
+        self.metrics().to_prometheus()
+    }
 }
 
 impl Drop for QueryService {

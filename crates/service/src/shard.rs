@@ -36,10 +36,12 @@ use dqep_catalog::{AttrId, Catalog, RelationId};
 use dqep_core::Optimizer;
 use dqep_cost::{Bindings, Environment};
 use dqep_executor::{
-    compile_dynamic_plan, credit_frames, decode_frame, drain, drain_batch, encode_frame,
-    execute_plan_reopt_ctx, presized_batch, scatter_by_shard, ChooseAudit, ExecContext, ExecError,
-    ExecMode, LinkFaultPlan, NetChannel, NetConfig, NetStats, ReoptConfig, ResourceLimits,
-    RowBatch, SharedCounters, SimNet, Tracer, Tuple, TupleLayout, BATCH_CAPACITY,
+    compile_dynamic_plan, credit_frames, decode_frame_traced, drain, drain_batch,
+    encode_frame_traced, execute_plan_reopt_ctx, journal, merge_distributed, presized_batch,
+    scatter_by_shard, ChooseAudit, EventKind, ExecContext, ExecError, ExecMode, FrameTrace,
+    LinkFaultPlan, NetChannel, NetConfig, NetSpanStats, NetStats, ReoptConfig, ResourceLimits,
+    RowBatch, SharedCounters, SimNet, SpanId, SpanStats, TraceReport, Tracer, Tuple, TupleLayout,
+    BATCH_CAPACITY, NO_ID,
 };
 use dqep_plan::{evaluate_startup, PlanNode};
 use dqep_sql::{parse_query, ParsedPredicate};
@@ -117,6 +119,12 @@ pub struct ShardConfig {
     /// statistics and broadcast the resolved plan — the "single-node
     /// winner everywhere" baseline. Default `false`: per-shard winners.
     pub force_uniform_winner: bool,
+    /// Record a full distributed trace: coordinator and shard operator
+    /// spans plus network-exchange spans, merged into one connected
+    /// timeline in [`ShardOutcome::trace`]. Default `false`: shards run
+    /// audit-only tracers (arbitration audits still flow, no per-operator
+    /// wrapper cost).
+    pub trace: bool,
 }
 
 impl Default for ShardConfig {
@@ -136,6 +144,7 @@ impl Default for ShardConfig {
             memory_pages: None,
             reopt: None,
             force_uniform_winner: false,
+            trace: false,
         }
     }
 }
@@ -170,9 +179,28 @@ pub struct ShardOutcome {
     pub divergent_nodes: Vec<u64>,
     /// Wire traffic of this query alone (cross-shard + gather frames).
     pub net: NetStats,
+    /// Per-link wire traffic of this query, in deterministic link order
+    /// (stage by stage, then the gather links). Only links that carried
+    /// at least one transmission appear.
+    pub links: Vec<LinkTraffic>,
     /// Retryable failures absorbed across all shards (choose-plan
     /// fallbacks plus chunked-join degradations).
     pub fallbacks: u64,
+    /// The merged distributed trace (coordinator + every shard + network
+    /// exchange spans), present when [`ShardConfig::trace`] was set.
+    pub trace: Option<TraceReport>,
+}
+
+/// One link's wire traffic for one query. Channels are created fresh per
+/// query, so the channel counters *are* the query's per-link delta.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkTraffic {
+    /// Sending node (shards `0..n`; the coordinator is node `n`).
+    pub from: u32,
+    /// Receiving node.
+    pub to: u32,
+    /// The link's traffic counters.
+    pub stats: NetStats,
 }
 
 impl ShardOutcome {
@@ -226,6 +254,58 @@ struct StageWires {
 struct ShardWires {
     stages: Vec<StageWires>,
     gather: NetChannel,
+}
+
+/// Accumulates the receive side of one link so a single receive span can
+/// be recorded once the link drains: row/batch totals plus the first
+/// propagated remote span id recovered from the frame headers.
+#[derive(Default)]
+struct RecvTrace {
+    rows: u64,
+    batches: u64,
+    remote: Option<u64>,
+}
+
+impl RecvTrace {
+    fn observe(&mut self, batch: &RowBatch, ft: FrameTrace) {
+        self.rows += batch.len() as u64;
+        self.batches += 1;
+        if self.remote.is_none() {
+            self.remote = ft.span;
+        }
+    }
+
+    /// Records the receive span under `parent` when any frame arrived.
+    /// Receive spans carry no byte accounting (the send side owns it, so
+    /// totals never double count) — just the delivered rows and the
+    /// propagated remote span.
+    fn flush(&self, tracer: &Tracer, parent: Option<SpanId>, ch: &NetChannel) {
+        if self.batches == 0 || !tracer.records_spans() {
+            return;
+        }
+        let span = tracer.span(
+            format!("Net-Recv {}<-{}", ch.to_node(), ch.from_node()),
+            "Net-Recv",
+            None,
+            None,
+            parent,
+            1,
+        );
+        tracer.merge_span(
+            span,
+            &SpanStats { rows: self.rows, batches: self.batches, ..SpanStats::default() },
+        );
+        tracer.set_net(
+            span,
+            NetSpanStats {
+                from: ch.from_node(),
+                to: ch.to_node(),
+                sent: false,
+                remote_span: self.remote,
+                ..NetSpanStats::default()
+            },
+        );
+    }
 }
 
 /// What a shard worker reports back besides the rows it pushed over its
@@ -343,18 +423,30 @@ impl ShardedService {
         self.net.set_link_faults(plan);
     }
 
-    /// The metrics snapshot as JSON — the same schema the serving layer
-    /// exports, with the `shard` section populated (cross-shard traffic,
-    /// per-link queue-wait histogram, winner counts, divergence).
+    /// The metrics snapshot — the same schema the serving layer exports,
+    /// with the `shard` section populated (cross-shard traffic, per-link
+    /// queue-wait histogram, winner counts, divergence).
     #[must_use]
-    pub fn metrics_json(&self) -> String {
+    pub fn metrics_report(&self) -> crate::MetricsReport {
         use std::sync::atomic::Ordering;
         let stats = crate::ServiceStats {
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             ..crate::ServiceStats::default()
         };
-        self.metrics.report(stats).to_json()
+        self.metrics.report(stats)
+    }
+
+    /// [`Self::metrics_report`] serialized as a JSON document.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.metrics_report().to_json()
+    }
+
+    /// [`Self::metrics_report`] in Prometheus text exposition format.
+    #[must_use]
+    pub fn metrics_prom(&self) -> String {
+        self.metrics_report().to_prometheus()
     }
 
     /// Parses, distributes, and executes one query across all shards.
@@ -388,8 +480,9 @@ impl ShardedService {
                 self.metrics.record_net(&ok.net);
                 self.completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
-            Err(_) => {
+            Err(e) => {
                 self.metrics.record_shard_query(0);
+                self.metrics.classify_failure(e);
                 self.failed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
         }
@@ -472,8 +565,20 @@ impl ShardedService {
     ) -> Result<ShardOutcome, ServiceError> {
         let n = self.shards.len();
         let net_before = self.net.stats();
-        let (mut wires, gather_rx) = self.wire_up(plan, n);
-        let tracers: Vec<Arc<Tracer>> = (0..n).map(|_| Arc::new(Tracer::new())).collect();
+        let (mut wires, gather_rx, link_handles) = self.wire_up(plan, n);
+        // With tracing on, the coordinator owns the trace id and every
+        // shard tracer joins it; off, shards run audit-only tracers so
+        // arbitration audits still flow with no per-operator span cost.
+        let coord_tracer = self.config.trace.then(|| Arc::new(Tracer::new()));
+        let coord_root = coord_tracer.as_ref().map(|t| {
+            t.span(format!("Coordinator x{n}"), "Coordinator", None, None, None, 1)
+        });
+        let tracers: Vec<Arc<Tracer>> = (0..n)
+            .map(|_| match coord_tracer.as_ref() {
+                Some(coord) => Arc::new(Tracer::with_trace_id(coord.trace_id())),
+                None => Arc::new(Tracer::audit_only()),
+            })
+            .collect();
 
         let (runs, per_shard) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -521,14 +626,21 @@ impl ShardedService {
             for rx in &gather_rx {
                 let mut rows = Vec::new();
                 let mut err = None;
+                let mut recv = RecvTrace::default();
                 while let Some(frame) = rx.recv() {
                     if err.is_some() {
                         continue; // keep draining so senders never block
                     }
-                    match decode_frame(&frame) {
-                        Ok(batch) => rows.extend(batch.iter()),
+                    match decode_frame_traced(&frame) {
+                        Ok((batch, ft)) => {
+                            recv.observe(&batch, ft);
+                            rows.extend(batch.iter());
+                        }
                         Err(e) => err = Some(e),
                     }
+                }
+                if let Some(tracer) = coord_tracer.as_ref() {
+                    recv.flush(tracer, coord_root, rx);
                 }
                 per_shard.push(err.map_or(Ok(rows), Err));
             }
@@ -580,6 +692,40 @@ impl ShardedService {
             .filter(|(_, winners)| winners.len() > 1)
             .map(|(&node, _)| node)
             .collect();
+        let trace_id = coord_tracer.as_ref().map_or(0, |t| t.trace_id());
+        for (&node, winners) in &winners_by_node {
+            if winners.len() > 1 {
+                journal().record(
+                    EventKind::ShardDivergence,
+                    trace_id,
+                    NO_ID,
+                    node,
+                    winners.len() as u64,
+                    NO_ID,
+                );
+            }
+        }
+
+        // Per-link deltas: channels are created fresh per query, so each
+        // channel's own counters are exactly this query's traffic.
+        let links: Vec<LinkTraffic> = link_handles
+            .iter()
+            .map(|ch| LinkTraffic { from: ch.from_node(), to: ch.to_node(), stats: ch.stats() })
+            .filter(|l| l.stats.frames > 0 || l.stats.bytes > 0)
+            .collect();
+
+        // The merged timeline: the coordinator's spans (root + gather
+        // receives) plus every shard's report, re-parented under the
+        // coordinator root. Synthesized re-opt audits stay out of the
+        // merged report (they carry no alternatives); they remain in
+        // `ShardOutcome::audits` for winner accounting.
+        let trace = coord_tracer
+            .as_ref()
+            .map(|coord| {
+                let shard_reports: Vec<TraceReport> =
+                    tracers.iter().map(|t| t.report()).collect();
+                merge_distributed(&coord.report(), &shard_reports)
+            });
 
         Ok(ShardOutcome {
             rows,
@@ -588,7 +734,9 @@ impl ShardedService {
             audits,
             divergent_nodes,
             net: self.net.stats().since(&net_before),
+            links,
             fallbacks,
+            trace,
         })
     }
 
@@ -598,7 +746,11 @@ impl ShardedService {
     /// pre-sized from the coordinator's cardinality estimates — the same
     /// `estimated_rows` pre-sizing the in-memory exchange applies to its
     /// merge buffer.
-    fn wire_up(&self, plan: &DistPlan, n: usize) -> (Vec<ShardWires>, Vec<NetChannel>) {
+    fn wire_up(
+        &self,
+        plan: &DistPlan,
+        n: usize,
+    ) -> (Vec<ShardWires>, Vec<NetChannel>, Vec<NetChannel>) {
         let mut wires: Vec<ShardWires> = (0..n)
             .map(|s| ShardWires {
                 stages: (0..plan.joins.len())
@@ -613,6 +765,9 @@ impl ShardedService {
             })
             .collect();
         let gather_rx: Vec<NetChannel> = wires.iter().map(|w| w.gather.clone()).collect();
+        // Keep a clone of every channel in deterministic order so the
+        // coordinator can read per-link deltas after the query finishes.
+        let mut links: Vec<NetChannel> = Vec::new();
         for (j, _) in plan.joins.iter().enumerate() {
             // The right side of stage j is base relation j+1: its scan
             // cardinality is known, and each of the n² links carries
@@ -625,15 +780,18 @@ impl ShardedService {
                         continue;
                     }
                     let left = self.net.channel(from, to, credit_frames(None));
+                    links.push(left.clone());
                     wires[to].stages[j].left_in[from] = Some(left.clone());
                     wires[from].stages[j].left_out[to] = Some(left);
                     let right = self.net.channel(from, to, credit_frames(Some(per_link)));
+                    links.push(right.clone());
                     wires[to].stages[j].right_in[from] = Some(right.clone());
                     wires[from].stages[j].right_out[to] = Some(right);
                 }
             }
         }
-        (wires, gather_rx)
+        links.extend(gather_rx.iter().cloned());
+        (wires, gather_rx, links)
     }
 }
 
@@ -698,10 +856,19 @@ fn run_shard(
     tracer: Arc<Tracer>,
     metrics: &MetricsRegistry,
 ) -> Result<ShardRun, ExecError> {
-    let ctx = ExecContext::with_limits(SharedCounters::new(), config.limits)
+    // With tracing on, everything the shard does — operators, sends,
+    // receives — nests under one per-shard root span; the coordinator
+    // re-parents these roots under its own when merging.
+    let root = tracer
+        .records_spans()
+        .then(|| tracer.span(format!("Shard {s}"), "Shard", None, None, None, config.dop.max(1)));
+    let mut ctx = ExecContext::with_limits(SharedCounters::new(), config.limits)
         .with_mode(config.exec_mode)
         .with_dop(config.dop)
-        .with_tracer(tracer);
+        .with_tracer(Arc::clone(&tracer));
+    if let Some(root) = root {
+        ctx = ctx.with_span_parent(root);
+    }
     let mut synth_audits = Vec::new();
 
     let mut current = run_access(
@@ -743,6 +910,8 @@ fn run_shard(
             &stage_wires.left_out,
             &stage_wires.left_in,
             metrics,
+            &tracer,
+            root,
         )?;
         let right_mine = repartition(
             s,
@@ -752,6 +921,8 @@ fn run_shard(
             &stage_wires.right_out,
             &stage_wires.right_in,
             metrics,
+            &tracer,
+            root,
         )?;
         current = local_hash_join(&left_mine, lkey, &right_mine, rkey, &ctx)?;
         layout = layout.concat(&right_layout);
@@ -766,7 +937,7 @@ fn run_shard(
         current.sort_by_key(|row| row[c]);
     }
 
-    send_rows(&wires.gather, &current, layout.width(), metrics)?;
+    send_rows(&wires.gather, &current, layout.width(), metrics, &tracer, root)?;
     Ok(ShardRun {
         rows_out: current.len() as u64,
         fallbacks: ctx.counters.fallbacks(),
@@ -825,6 +996,7 @@ fn run_access(
 /// receiving while it sends, so bounded credits can never deadlock the
 /// all-to-all: receivers are always live, and the sender closes its
 /// links the moment it finishes.
+#[allow(clippy::too_many_arguments)]
 fn repartition(
     s: usize,
     rows: Vec<Tuple>,
@@ -833,10 +1005,12 @@ fn repartition(
     outs: &[Option<NetChannel>],
     ins: &[Option<NetChannel>],
     metrics: &MetricsRegistry,
+    tracer: &Arc<Tracer>,
+    parent: Option<SpanId>,
 ) -> Result<Vec<Tuple>, ExecError> {
     std::thread::scope(|scope| {
         let sender = scope.spawn(|| {
-            let result = send_partitions(s, &rows, width, key, outs, metrics);
+            let result = send_partitions(s, &rows, width, key, outs, metrics, tracer, parent);
             for ch in outs.iter().flatten() {
                 ch.close();
             }
@@ -845,15 +1019,20 @@ fn repartition(
         let mut mine: Vec<Tuple> = Vec::new();
         let mut recv_err: Option<ExecError> = None;
         for ch in ins.iter().flatten() {
+            let mut recv = RecvTrace::default();
             while let Some(frame) = ch.recv() {
                 if recv_err.is_some() {
                     continue; // drain so peers never block on a dead link
                 }
-                match decode_frame(&frame) {
-                    Ok(batch) => mine.extend(batch.iter()),
+                match decode_frame_traced(&frame) {
+                    Ok((batch, ft)) => {
+                        recv.observe(&batch, ft);
+                        mine.extend(batch.iter());
+                    }
                     Err(e) => recv_err = Some(e),
                 }
             }
+            recv.flush(tracer, parent, ch);
         }
         let local = sender
             .join()
@@ -870,6 +1049,7 @@ fn repartition(
 /// batch with the multiply-xor kernel, flushes full per-destination
 /// batches as frames, and returns the self-partition. Destination
 /// batches are pre-sized from the expected per-shard share.
+#[allow(clippy::too_many_arguments)]
 fn send_partitions(
     s: usize,
     rows: &[Tuple],
@@ -877,6 +1057,8 @@ fn send_partitions(
     key: usize,
     outs: &[Option<NetChannel>],
     metrics: &MetricsRegistry,
+    tracer: &Arc<Tracer>,
+    parent: Option<SpanId>,
 ) -> Result<Vec<Tuple>, ExecError> {
     let shards = outs.len();
     let per_shard = (rows.len() / shards.max(1)).max(1) as u64;
@@ -886,14 +1068,39 @@ fn send_partitions(
     let mut local: Vec<Tuple> = Vec::with_capacity(per_shard as usize);
     let mut input = RowBatch::with_capacity(width, BATCH_CAPACITY);
     let (mut hashes, mut dests) = (Vec::new(), Vec::new());
-    let flush = |t: usize, batch: &mut RowBatch, local: &mut Vec<Tuple>| -> Result<(), ExecError> {
+    // One send span per destination link, opened lazily at the first
+    // frame so the span id can ride in every frame header.
+    let mut spans: Vec<Option<SpanId>> = vec![None; shards];
+    let flush = |t: usize,
+                 batch: &mut RowBatch,
+                 local: &mut Vec<Tuple>,
+                 spans: &mut Vec<Option<SpanId>>|
+     -> Result<(), ExecError> {
         if batch.rows() == 0 {
             return Ok(());
         }
         if t == s {
             local.extend(batch.iter());
         } else if let Some(ch) = &outs[t] {
-            let waited = ch.send(encode_frame(batch))?;
+            let span = if tracer.records_spans() {
+                Some(*spans[t].get_or_insert_with(|| {
+                    tracer.span(
+                        format!("Net-Send {s}->{t}"),
+                        "Net-Send",
+                        None,
+                        None,
+                        parent,
+                        1,
+                    )
+                }))
+            } else {
+                None
+            };
+            let frame = encode_frame_traced(
+                batch,
+                FrameTrace { trace_id: tracer.trace_id(), span: span.map(|sp| sp.0 as u64) },
+            );
+            let waited = ch.send(frame)?;
             if !waited.is_zero() {
                 metrics.net_queue_wait.record(waited);
             }
@@ -901,22 +1108,52 @@ fn send_partitions(
         batch.clear();
         Ok(())
     };
-    for chunk in rows.chunks(BATCH_CAPACITY) {
-        input.clear();
-        for row in chunk {
-            input.push_row(row);
-        }
-        scatter_by_shard(&input, &[key], &mut dest, &mut hashes, &mut dests);
-        for (t, batch) in dest.iter_mut().enumerate() {
-            if batch.rows() >= BATCH_CAPACITY {
-                flush(t, batch, &mut local)?;
+    let result = (|| {
+        for chunk in rows.chunks(BATCH_CAPACITY) {
+            input.clear();
+            for row in chunk {
+                input.push_row(row);
+            }
+            scatter_by_shard(&input, &[key], &mut dest, &mut hashes, &mut dests);
+            for (t, batch) in dest.iter_mut().enumerate() {
+                if batch.rows() >= BATCH_CAPACITY {
+                    flush(t, batch, &mut local, &mut spans)?;
+                }
             }
         }
+        for (t, batch) in dest.iter_mut().enumerate() {
+            flush(t, batch, &mut local, &mut spans)?;
+        }
+        Ok(())
+    })();
+    // Whatever happened — including a send that exhausted its
+    // retransmission budget — reconcile each opened span against its
+    // channel's own counters, so span byte totals match `NetStats`
+    // exactly.
+    for (t, span) in spans.iter().enumerate() {
+        if let (Some(span), Some(ch)) = (span, &outs[t]) {
+            tracer.set_net(*span, send_net_stats(ch));
+        }
     }
-    for (t, batch) in dest.iter_mut().enumerate() {
-        flush(t, batch, &mut local)?;
+    result.map(|()| local)
+}
+
+/// The send-side [`NetSpanStats`] of one channel: the channel's
+/// per-link counters verbatim (each channel has exactly one sender and
+/// lives for one query, so its counters are the span's traffic).
+fn send_net_stats(ch: &NetChannel) -> NetSpanStats {
+    let st = ch.stats();
+    NetSpanStats {
+        from: ch.from_node(),
+        to: ch.to_node(),
+        sent: true,
+        bytes: st.bytes,
+        frames: st.frames,
+        retransmits: st.retransmits,
+        credit_stalls: st.credit_stalls,
+        credit_wait_ns: st.credit_wait_ns,
+        remote_span: None,
     }
-    Ok(local)
 }
 
 /// Streams result rows over the gather link as columnar frames.
@@ -925,19 +1162,46 @@ fn send_rows(
     rows: &[Tuple],
     width: usize,
     metrics: &MetricsRegistry,
+    tracer: &Arc<Tracer>,
+    parent: Option<SpanId>,
 ) -> Result<(), ExecError> {
     let mut batch = RowBatch::with_capacity(width, BATCH_CAPACITY);
-    for chunk in rows.chunks(BATCH_CAPACITY) {
-        batch.clear();
-        for row in chunk {
-            batch.push_row(row);
+    let mut span: Option<SpanId> = None;
+    let result = (|| {
+        for chunk in rows.chunks(BATCH_CAPACITY) {
+            batch.clear();
+            for row in chunk {
+                batch.push_row(row);
+            }
+            let sp = if tracer.records_spans() {
+                Some(*span.get_or_insert_with(|| {
+                    tracer.span(
+                        format!("Net-Send {}->{}", ch.from_node(), ch.to_node()),
+                        "Net-Send",
+                        None,
+                        None,
+                        parent,
+                        1,
+                    )
+                }))
+            } else {
+                None
+            };
+            let frame = encode_frame_traced(
+                &batch,
+                FrameTrace { trace_id: tracer.trace_id(), span: sp.map(|sp| sp.0 as u64) },
+            );
+            let waited = ch.send(frame)?;
+            if !waited.is_zero() {
+                metrics.net_queue_wait.record(waited);
+            }
         }
-        let waited = ch.send(encode_frame(&batch))?;
-        if !waited.is_zero() {
-            metrics.net_queue_wait.record(waited);
-        }
+        Ok(())
+    })();
+    if let Some(span) = span {
+        tracer.set_net(span, send_net_stats(ch));
     }
-    Ok(())
+    result
 }
 
 /// Shard-local in-memory hash join of two co-partitioned row sets,

@@ -370,6 +370,145 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tentpole acceptance: a traced 4-shard × dop-2 query yields ONE
+    /// connected distributed trace — every span's parent exists and
+    /// precedes it, the network send spans' wire accounting reconciles
+    /// exactly against the query's `NetStats` delta (which in turn
+    /// decomposes into the per-link deltas), every receive span's remote
+    /// reference resolves to the matching send span, and the event
+    /// journal's entries for this trace fall inside the trace's lifetime
+    /// window with shard-divergence verdicts after the per-shard
+    /// arbitrations they summarize.
+    #[test]
+    fn sharded_trace_is_connected_and_reconciles_wire_bytes(
+        sel in 0.1f64..=1.0,
+        seed in 0u64..500,
+    ) {
+        use dqep::catalog::{make_chain_catalog, SyntheticSpec};
+        use dqep::executor::{journal, monotonic_ns, EventKind};
+        use dqep::service::{ShardConfig, ShardedService};
+
+        let catalog = make_chain_catalog(
+            &SyntheticSpec::paper(3, seed),
+            SystemConfig::paper_1994(),
+        );
+        let domain = catalog.relations()[0].attributes[0].domain_size;
+        let config = ShardConfig {
+            shards: 4,
+            dop: 2,
+            data_seed: seed,
+            trace: true,
+            ..ShardConfig::default()
+        };
+        let service = ShardedService::new(catalog, config);
+        let cursor = journal().cursor();
+        let out = service
+            .execute(
+                "SELECT * FROM R1, R2, R3 \
+                 WHERE R1.jr = R2.jl AND R2.jr = R3.jl AND R1.a < :x",
+                &[("x", (sel * domain) as i64)],
+            )
+            .expect("traced sharded execution");
+        let report = out.trace.as_ref().expect("tracing was requested");
+        let tid = report.trace_id;
+
+        // One connected tree: unique ids, a single root, and every parent
+        // present and topologically earlier than its child.
+        let ids: std::collections::HashSet<usize> =
+            report.spans.iter().map(|s| s.id.0).collect();
+        prop_assert_eq!(ids.len(), report.spans.len(), "span ids are unique");
+        let roots: Vec<_> = report.spans.iter().filter(|s| s.parent.is_none()).collect();
+        prop_assert_eq!(roots.len(), 1, "exactly one root");
+        for span in &report.spans {
+            if let Some(p) = span.parent {
+                prop_assert!(ids.contains(&p.0), "parent of span {} exists", span.id.0);
+                prop_assert!(p.0 < span.id.0, "parents precede children");
+            }
+        }
+        // All four shard subtrees made it into the merged timeline.
+        let shard_roots = report.spans.iter().filter(|s| s.kind == "Shard").count();
+        prop_assert_eq!(shard_roots, 4, "one subtree per shard");
+
+        // Byte-exact wire reconciliation: every frame is sent through a
+        // span-owning path, so the send spans sum to the NetStats delta.
+        let sends: Vec<_> = report
+            .spans
+            .iter()
+            .filter_map(|s| s.net.as_ref().filter(|n| n.sent))
+            .collect();
+        prop_assert_eq!(sends.iter().map(|n| n.bytes).sum::<u64>(), out.net.bytes);
+        prop_assert_eq!(sends.iter().map(|n| n.frames).sum::<u64>(), out.net.frames);
+        prop_assert_eq!(
+            sends.iter().map(|n| n.retransmits).sum::<u64>(),
+            out.net.retransmits
+        );
+        // The same totals decompose into the per-link deltas.
+        prop_assert_eq!(
+            out.links.iter().map(|l| l.stats.bytes).sum::<u64>(),
+            out.net.bytes
+        );
+        prop_assert_eq!(
+            out.links.iter().map(|l| l.stats.frames).sum::<u64>(),
+            out.net.frames
+        );
+
+        // Every receive span's remote reference resolves to a send span
+        // on the same directed link.
+        for span in &report.spans {
+            let Some(net) = &span.net else { continue };
+            if net.sent {
+                continue;
+            }
+            let Some(remote) = net.remote_span else { continue };
+            let peer = report.spans.iter().find(|s| s.id.0 as u64 == remote);
+            prop_assert!(peer.is_some(), "remote span {} exists", remote);
+            let peer_net = peer
+                .and_then(|p| p.net.as_ref())
+                .expect("remote reference points at a network span");
+            prop_assert!(peer_net.sent, "remote reference points at a send span");
+            prop_assert_eq!((peer_net.from, peer_net.to), (net.from, net.to));
+        }
+
+        // Journal consistency: this trace's events carry timestamps from
+        // the same monotonic epoch as span start times, so they must fall
+        // between the coordinator root opening and now — and divergence
+        // verdicts (recorded after gather) cannot precede the per-shard
+        // arbitration events they summarize.
+        let root_start = roots[0].start_ns;
+        let now = monotonic_ns();
+        let events: Vec<_> = journal()
+            .events_since(cursor)
+            .into_iter()
+            .filter(|e| e.trace == tid)
+            .collect();
+        let arbitrations =
+            events.iter().filter(|e| e.kind == EventKind::ArbitrationWinner).count();
+        prop_assert_eq!(arbitrations, 4, "one arbitration event per shard");
+        for e in &events {
+            prop_assert!(
+                e.ts_ns >= root_start && e.ts_ns <= now,
+                "event {:?} at {} outside trace window [{root_start}, {now}]",
+                e.kind,
+                e.ts_ns
+            );
+        }
+        let last_arbitration = events
+            .iter()
+            .filter(|e| e.kind == EventKind::ArbitrationWinner)
+            .map(|e| e.ts_ns)
+            .max()
+            .unwrap_or(0);
+        for e in &events {
+            if e.kind == EventKind::ShardDivergence {
+                prop_assert!(e.ts_ns >= last_arbitration);
+            }
+        }
+    }
+}
+
 /// Fixture for the deterministic tests below: a two-relation join with an
 /// unbound selection, which the dynamic optimizer compiles with
 /// choose-plan nodes.
